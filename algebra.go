@@ -1,0 +1,145 @@
+package shiftsplit
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+// The operations below exploit the linearity of the Haar transform at store
+// granularity: transforms of two datasets over the same domain combine
+// coefficient-wise (and therefore block-wise), with no reconstruction and
+// one read-modify-write pass over the blocks.
+
+// AddStore adds other's dataset into s (cell-wise), streaming block by
+// block. Both stores must share shape, form, and tiling geometry. Redundant
+// scaling slots combine linearly too, so a materialized store stays
+// materialized.
+func (s *Store) AddStore(other *Store) error {
+	return s.combineStore(other, 1)
+}
+
+// SubtractStore subtracts other's dataset from s.
+func (s *Store) SubtractStore(other *Store) error {
+	return s.combineStore(other, -1)
+}
+
+func (s *Store) combineStore(other *Store, sign float64) error {
+	if s.opts.Form != other.opts.Form {
+		return fmt.Errorf("shiftsplit: form mismatch (%v vs %v)", s.opts.Form, other.opts.Form)
+	}
+	if len(s.opts.Shape) != len(other.opts.Shape) {
+		return fmt.Errorf("shiftsplit: shape mismatch (%v vs %v)", s.opts.Shape, other.opts.Shape)
+	}
+	for i := range s.opts.Shape {
+		if s.opts.Shape[i] != other.opts.Shape[i] {
+			return fmt.Errorf("shiftsplit: shape mismatch (%v vs %v)", s.opts.Shape, other.opts.Shape)
+		}
+	}
+	if s.opts.TileBits != other.opts.TileBits {
+		return fmt.Errorf("shiftsplit: tile geometry mismatch (%d vs %d bits)", s.opts.TileBits, other.opts.TileBits)
+	}
+	for block := 0; block < s.tiling.NumBlocks(); block++ {
+		mine, err := s.store.ReadTile(block)
+		if err != nil {
+			return err
+		}
+		theirs, err := other.store.ReadTile(block)
+		if err != nil {
+			return err
+		}
+		changed := false
+		for i := range mine {
+			if theirs[i] != 0 {
+				mine[i] += sign * theirs[i]
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		if err := s.store.WriteTile(block, mine); err != nil {
+			return err
+		}
+	}
+	// Materialization survives: scaling slots are linear in the data.
+	return s.saveMeta()
+}
+
+// Scale multiplies every data value by factor, wavelet-domain only (the
+// transform is linear, so scaling every block scales the data).
+func (s *Store) Scale(factor float64) error {
+	for block := 0; block < s.tiling.NumBlocks(); block++ {
+		data, err := s.store.ReadTile(block)
+		if err != nil {
+			return err
+		}
+		nonZero := false
+		for i := range data {
+			if data[i] != 0 {
+				data[i] *= factor
+				nonZero = true
+			}
+		}
+		if !nonZero {
+			continue
+		}
+		if err := s.store.WriteTile(block, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RollupFromStore computes the transform of the dataset summed over
+// dimension dim, reading only the coefficients whose index along dim is
+// zero — one hyperplane of the transform, not the whole store. Standard
+// form only. It returns the reduced in-memory transform and the number of
+// blocks read.
+func (s *Store) RollupFromStore(dim int) (*Array, int, error) {
+	tiling, ok := s.tiling.(*tile.Standard)
+	if !ok {
+		return nil, 0, fmt.Errorf("shiftsplit: RollupFromStore requires the standard form")
+	}
+	d := tiling.Dims()
+	if dim < 0 || dim >= d {
+		return nil, 0, fmt.Errorf("shiftsplit: roll-up dimension %d out of range", dim)
+	}
+	if d < 2 {
+		return nil, 0, fmt.Errorf("shiftsplit: roll-up needs at least 2 dimensions")
+	}
+	outShape := make([]int, 0, d-1)
+	for i, e := range s.opts.Shape {
+		if i != dim {
+			outShape = append(outShape, e)
+		}
+	}
+	out := NewArray(outShape...)
+	reader := tile.NewReader(s.store)
+	scale := float64(s.opts.Shape[dim])
+	src := make([]int, d)
+	var rerr error
+	out.Each(func(coords []int, _ float64) {
+		if rerr != nil {
+			return
+		}
+		for i, c := range coords {
+			if i < dim {
+				src[i] = c
+			} else {
+				src[i+1] = c
+			}
+		}
+		src[dim] = 0
+		v, err := reader.Get(src)
+		if err != nil {
+			rerr = err
+			return
+		}
+		out.Set(scale*v, coords...)
+	})
+	if rerr != nil {
+		return nil, reader.BlocksRead(), rerr
+	}
+	return out, reader.BlocksRead(), nil
+}

@@ -1,0 +1,44 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index) and prints
+// them as aligned text or markdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/shiftsplit/shiftsplit/internal/experiments"
+)
+
+func main() {
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	only := flag.String("only", "", "run only experiments whose title contains this substring (case-insensitive)")
+	flag.Parse()
+
+	tables, err := experiments.All()
+	matched := 0
+	for _, t := range tables {
+		if *only != "" && !strings.Contains(strings.ToLower(t.Title), strings.ToLower(*only)) {
+			continue
+		}
+		matched++
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			if _, werr := t.WriteTo(os.Stdout); werr != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", werr)
+				os.Exit(1)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment matches -only %q\n", *only)
+		os.Exit(1)
+	}
+}

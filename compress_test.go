@@ -1,0 +1,75 @@
+package shiftsplit
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCompressFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	a := randArray(rng, 16, 16)
+	hat := Transform(a, Standard)
+	c := Compress(hat, Standard, 32)
+	if c.K() != 32 || c.Form() != Standard {
+		t.Fatalf("K=%d form=%v", c.K(), c.Form())
+	}
+	if sh := c.Shape(); sh[0] != 16 || sh[1] != 16 {
+		t.Errorf("Shape = %v", sh)
+	}
+	// Exact error accounting.
+	if sse := c.SSE(a); math.Abs(sse-c.DroppedEnergy()) > 1e-6*(1+sse) {
+		t.Errorf("SSE %g vs dropped energy %g", sse, c.DroppedEnergy())
+	}
+	// Approximate queries agree with the reconstruction.
+	rec := c.Reconstruct()
+	p := []int{7, 11}
+	if math.Abs(c.PointValue(p)-rec.At(p...)) > 1e-9 {
+		t.Error("PointValue disagrees with reconstruction")
+	}
+	if got, want := c.RangeSum([]int{0, 0}, []int{8, 8}), rec.SumRange([]int{0, 0}, []int{8, 8}); math.Abs(got-want) > 1e-6 {
+		t.Errorf("RangeSum %g vs %g", got, want)
+	}
+}
+
+func TestCompressPersistenceFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randArray(rng, 8, 8)
+	c := Compress(Transform(a, NonStandard), NonStandard, 12)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCompressedTransform(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != 12 || back.Form() != NonStandard {
+		t.Fatalf("round trip K=%d form=%v", back.K(), back.Form())
+	}
+	if !back.Reconstruct().EqualApprox(c.Reconstruct(), 1e-12) {
+		t.Error("reconstruction differs after persistence")
+	}
+}
+
+func TestProgressiveRangeSumFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	src := randArray(rng, 32, 32)
+	st, err := CreateStore(StoreOptions{Shape: []int{32, 32}, Form: Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Materialize(src); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := st.ProgressiveRangeSum([]int{3, 5}, []int{20, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := src.SumRange([]int{3, 5}, []int{20, 11})
+	if got := steps[len(steps)-1].Estimate; math.Abs(got-exact) > 1e-6 {
+		t.Errorf("final progressive estimate %g, exact %g", got, exact)
+	}
+}

@@ -1,0 +1,117 @@
+package shiftsplit_test
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit"
+)
+
+// Transform a small vector and read the paper's worked example back.
+func ExampleTransform() {
+	// Paper §2.1: {3, 5, 7, 5} decomposes to {5, -1, -1, 1}.
+	a := shiftsplit.FromSlice([]float64{3, 5, 7, 5}, 4)
+	hat := shiftsplit.Transform(a, shiftsplit.Standard)
+	fmt.Println(hat.Data())
+	// Output: [5 -1 -1 1]
+}
+
+// Merge the transform of one dyadic block into a larger (zero) transform —
+// the SHIFT-SPLIT construction of Example 1 in the paper.
+func ExampleMerge() {
+	block := shiftsplit.FromSlice([]float64{2, 4}, 2)
+	bHat := shiftsplit.Transform(block, shiftsplit.Standard)
+
+	aHat := shiftsplit.NewArray(8) // transform of an all-zero vector
+	// Place the block at positions [4,6) — the third level-1 dyadic block.
+	if err := shiftsplit.Merge(aHat, shiftsplit.Standard, shiftsplit.CubeBlock(1, 2), bHat); err != nil {
+		panic(err)
+	}
+	fmt.Println(shiftsplit.Inverse(aHat, shiftsplit.Standard).Data())
+	// Output: [0 0 0 0 2 4 0 0]
+}
+
+// Extract the exact transform of a sub-block without touching the rest.
+func ExampleExtract() {
+	a := shiftsplit.FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	hat := shiftsplit.Transform(a, shiftsplit.Standard)
+	blockHat, err := shiftsplit.Extract(hat, shiftsplit.Standard, shiftsplit.CubeBlock(2, 1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(shiftsplit.Inverse(blockHat, shiftsplit.Standard).Data())
+	// Output: [5 6 7 8]
+}
+
+// Answer a range-sum query straight from the transform (Lemma 2).
+func ExampleRangeSum() {
+	a := shiftsplit.FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	hat := shiftsplit.Transform(a, shiftsplit.Standard)
+	fmt.Println(shiftsplit.RangeSum(hat, shiftsplit.Standard, []int{2}, []int{4}))
+	// Output: 18
+}
+
+// Compress a transform to its best K terms with an exact error guarantee.
+func ExampleCompress() {
+	a := shiftsplit.NewArray(8)
+	for i := 0; i < 8; i++ {
+		a.Set(float64(i/4), i) // a step function: one detail carries it all
+	}
+	hat := shiftsplit.Transform(a, shiftsplit.Standard)
+	c := shiftsplit.Compress(hat, shiftsplit.Standard, 2)
+	fmt.Println(c.K(), c.DroppedEnergy())
+	fmt.Println(c.Reconstruct().Data())
+	// Output:
+	// 2 0
+	// [0 0 0 0 1 1 1 1]
+}
+
+// Roll a dimension up without reconstructing anything.
+func ExampleRollup() {
+	a := shiftsplit.FromSlice([]float64{
+		1, 2,
+		3, 4,
+	}, 2, 2)
+	hat := shiftsplit.Transform(a, shiftsplit.Standard)
+	rowTotals := shiftsplit.Inverse(shiftsplit.Rollup(hat, 1), shiftsplit.Standard)
+	fmt.Println(rowTotals.Data())
+	// Output: [3 7]
+}
+
+// Reconstruct a block average without touching any detail coefficients
+// below it (the inverse SPLIT alone).
+func ExampleBlockAverage() {
+	a := shiftsplit.FromSlice([]float64{2, 4, 6, 8, 1, 1, 1, 1}, 8)
+	hat := shiftsplit.Transform(a, shiftsplit.Standard)
+	avg, err := shiftsplit.BlockAverage(hat, shiftsplit.Standard, shiftsplit.CubeBlock(2, 0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(avg)
+	// Output: 5
+}
+
+// Slice a dimension of a transformed cube without reconstructing it.
+func ExampleSliceAt() {
+	a := shiftsplit.FromSlice([]float64{
+		1, 2,
+		3, 4,
+	}, 2, 2)
+	hat := shiftsplit.Transform(a, shiftsplit.Standard)
+	row1 := shiftsplit.Inverse(shiftsplit.SliceAt(hat, 0, 1), shiftsplit.Standard)
+	fmt.Println(row1.Data())
+	// Output: [3 4]
+}
+
+// Fold a stream into a best-K synopsis with buffered SHIFT-SPLIT updates.
+func ExampleNewStreamSynopsis() {
+	syn := shiftsplit.NewStreamSynopsis(4, 2) // K=4, buffer B=4
+	for i := 0; i < 16; i++ {
+		syn.Add(float64(i % 2)) // an alternating signal
+	}
+	if err := syn.Finish(); err != nil {
+		panic(err)
+	}
+	crest, _ := syn.PerItemCost()
+	fmt.Printf("kept %d coefficients, %.2f crest updates/item\n", len(syn.Entries()), crest)
+	// Output: kept 4 coefficients, 0.44 crest updates/item
+}

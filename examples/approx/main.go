@@ -1,0 +1,74 @@
+// Approximate and progressive query answering — the applications that made
+// wavelets a database tool in the first place (paper §1).
+//
+// A best-K synopsis of a transform answers queries from K coefficients with
+// a squared error that is known *exactly* in advance (the energy of the
+// dropped coefficients, by orthogonality). A progressive query consumes the
+// stored coefficients coarse-to-fine, refining its estimate with every
+// block read until it is exact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/shiftsplit/shiftsplit"
+)
+
+func main() {
+	// A smooth sales-like cube: 64 stores x 128 days.
+	const stores, days = 64, 128
+	a := shiftsplit.NewArray(stores, days)
+	for s := 0; s < stores; s++ {
+		size := 50 + 30*math.Sin(float64(s)/7)
+		for d := 0; d < days; d++ {
+			season := 1 + 0.4*math.Sin(2*math.Pi*float64(d)/days)
+			week := 1 + 0.25*math.Sin(2*math.Pi*float64(d)/7)
+			a.Set(size*season*week, s, d)
+		}
+	}
+	hat := shiftsplit.Transform(a, shiftsplit.Standard)
+
+	// --- best-K synopses: error known before answering anything ---
+	fmt.Println("synopsis size   share of data   guaranteed RMSE   measured RMSE")
+	cells := float64(a.Size())
+	for _, k := range []int{16, 64, 256, 1024} {
+		c := shiftsplit.Compress(hat, shiftsplit.Standard, k)
+		guaranteed := math.Sqrt(c.DroppedEnergy() / cells)
+		measured := math.Sqrt(c.SSE(a) / cells)
+		fmt.Printf("%13d   %12.1f%%   %15.3f   %13.3f\n",
+			k, 100*float64(k)/cells, guaranteed, measured)
+	}
+
+	// Query the 64-term synopsis (0.8% of the data).
+	c := shiftsplit.Compress(hat, shiftsplit.Standard, 64)
+	start, extent := []int{16, 32}, []int{32, 64}
+	exact := a.SumRange(start, extent)
+	approx := c.RangeSum(start, extent)
+	fmt.Printf("\nquarterly sales for stores 16-47: exact %.0f, 64-term synopsis %.0f (%.2f%% off)\n",
+		exact, approx, 100*math.Abs(approx-exact)/exact)
+
+	// --- progressive answering from tiled storage ---
+	st, err := shiftsplit.CreateStore(shiftsplit.StoreOptions{
+		Shape: []int{stores, days}, Form: shiftsplit.Standard, TileBits: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Materialize(a); err != nil {
+		log.Fatal(err)
+	}
+	steps, err := st.ProgressiveRangeSum(start, extent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprogressive refinement of the same query (%d coefficients total):\n", len(steps))
+	fmt.Println("coefficients  blocks read  estimate     error")
+	for _, i := range []int{0, len(steps) / 8, len(steps) / 4, len(steps) / 2, len(steps) - 1} {
+		s := steps[i]
+		fmt.Printf("%12d  %11d  %10.0f  %7.2f%%\n",
+			s.Coefficients, s.Blocks, s.Estimate, 100*math.Abs(s.Estimate-exact)/exact)
+	}
+}

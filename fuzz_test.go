@@ -1,0 +1,80 @@
+package shiftsplit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+)
+
+// Native fuzz targets. Without -fuzz they run their seed corpus as ordinary
+// tests; under `go test -fuzz=Fuzz...` they explore the input space.
+
+func FuzzHaarRoundTrip(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, -5.0, 0.5, 100.0, -0.001)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(math.MaxFloat32, -math.MaxFloat32, 1e-300, -1e-300, 1.0, -1.0, 2.0, -2.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i float64) {
+		in := []float64{a, b, c, d, e, g, h, i}
+		for _, v := range in {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		back := haar.Inverse(haar.Transform(in))
+		for j := range in {
+			scale := math.Abs(in[j]) + 1
+			if math.Abs(back[j]-in[j]) > 1e-9*scale {
+				t.Fatalf("round trip differs at %d: %g vs %g", j, back[j], in[j])
+			}
+		}
+	})
+}
+
+func FuzzMergeExtract(f *testing.F) {
+	f.Add(int64(1), uint8(0), 1.0, 2.0, 3.0, 4.0)
+	f.Add(int64(7), uint8(3), -1.0, 0.0, 1e6, -1e-6)
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint8, a, b, c, d float64) {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		block := FromSlice([]float64{a, b, c, d}, 4)
+		bHat := Transform(block, Standard)
+		k := int(kRaw) % 8 // 8 level-2 blocks in a 32-domain
+		aHat := NewArray(32)
+		if err := Merge(aHat, Standard, Block{Levels: []int{2}, Pos: []int{k}}, bHat); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Extract(aHat, Standard, Block{Levels: []int{2}, Pos: []int{k}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := Inverse(got, Standard)
+		for i, want := range []float64{a, b, c, d} {
+			scale := math.Abs(want) + 1
+			if math.Abs(vals.At(i)-want) > 1e-9*scale {
+				t.Fatalf("extract differs at %d: %g vs %g", i, vals.At(i), want)
+			}
+		}
+	})
+}
+
+func FuzzBlockAt(f *testing.F) {
+	f.Add(0, 4, 0, 4)
+	f.Add(8, 8, 16, 16)
+	f.Add(3, 5, 7, 2)
+	f.Fuzz(func(t *testing.T, s0, l0, s1, l1 int) {
+		b, err := BlockAt([]int{s0, s1}, []int{l0, l1})
+		if err != nil {
+			return // invalid inputs are fine; they must just not panic
+		}
+		// A valid block must round-trip its geometry.
+		start := b.Start()
+		shape := b.Shape()
+		if start[0] != s0 || start[1] != s1 || shape[0] != l0 || shape[1] != l1 {
+			t.Fatalf("BlockAt(%d,%d,%d,%d) round trip = %v+%v", s0, s1, l0, l1, start, shape)
+		}
+	})
+}

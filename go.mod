@@ -1,0 +1,3 @@
+module github.com/shiftsplit/shiftsplit
+
+go 1.22

@@ -1,0 +1,299 @@
+// Package appender implements appending to wavelet-decomposed data (paper
+// §5.2): new data that enlarges the domain of one or more dimensions is
+// folded into an existing standard-form transform without reconstructing the
+// original data.
+//
+// Appending has two phases. When the incoming slab no longer fits the
+// transformed domain, the domain is expanded: the dimension's wavelet tree
+// grows one level (Figure 10), which re-indexes (SHIFTs) every coefficient
+// and SPLITs the old overall average into the new root detail and average —
+// an O(N^d) pass that shows up as the jumps in Figure 13. Otherwise the slab
+// is transformed in memory and merged with SHIFT-SPLIT at a cost of
+// O(M + log(N/M)) coefficients per dyadic piece.
+package appender
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/core"
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+// Appender maintains a growing dataset in the wavelet domain on tiled,
+// I/O-counted block storage.
+type Appender struct {
+	b           int // tile parameter: blocks hold 2^(b*d) coefficients
+	shape       []int
+	used        []int
+	store       *tile.Store
+	counting    *storage.Counting
+	accumulated storage.Stats
+}
+
+// AppendStats reports the cost of one Append call.
+type AppendStats struct {
+	Expansions  int           // domain doublings triggered
+	ExpansionIO storage.Stats // block I/O spent expanding
+	MergeIO     storage.Stats // block I/O spent merging the slab
+}
+
+// New creates an appender over an initially empty domain of the given
+// power-of-two shape, tiled with per-dimension block edge 2^b.
+func New(shape []int, b int) (*Appender, error) {
+	for _, s := range shape {
+		if !bitutil.IsPow2(s) {
+			return nil, fmt.Errorf("appender: extent %d is not a power of two", s)
+		}
+	}
+	a := &Appender{
+		b:     b,
+		shape: append([]int(nil), shape...),
+		used:  make([]int, len(shape)),
+	}
+	if err := a.rebuildStore(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Appender) rebuildStore() error {
+	ns := make([]int, len(a.shape))
+	for i, s := range a.shape {
+		ns[i] = bitutil.Log2(s)
+	}
+	tiling := tile.NewStandard(ns, a.b)
+	a.counting = storage.NewCounting(storage.NewMemStore(tiling.BlockSize()))
+	st, err := tile.NewStore(a.counting, tiling)
+	if err != nil {
+		return err
+	}
+	a.store = st
+	return nil
+}
+
+// Shape returns the current transformed domain extents.
+func (a *Appender) Shape() []int { return append([]int(nil), a.shape...) }
+
+// Used returns the extents actually occupied by appended data.
+func (a *Appender) Used() []int { return append([]int(nil), a.used...) }
+
+// Store exposes the tiled transform for querying.
+func (a *Appender) Store() *tile.Store { return a.store }
+
+// TotalIO returns the cumulative block I/O across all appends and
+// expansions.
+func (a *Appender) TotalIO() storage.Stats {
+	cur := a.counting.Stats()
+	return storage.Stats{
+		Reads:  a.accumulated.Reads + cur.Reads,
+		Writes: a.accumulated.Writes + cur.Writes,
+	}
+}
+
+// Append folds slab into the dataset along dim, at offset Used()[dim]. The
+// slab must span the used extent of every other dimension. The domain is
+// expanded as needed.
+func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
+	var st AppendStats
+	d := len(a.shape)
+	if dim < 0 || dim >= d {
+		return st, fmt.Errorf("appender: dimension %d out of range", dim)
+	}
+	if slab.Dims() != d {
+		return st, fmt.Errorf("appender: slab has %d dims, want %d", slab.Dims(), d)
+	}
+	for t := 0; t < d; t++ {
+		if t == dim {
+			continue
+		}
+		want := a.used[t]
+		if want == 0 {
+			want = slab.Extent(t) // first append fixes the cross extents
+		}
+		if slab.Extent(t) != want {
+			return st, fmt.Errorf("appender: slab extent %d in dim %d, want %d", slab.Extent(t), t, want)
+		}
+		if slab.Extent(t) > a.shape[t] {
+			return st, fmt.Errorf("appender: slab extent %d exceeds domain %d in dim %d", slab.Extent(t), a.shape[t], t)
+		}
+	}
+	// Expand until the slab fits.
+	for a.used[dim]+slab.Extent(dim) > a.shape[dim] {
+		expIO, err := a.expand(dim)
+		if err != nil {
+			return st, err
+		}
+		st.Expansions++
+		st.ExpansionIO.Reads += expIO.Reads
+		st.ExpansionIO.Writes += expIO.Writes
+	}
+	// Merge the slab, one dyadic run along dim at a time.
+	mergeBefore := a.counting.Stats()
+	start := a.used[dim]
+	for _, iv := range dyadic.Decompose(start, start+slab.Extent(dim)) {
+		subStart := make([]int, d)
+		subShape := make([]int, d)
+		block := make(dyadic.Range, d)
+		for t := 0; t < d; t++ {
+			if t == dim {
+				subStart[t] = iv.Start() - start
+				subShape[t] = iv.Len()
+				block[t] = iv
+			} else {
+				subStart[t] = 0
+				subShape[t] = slab.Extent(t)
+				// The slab spans [0, extent) in this dimension; that must be
+				// a dyadic prefix of the domain.
+				if !bitutil.IsPow2(subShape[t]) {
+					return st, fmt.Errorf("appender: cross extent %d is not a power of two", subShape[t])
+				}
+				block[t] = dyadic.NewInterval(bitutil.Log2(subShape[t]), 0)
+			}
+		}
+		sub := slab.SubCopy(subStart, subShape)
+		bHat := wavelet.TransformStandard(sub)
+		batch := tile.NewBatch(a.store)
+		var applyErr error
+		core.EachEmbedStandard(a.shape, block, bHat, func(coords []int, delta float64) {
+			if applyErr != nil {
+				return
+			}
+			applyErr = batch.Add(coords, delta)
+		})
+		if applyErr != nil {
+			return st, applyErr
+		}
+		if err := batch.Flush(); err != nil {
+			return st, err
+		}
+	}
+	after := a.counting.Stats()
+	st.MergeIO = storage.Stats{Reads: after.Reads - mergeBefore.Reads, Writes: after.Writes - mergeBefore.Writes}
+	a.used[dim] += slab.Extent(dim)
+	for t := 0; t < d; t++ {
+		if t != dim && a.used[t] == 0 {
+			a.used[t] = slab.Extent(t)
+		}
+	}
+	return st, nil
+}
+
+// expand doubles the domain along dim: every coefficient of the old
+// transform SHIFTs to its position in the doubled tree, and the old overall
+// average (along dim) SPLITs into the new root detail and the new average
+// (Figure 10).
+func (a *Appender) expand(dim int) (storage.Stats, error) {
+	oldShape := a.Shape()
+	oldStore, oldCounting := a.store, a.counting
+	oldTiling := oldStore.Tiling().(*tile.Standard)
+	nOld := bitutil.Log2(oldShape[dim])
+	preOld := oldCounting.Stats()
+
+	a.shape[dim] *= 2
+	if err := a.rebuildStore(); err != nil {
+		return storage.Stats{}, err
+	}
+	newTiling := a.store.Tiling()
+
+	// Group old coefficients by their old block so each old block is read
+	// exactly once.
+	byBlock := make(map[int]map[int][]int) // old block -> slot -> coords
+	coords := make([]int, len(oldShape))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(oldShape) {
+			blk, slot := oldTiling.Locate(coords)
+			m, ok := byBlock[blk]
+			if !ok {
+				m = make(map[int][]int)
+				byBlock[blk] = m
+			}
+			m[slot] = append([]int(nil), coords...)
+			return
+		}
+		for v := 0; v < oldShape[i]; v++ {
+			coords[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+
+	pending := make(map[int][]float64) // new block -> data
+	add := func(c []int, v float64) {
+		blk, slot := newTiling.Locate(c)
+		data, ok := pending[blk]
+		if !ok {
+			data = make([]float64, newTiling.BlockSize())
+			pending[blk] = data
+		}
+		data[slot] += v
+	}
+	for blk, slots := range byBlock {
+		data, err := oldStore.ReadTile(blk)
+		if err != nil {
+			return storage.Stats{}, err
+		}
+		for slot, c := range slots {
+			v := data[slot]
+			if v == 0 {
+				continue
+			}
+			nc := append([]int(nil), c...)
+			idx := c[dim]
+			if idx >= 1 {
+				j, k := haar.LevelPos(nOld, idx)
+				nc[dim] = haar.Index(nOld+1, j, k)
+				add(nc, v)
+			} else {
+				// The old average splits: half to the new average, half to
+				// the new root detail (the old data is the left subtree).
+				nc[dim] = 0
+				add(nc, v/2)
+				nc[dim] = 1
+				add(nc, v/2)
+			}
+		}
+	}
+	for blk, data := range pending {
+		if err := a.store.WriteTile(blk, data); err != nil {
+			return storage.Stats{}, err
+		}
+	}
+	// Fold the old store's lifetime I/O into the running totals and report
+	// this expansion's own cost (old-store reads plus new-store writes).
+	oldStats := oldCounting.Stats()
+	a.accumulated.Reads += oldStats.Reads
+	a.accumulated.Writes += oldStats.Writes
+	cost := storage.Stats{
+		Reads:  oldStats.Reads - preOld.Reads,
+		Writes: a.counting.Stats().Writes,
+	}
+	return cost, oldStore.Close()
+}
+
+// Reconstruct reads the whole transform back and inverts it, returning the
+// current contents of the domain (appended data plus zero padding).
+func (a *Appender) Reconstruct() (*ndarray.Array, error) {
+	hat := ndarray.New(a.shape...)
+	var err error
+	hat.Each(func(coords []int, _ float64) {
+		if err != nil {
+			return
+		}
+		var v float64
+		v, err = a.store.Get(coords)
+		if err == nil {
+			hat.Set(v, coords...)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wavelet.InverseStandard(hat), nil
+}

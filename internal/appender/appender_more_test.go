@@ -1,0 +1,103 @@
+package appender
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
+
+func TestAppendAlongTwoDimensions(t *testing.T) {
+	// Grow along dim 0, then along dim 1: the appender must track used
+	// extents per dimension and keep the transform exact.
+	rng := rand.New(rand.NewSource(20))
+	a, err := New([]int{8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := randSlab(rng, 8, 8)
+	if _, err := a.Append(0, s1); err != nil {
+		t.Fatal(err)
+	}
+	// Now grow dim 1 with a slab spanning the used extent of dim 0.
+	s2 := randSlab(rng, 8, 8)
+	st, err := a.Append(1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expansions != 1 {
+		t.Fatalf("expected one expansion of dim 1, got %d", st.Expansions)
+	}
+	want := ndarray.New(8, 16)
+	want.SubPaste(s1, []int{0, 0})
+	want.SubPaste(s2, []int{0, 8})
+	got, err := a.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(want, 1e-8) {
+		t.Errorf("two-axis growth differs by %g", got.MaxAbsDiff(want))
+	}
+	if u := a.Used(); u[0] != 8 || u[1] != 16 {
+		t.Errorf("used = %v", u)
+	}
+}
+
+func TestAppend1DSingleElementSlabs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a, err := New([]int{4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []float64
+	for i := 0; i < 11; i++ {
+		v := rng.NormFloat64()
+		vals = append(vals, v)
+		slab := ndarray.FromSlice([]float64{v}, 1)
+		if _, err := a.Append(0, slab); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	got, err := a.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if diff := got.At(i) - v; diff > 1e-8 || diff < -1e-8 {
+			t.Fatalf("position %d: %g vs %g", i, got.At(i), v)
+		}
+	}
+	for i := len(vals); i < got.Extent(0); i++ {
+		if v := got.At(i); v > 1e-9 || v < -1e-9 {
+			t.Fatalf("padding position %d holds %g", i, v)
+		}
+	}
+}
+
+func TestAppenderRejectsNonPow2Domain(t *testing.T) {
+	if _, err := New([]int{12}, 1); err == nil {
+		t.Error("non-power-of-two domain accepted")
+	}
+}
+
+func TestAppendStoreQueriesWork(t *testing.T) {
+	// The appender's store is a live standard-form transform: its Store()
+	// must serve coefficient reads consistent with Reconstruct.
+	rng := rand.New(rand.NewSource(22))
+	a, err := New([]int{8, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := randSlab(rng, 8, 8)
+	if _, err := a.Append(1, slab); err != nil {
+		t.Fatal(err)
+	}
+	avg, err := a.Store().Get([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := slab.Sum() / 64
+	if diff := avg - want; diff > 1e-8 || diff < -1e-8 {
+		t.Errorf("stored average %g, want %g", avg, want)
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/appender"
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+)
+
+// Fig13Config parametrizes the §6.2 appending experiment.
+type Fig13Config struct {
+	Lat, Lon  int   // spatial grid (paper: 8x8)
+	DaysMonth int   // slab length along time per append (paper: 32)
+	Months    int   // how many appends
+	TileBits  []int // per-dimension tile edge exponents (block = 2^(3b))
+	Seed      int64
+}
+
+// DefaultFig13 mirrors the paper's PRECIPITATION geometry.
+func DefaultFig13() Fig13Config {
+	return Fig13Config{Lat: 8, Lon: 8, DaysMonth: 32, Months: 24, TileBits: []int{1, 2, 3}, Seed: 4}
+}
+
+// Fig13 reproduces Figure 13: per-append block I/O over time as monthly
+// PRECIPITATION slabs are appended, for several tile sizes; the expansion
+// passes appear as jumps.
+func Fig13(c Fig13Config) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 13 — appending I/O (blocks) per month; %dx%dx%d/month PRECIPITATION",
+			c.Lat, c.Lon, c.DaysMonth),
+		Columns: []string{"month"},
+	}
+	for _, b := range c.TileBits {
+		t.Columns = append(t.Columns, fmt.Sprintf("tile=%d coefs", bitutil.IntPow(1<<uint(b), 3)))
+	}
+	t.Columns = append(t.Columns, "expanded")
+
+	full := dataset.Precipitation([]int{c.Lat, c.Lon, c.DaysMonth * c.Months}, c.Seed)
+	apps := make([]*appender.Appender, len(c.TileBits))
+	for i, b := range c.TileBits {
+		a, err := appender.New([]int{c.Lat, c.Lon, c.DaysMonth}, b)
+		if err != nil {
+			return nil, err
+		}
+		apps[i] = a
+	}
+	for mo := 0; mo < c.Months; mo++ {
+		slab := full.SubCopy([]int{0, 0, mo * c.DaysMonth}, []int{c.Lat, c.Lon, c.DaysMonth})
+		row := []interface{}{mo + 1}
+		expanded := false
+		for _, a := range apps {
+			st, err := a.Append(2, slab)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, st.ExpansionIO.Total()+st.MergeIO.Total())
+			if st.Expansions > 0 {
+				expanded = true
+			}
+		}
+		row = append(row, expanded)
+		t.Add(row...)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: flat monthly cost with jumps at domain doublings; larger tiles cost fewer blocks (paper Figure 13)")
+	return t, nil
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func atoiCell(t *testing.T, s string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not an integer: %v", s, err)
+	}
+	return v
+}
+
+func atofCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a float: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bee"}}
+	tb.Add(1, 2.5)
+	tb.Add("x", "y")
+	txt := tb.String()
+	if !strings.Contains(txt, "T\n") || !strings.Contains(txt, "2.500") {
+		t.Errorf("text rendering wrong:\n%s", txt)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | bee |") || !strings.Contains(md, "| x | y |") {
+		t.Errorf("markdown rendering wrong:\n%s", md)
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	tb, err := Table1(Table1Config{LogN: 7, Dims: 2, ChunkBits: 4, TileBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Tiles must be far fewer than coefficients for the SHIFT rows.
+	for _, r := range tb.Rows {
+		if r[1] != "SHIFT" {
+			continue
+		}
+		coefs, tiles := atoiCell(t, r[2]), atoiCell(t, r[3])
+		if tiles*4 > coefs {
+			t.Errorf("%s SHIFT: %d tiles for %d coefficients — tiling not helping", r[0], tiles, coefs)
+		}
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	tb, err := Table2(Table2Config{LogN: 6, Dims: 2, ChunkBits: 3, TileBits: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	vitter := atoiCell(t, tb.Rows[0][1])
+	std := atoiCell(t, tb.Rows[1][1])
+	non := atoiCell(t, tb.Rows[2][1])
+	if !(non < std && std < vitter) {
+		t.Errorf("coefficient I/O ordering wrong: non=%d std=%d vitter=%d", non, std, vitter)
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	tb, err := Fig11(Fig11Config{LogN: 4, Dims: 4, ChunkBits: []int{2, 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevStd int64 = 1 << 62
+	for _, r := range tb.Rows {
+		vitter := atoiCell(t, r[1])
+		std := atoiCell(t, r[2])
+		non := atoiCell(t, r[3])
+		if std > prevStd {
+			t.Errorf("standard I/O increased with memory: %d -> %d", prevStd, std)
+		}
+		prevStd = std
+		if non > std {
+			t.Errorf("non-standard %d above standard %d", non, std)
+		}
+		_ = vitter
+	}
+	// At the largest memory both shift-split engines beat Vitter.
+	last := tb.Rows[len(tb.Rows)-1]
+	if atoiCell(t, last[2]) >= atoiCell(t, last[1]) {
+		t.Errorf("standard %s did not beat Vitter %s at max memory", last[2], last[1])
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	tb, err := Fig12(Fig12Config{LogNs: []int{5, 6}, ChunkBits: 3, TileBits: []int{2, 3}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		stdSmall, nonSmall := atoiCell(t, r[1]), atoiCell(t, r[2])
+		stdBig, nonBig := atoiCell(t, r[3]), atoiCell(t, r[4])
+		if nonSmall >= stdSmall || nonBig >= stdBig {
+			t.Errorf("non-standard should beat standard: %v", r)
+		}
+		if stdBig >= stdSmall || nonBig >= nonSmall {
+			t.Errorf("larger tiles should cost fewer blocks: %v", r)
+		}
+	}
+	// Cost grows with dataset size.
+	if atoiCell(t, tb.Rows[1][1]) <= atoiCell(t, tb.Rows[0][1]) {
+		t.Error("standard cost did not grow with dataset size")
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	tb, err := Fig13(Fig13Config{Lat: 8, Lon: 8, DaysMonth: 32, Months: 10, TileBits: []int{1, 2}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	expansions := 0
+	for _, r := range tb.Rows {
+		small := atoiCell(t, r[1])
+		big := atoiCell(t, r[2])
+		if big >= small {
+			t.Errorf("month %s: larger tiles (%d) should beat smaller (%d)", r[0], big, small)
+		}
+		if r[3] == "true" {
+			expansions++
+		}
+	}
+	if expansions == 0 {
+		t.Error("no expansion months recorded")
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	tb, err := Fig14(Fig14Config{LogN: 12, K: 32, BufBits: []int{1, 3, 5}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := atofCell(t, tb.Rows[0][1])
+	if base < 8 {
+		t.Errorf("baseline crest cost %g too low for N=2^12", base)
+	}
+	prev := base
+	for _, r := range tb.Rows[1:] {
+		cost := atofCell(t, r[1])
+		if cost >= prev {
+			t.Errorf("buffered crest cost %g did not fall below %g", cost, prev)
+		}
+		prev = cost
+	}
+}
+
+func TestStreamMemoryShapes(t *testing.T) {
+	tb, err := StreamMemory(DefaultStreamMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := atoiCell(t, tb.Rows[0][1])
+	non := atoiCell(t, tb.Rows[1][1])
+	if non*4 > std {
+		t.Errorf("R5 memory %d not clearly below R4 memory %d", non, std)
+	}
+}
+
+func TestR6Shapes(t *testing.T) {
+	tb, err := R6(R6Config{LogN: 6, TileBits: 2, Levels: []int{1, 3, 5}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		ss := atoiCell(t, r[1])
+		full := atoiCell(t, r[3])
+		ssCoefs := atoiCell(t, r[4])
+		pwCoefs := atoiCell(t, r[5])
+		if ss > full {
+			t.Errorf("region %s: shift-split blocks %d exceed full %d", r[0], ss, full)
+		}
+		if ssCoefs >= pwCoefs {
+			t.Errorf("region %s: shift-split coefs %d not below pointwise %d", r[0], ssCoefs, pwCoefs)
+		}
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 12 {
+		t.Errorf("All returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("table %q has no rows", tb.Title)
+		}
+	}
+}
+
+func TestSparseShapes(t *testing.T) {
+	tb, err := SparseTransform(SparseConfig{LogN: 6, ChunkBits: 3, TileBits: 2, OccupiedFracs: []float64{1, 0.25}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	fullStd := atoiCell(t, tb.Rows[0][2])
+	sparseStd := atoiCell(t, tb.Rows[1][2])
+	if sparseStd*2 > fullStd {
+		t.Errorf("quarter occupancy standard I/O %d not well below full %d", sparseStd, fullStd)
+	}
+	fullNon := atoiCell(t, tb.Rows[0][4])
+	sparseNon := atoiCell(t, tb.Rows[1][4])
+	if sparseNon*4 > fullNon {
+		t.Errorf("quarter occupancy non-standard I/O %d not ~16x below full %d", sparseNon, fullNon)
+	}
+	if atoiCell(t, tb.Rows[1][3]) == 0 {
+		t.Error("no skipped chunks at quarter occupancy")
+	}
+}
+
+func TestQueryCostShapes(t *testing.T) {
+	tb, err := QueryCost(QueryCostConfig{LogN: 6, TileBits: 2, Queries: 80, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := atofCell(t, tb.Rows[0][1])
+	path := atofCell(t, tb.Rows[0][2])
+	seq := atofCell(t, tb.Rows[0][3])
+	if single != 1 {
+		t.Errorf("scaling-slot point queries average %g blocks, want 1", single)
+	}
+	if !(path < seq) {
+		t.Errorf("tiled path %g should beat sequential %g", path, seq)
+	}
+	tiledRange := atofCell(t, tb.Rows[1][2])
+	seqRange := atofCell(t, tb.Rows[1][3])
+	if !(tiledRange < seqRange) {
+		t.Errorf("tiled range %g should beat sequential %g", tiledRange, seqRange)
+	}
+}
+
+func TestExpansionTimeShapes(t *testing.T) {
+	tb, err := ExpansionTime(ExpansionTimeConfig{Months: 12, TileBits: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	mergeBlocks := atoiCell(t, tb.Rows[0][2])
+	expandBlocks := atoiCell(t, tb.Rows[1][2])
+	if mergeBlocks == 0 || expandBlocks == 0 {
+		t.Fatal("missing I/O counts")
+	}
+}
+
+func TestAllTablesWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if tb.Title == "" {
+			t.Error("table with empty title")
+		}
+		for i, r := range tb.Rows {
+			if len(r) != len(tb.Columns) {
+				t.Errorf("table %q row %d has %d cells for %d columns", tb.Title, i, len(r), len(tb.Columns))
+			}
+		}
+		if md := tb.Markdown(); len(md) == 0 {
+			t.Errorf("table %q renders empty markdown", tb.Title)
+		}
+	}
+}
+
+func TestAppendFormsShapes(t *testing.T) {
+	tb, err := AppendForms(AppendFormsConfig{Edge: 8, Periods: 12, TileBits: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The non-standard appender's late appends must not grow with history,
+	// while the standard form's expansion periods dwarf its routine ones.
+	var stdMax, nonMax, nonEarly int64
+	for i, r := range tb.Rows {
+		std := atoiCell(t, r[1])
+		non := atoiCell(t, r[3])
+		if std > stdMax {
+			stdMax = std
+		}
+		if i >= 6 && non > nonMax {
+			nonMax = non
+		}
+		if i == 1 {
+			nonEarly = non
+		}
+	}
+	if nonMax > 2*nonEarly {
+		t.Errorf("non-standard append cost grew: early %d, late max %d", nonEarly, nonMax)
+	}
+	if stdMax < 4*nonMax {
+		t.Errorf("standard expansion max %d should dwarf non-standard %d", stdMax, nonMax)
+	}
+}

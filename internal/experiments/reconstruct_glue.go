@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/reconstruct"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+func reconstructDyadic(st *tile.Store, block dyadic.Range) (*ndarray.Array, int, error) {
+	return reconstruct.DyadicStandard(st, block)
+}
+
+func reconstructPointwise(st *tile.Store, start, shape []int) (*ndarray.Array, int, error) {
+	return reconstruct.NaivePointwise(st, start, shape)
+}
+
+// All runs every experiment at its default configuration and returns the
+// tables in paper order.
+func All() ([]*Table, error) {
+	var out []*Table
+	runs := []func() (*Table, error){
+		func() (*Table, error) { return Table1(DefaultTable1()) },
+		func() (*Table, error) { return Table2(DefaultTable2()) },
+		func() (*Table, error) { return Fig11(DefaultFig11()) },
+		func() (*Table, error) { return Fig12(DefaultFig12()) },
+		func() (*Table, error) { return Fig13(DefaultFig13()) },
+		func() (*Table, error) { return Fig14(DefaultFig14()) },
+		func() (*Table, error) { return StreamMemory(DefaultStreamMemory()) },
+		func() (*Table, error) { return R6(DefaultR6()) },
+		func() (*Table, error) { return SparseTransform(DefaultSparse()) },
+		func() (*Table, error) { return QueryCost(DefaultQueryCost()) },
+		func() (*Table, error) { return ExpansionTime(DefaultExpansionTime()) },
+		func() (*Table, error) { return AppendForms(DefaultAppendForms()) },
+	}
+	for _, run := range runs {
+		t, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

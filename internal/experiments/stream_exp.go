@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/stream"
+)
+
+// Fig14Config parametrizes the §6.3 stream-synopsis experiment.
+type Fig14Config struct {
+	LogN    int   // stream length 2^LogN
+	K       int   // synopsis size
+	BufBits []int // buffer sweep: B = 2^bits
+	Seed    int64
+}
+
+// DefaultFig14 uses a 2^16-item random walk.
+func DefaultFig14() Fig14Config {
+	return Fig14Config{LogN: 16, K: 64, BufBits: []int{0, 1, 2, 3, 4, 5, 6, 7, 8}, Seed: 5}
+}
+
+// Fig14 reproduces the §6.3 experiment (the update-cost improvement from
+// buffering, Result 3): per-item crest update cost for the Gilbert et al.
+// baseline versus SHIFT-SPLIT buffering, across buffer sizes.
+func Fig14(c Fig14Config) (*Table, error) {
+	data := dataset.RandomWalk(1<<uint(c.LogN), c.Seed)
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 14 — per-item synopsis update cost vs buffer size; N=2^%d, K=%d", c.LogN, c.K),
+		Columns: []string{"buffer B", "crest updates/item", "total ops/item", "method"},
+	}
+	base := stream.NewBaseline(c.K)
+	for _, v := range data {
+		base.Add(v)
+	}
+	base.Finish()
+	t.Add(1, base.Costs().PerItemCrest(), base.Costs().PerItemTotal(), "Gilbert et al. (no buffer)")
+	for _, bits := range c.BufBits {
+		buf := stream.NewBuffered(c.K, bits)
+		for _, v := range data {
+			buf.Add(v)
+		}
+		if err := buf.Finish(); err != nil {
+			return nil, err
+		}
+		t.Add(1<<uint(bits), buf.Costs().PerItemCrest(), buf.Costs().PerItemTotal(), "Shift-Split buffered")
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: baseline pays ~log2 N per item; buffered cost falls like log(N/B)/B (Result 3)")
+	return t, nil
+}
+
+// StreamMemoryConfig parametrizes the Result 4/5 memory comparison.
+type StreamMemoryConfig struct {
+	LogCross int // cross-section edge 2^logCross (standard form)
+	Dims     int // total dims including time
+	LogHyper int // hypercube edge for the non-standard form
+	Slices   int // time extent streamed
+	K        int
+	Seed     int64
+}
+
+// DefaultStreamMemory compares the two multidimensional forms.
+func DefaultStreamMemory() StreamMemoryConfig {
+	return StreamMemoryConfig{LogCross: 3, Dims: 3, LogHyper: 3, Slices: 64, K: 32, Seed: 6}
+}
+
+// StreamMemory contrasts Results 4 and 5: the crest memory needed to
+// maintain a K-term synopsis of a d-dimensional stream under the standard
+// form (O(N^(d-1) log T)) versus the non-standard form
+// (O((2^d-1) log(N/M) + log(T/N))).
+func StreamMemory(c StreamMemoryConfig) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Results 4 & 5 — stream synopsis crest memory; d=%d, N=%d, T=%d", c.Dims, 1<<uint(c.LogCross), c.Slices),
+		Columns: []string{"form", "crest coefficients", "bound"},
+	}
+	crossShape := make([]int, c.Dims-1)
+	for i := range crossShape {
+		crossShape[i] = 1 << uint(c.LogCross)
+	}
+	cube := dataset.Dense(append(append([]int(nil), crossShape...), c.Slices), c.Seed)
+
+	std := stream.NewStandard(crossShape, 1, c.K)
+	start := make([]int, c.Dims)
+	shape := append(append([]int(nil), crossShape...), 1)
+	for tm := 0; tm < c.Slices; tm++ {
+		start[c.Dims-1] = tm
+		slice := cube.SubCopy(start, shape)
+		flat := reshape(slice, crossShape)
+		if err := std.AddSlice(flat); err != nil {
+			return nil, err
+		}
+	}
+	crossSize := 1
+	for _, s := range crossShape {
+		crossSize *= s
+	}
+	t.Add("standard (R4)", std.CrestMemory(), fmt.Sprintf("O(N^(d-1) log T) ~ %d", crossSize*ilog2(c.Slices)))
+
+	// Non-standard: hypercubes of edge 2^LogHyper fed as z-ordered chunks.
+	n := c.LogHyper
+	m := 1
+	ns := stream.NewNonStandard(n, c.Dims, m, c.K)
+	edge := 1 << uint(n)
+	hypers := c.Slices / edge
+	chunkShape := make([]int, c.Dims)
+	for i := range chunkShape {
+		chunkShape[i] = 1 << uint(m)
+	}
+	side := 1 << uint(n-m)
+	chunksPerHyper := 1
+	for i := 0; i < c.Dims; i++ {
+		chunksPerHyper *= side
+	}
+	for h := 0; h < hypers; h++ {
+		hstart := make([]int, c.Dims)
+		hstart[c.Dims-1] = h * edge
+		hshape := make([]int, c.Dims)
+		for i := range hshape {
+			hshape[i] = edge
+		}
+		hyperCube := cube.SubCopy(hstart, hshape)
+		for i := 0; i < chunksPerHyper; i++ {
+			pos := ns.NextChunkPos()
+			cstart := make([]int, c.Dims)
+			for j := range cstart {
+				cstart[j] = pos[j] << uint(m)
+			}
+			if err := ns.AddChunk(hyperCube.SubCopy(cstart, chunkShape)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	bound := (1<<uint(c.Dims)-1)*(n-m) + ilog2(hypers)
+	t.Add("non-standard (R5)", ns.CrestMemory(), fmt.Sprintf("O((2^d-1)log(N/M)+log(T/N)) ~ %d", bound))
+	t.Notes = append(t.Notes,
+		"the standard form's crest grows with the cross-section size; the non-standard form's does not (paper §5.3)")
+	return t, nil
+}
+
+func ilog2(x int) int {
+	r := 0
+	for x > 1 {
+		x /= 2
+		r++
+	}
+	return r
+}

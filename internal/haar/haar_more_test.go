@@ -1,0 +1,169 @@
+package haar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickPrefixSumMatchesBrute(t *testing.T) {
+	f := func(seed int64, tRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 7
+		a := randVec(rng, n)
+		hat := Transform(a)
+		tt := int(tRaw) % (len(a) + 1)
+		got := 0.0
+		for _, c := range PrefixSumCoefs(n, tt) {
+			got += c.Weight * hat[c.Index]
+		}
+		want := 0.0
+		for i := 0; i < tt; i++ {
+			want += a[i]
+		}
+		return math.Abs(got-want) <= 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScalingAt(t *testing.T) {
+	f := func(seed int64, jRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 7
+		a := randVec(rng, n)
+		hat := Transform(a)
+		j := int(jRaw) % (n + 1)
+		k := int(kRaw) % (1 << uint(n-j))
+		want := 0.0
+		for i := k << uint(j); i < (k+1)<<uint(j); i++ {
+			want += a[i]
+		}
+		want /= float64(int(1) << uint(j))
+		return math.Abs(ScalingAt(hat, j, k)-want) <= 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupportsPartitionPerLevel(t *testing.T) {
+	// At every level, the supports of the details tile the domain exactly.
+	n := 6
+	for j := 1; j <= n; j++ {
+		covered := make([]bool, 1<<uint(n))
+		for k := 0; k < 1<<uint(n-j); k++ {
+			s := Support(n, Index(n, j, k))
+			for i := s.Start(); i <= s.End(); i++ {
+				if covered[i] {
+					t.Fatalf("level %d: position %d covered twice", j, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("level %d: position %d uncovered", j, i)
+			}
+		}
+	}
+}
+
+func TestTransformIsOrthogonalBasis(t *testing.T) {
+	// Inner products of distinct basis vectors (rows of the inverse applied
+	// to unit coefficient vectors) must vanish.
+	n := 4
+	size := 1 << uint(n)
+	basis := make([][]float64, size)
+	for i := 0; i < size; i++ {
+		e := make([]float64, size)
+		e[i] = 1
+		basis[i] = Inverse(e)
+	}
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			dot := 0.0
+			for x := 0; x < size; x++ {
+				dot += basis[i][x] * basis[j][x]
+			}
+			if math.Abs(dot) > 1e-10 {
+				t.Fatalf("basis %d and %d not orthogonal (dot %g)", i, j, dot)
+			}
+		}
+	}
+	// And the squared norm of basis i equals its support length.
+	for i := 0; i < size; i++ {
+		norm := 0.0
+		for _, v := range basis[i] {
+			norm += v * v
+		}
+		if want := float64(Support(n, i).Len()); math.Abs(norm-want) > 1e-10 {
+			t.Fatalf("basis %d norm^2 %g, want %g", i, norm, want)
+		}
+	}
+}
+
+func TestRangeSumCoefsDisjointRangesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	a := randVec(rng, 7)
+	hat := Transform(a)
+	l, mid, r := 10, 57, 99
+	left := RangeSum(hat, l, mid)
+	right := RangeSum(hat, mid+1, r)
+	whole := RangeSum(hat, l, r)
+	if math.Abs(left+right-whole) > 1e-7 {
+		t.Errorf("range sums not additive: %g + %g != %g", left, right, whole)
+	}
+}
+
+func TestTransformIntoMatchesTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for n := 0; n <= 10; n++ {
+		src := randVec(rng, n)
+		want := Transform(src)
+		dst := make([]float64, len(src))
+		scratch := make([]float64, len(src)/2+1)
+		TransformInto(dst, src, scratch)
+		for i := range want {
+			if math.Abs(dst[i]-want[i]) > 1e-12 {
+				t.Fatalf("n=%d differs at %d: %g vs %g", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverseIntoMatchesInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for n := 0; n <= 10; n++ {
+		src := randVec(rng, n)
+		hat := Transform(src)
+		dst := make([]float64, len(src))
+		scratch := make([]float64, len(src)/2+1)
+		InverseInto(dst, hat, scratch)
+		for i := range src {
+			if math.Abs(dst[i]-src[i]) > 1e-9 {
+				t.Fatalf("n=%d differs at %d: %g vs %g", n, i, dst[i], src[i])
+			}
+		}
+	}
+}
+
+func TestIntoVariantsPanicOnBadSizes(t *testing.T) {
+	for _, f := range []func(){
+		func() { TransformInto(make([]float64, 4), make([]float64, 8), make([]float64, 4)) },
+		func() { TransformInto(make([]float64, 8), make([]float64, 8), make([]float64, 2)) },
+		func() { InverseInto(make([]float64, 4), make([]float64, 8), make([]float64, 4)) },
+		func() { InverseInto(make([]float64, 8), make([]float64, 8), make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad sizes did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,143 @@
+// Package olap implements OLAP cube operators directly in the wavelet
+// domain for standard-form transforms, in the spirit of Chakrabarti et al.
+// [2], which the paper builds on: roll-up (marginalizing a dimension),
+// slice (fixing a dimension to one value), and dice (restricting a
+// dimension to a dyadic interval) all produce the exact transform of the
+// result cube without reconstructing any data.
+//
+// The key facts, all consequences of the tensor-product structure of the
+// standard decomposition:
+//
+//   - summing the data over dimension t kills every basis function that is
+//     a detail along t (details integrate to zero) and scales the rest by
+//     N_t, so roll-up is a slice at index 0 times N_t;
+//   - fixing dimension t to x combines, for each remaining coefficient, the
+//     log N_t + 1 coefficients on x's Lemma-1 path along t;
+//   - restricting dimension t to a dyadic interval is a one-dimensional
+//     inverse SHIFT-SPLIT along t.
+package olap
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/core"
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
+
+func checkDim(hat *ndarray.Array, dim int) {
+	if dim < 0 || dim >= hat.Dims() {
+		panic(fmt.Sprintf("olap: dimension %d out of range for %d-d transform", dim, hat.Dims()))
+	}
+	if hat.Dims() < 2 {
+		panic("olap: operators need at least 2 dimensions")
+	}
+}
+
+// dropDim returns shape without dimension dim.
+func dropDim(shape []int, dim int) []int {
+	out := make([]int, 0, len(shape)-1)
+	for i, s := range shape {
+		if i != dim {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// combine builds the transform of the reduced cube: for every coefficient
+// position of the output (all dims except dim), it linearly combines the
+// input coefficients whose index along dim is given by targets.
+func combine(hat *ndarray.Array, dim int, targets []core.Target) *ndarray.Array {
+	outShape := dropDim(hat.Shape(), dim)
+	out := ndarray.New(outShape...)
+	src := make([]int, hat.Dims())
+	out.Each(func(coords []int, _ float64) {
+		for i, c := range coords {
+			if i < dim {
+				src[i] = c
+			} else {
+				src[i+1] = c
+			}
+		}
+		sum := 0.0
+		for _, t := range targets {
+			src[dim] = t.Index
+			sum += t.Weight * hat.At(src...)
+		}
+		out.Set(sum, coords...)
+	})
+	return out
+}
+
+// Marginalize returns the standard transform of the cube obtained by
+// summing the data over dimension dim (OLAP roll-up). Cost: one pass over
+// the N^(d-1) surviving coefficients; no reconstruction.
+func Marginalize(hat *ndarray.Array, dim int) *ndarray.Array {
+	checkDim(hat, dim)
+	n := float64(hat.Extent(dim))
+	return combine(hat, dim, []core.Target{{Index: 0, Weight: n}})
+}
+
+// Average returns the transform of the data averaged over dimension dim.
+func Average(hat *ndarray.Array, dim int) *ndarray.Array {
+	checkDim(hat, dim)
+	return combine(hat, dim, []core.Target{{Index: 0, Weight: 1}})
+}
+
+// Slice returns the standard transform of the (d-1)-dimensional cube
+// a[..., x, ...] with dimension dim fixed to x. Each output coefficient
+// combines the log N + 1 input coefficients on x's path along dim.
+func Slice(hat *ndarray.Array, dim, x int) *ndarray.Array {
+	checkDim(hat, dim)
+	nd := bitutil.Log2(hat.Extent(dim))
+	if x < 0 || x >= hat.Extent(dim) {
+		panic(fmt.Sprintf("olap: slice index %d out of [0,%d)", x, hat.Extent(dim)))
+	}
+	path := haar.PointPath(nd, x)
+	targets := make([]core.Target, len(path))
+	for i, p := range path {
+		targets[i] = core.Target{Index: p.Index, Weight: p.Weight}
+	}
+	return combine(hat, dim, targets)
+}
+
+// Dice returns the standard transform of the cube restricted to the dyadic
+// interval iv along dimension dim (the other dimensions keep their full
+// extent). This is a one-dimensional inverse SHIFT-SPLIT along dim.
+func Dice(hat *ndarray.Array, dim int, iv dyadic.Interval) *ndarray.Array {
+	checkDim(hat, dim)
+	shape := hat.Shape()
+	block := make(dyadic.Range, len(shape))
+	for t, s := range shape {
+		if t == dim {
+			block[t] = iv
+		} else {
+			block[t] = dyadic.NewInterval(bitutil.Log2(s), 0)
+		}
+	}
+	return core.ExtractStandard(hat, block)
+}
+
+// PivotSum returns the 1-d transform of the totals along dimension keep:
+// all other dimensions are rolled up. This is the "grand totals per X"
+// query of OLAP dashboards, computed with d-1 marginalizations.
+func PivotSum(hat *ndarray.Array, keep int) *ndarray.Array {
+	checkDim(hat, keep)
+	cur := hat
+	dim := 0
+	for cur.Dims() > 1 {
+		if dim == keep {
+			dim++
+			continue
+		}
+		cur = Marginalize(cur, dim)
+		if dim < keep {
+			keep--
+		}
+		dim = 0
+	}
+	return cur
+}

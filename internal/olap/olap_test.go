@@ -1,0 +1,203 @@
+package olap
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+func randArray(rng *rand.Rand, shape ...int) *ndarray.Array {
+	a := ndarray.New(shape...)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64() * 10
+	}
+	return a
+}
+
+// marginalizeBrute sums the data over dim in the original domain.
+func marginalizeBrute(a *ndarray.Array, dim int) *ndarray.Array {
+	out := ndarray.New(dropDim(a.Shape(), dim)...)
+	a.Each(func(coords []int, v float64) {
+		reduced := make([]int, 0, len(coords)-1)
+		for i, c := range coords {
+			if i != dim {
+				reduced = append(reduced, c)
+			}
+		}
+		out.Add(v, reduced...)
+	})
+	return out
+}
+
+func TestMarginalizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randArray(rng, 8, 16, 4)
+	hat := wavelet.TransformStandard(a)
+	for dim := 0; dim < 3; dim++ {
+		got := wavelet.InverseStandard(Marginalize(hat, dim))
+		want := marginalizeBrute(a, dim)
+		if !got.EqualApprox(want, 1e-7) {
+			t.Errorf("dim %d: max diff %g", dim, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMarginalizeIsExactTransform(t *testing.T) {
+	// The output must be the transform of the rolled-up cube, coefficient
+	// by coefficient — not merely invert correctly.
+	rng := rand.New(rand.NewSource(2))
+	a := randArray(rng, 8, 8)
+	hat := wavelet.TransformStandard(a)
+	got := Marginalize(hat, 1)
+	want := wavelet.TransformStandard(marginalizeBrute(a, 1))
+	if !got.EqualApprox(want, 1e-8) {
+		t.Errorf("max diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randArray(rng, 8, 4)
+	hat := wavelet.TransformStandard(a)
+	got := wavelet.InverseStandard(Average(hat, 1))
+	want := marginalizeBrute(a, 1)
+	for i := range want.Data() {
+		want.Data()[i] /= 4
+	}
+	if !got.EqualApprox(want, 1e-8) {
+		t.Errorf("max diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestSliceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randArray(rng, 8, 16, 4)
+	hat := wavelet.TransformStandard(a)
+	for dim := 0; dim < 3; dim++ {
+		for _, x := range []int{0, a.Extent(dim) / 2, a.Extent(dim) - 1} {
+			got := wavelet.InverseStandard(Slice(hat, dim, x))
+			want := ndarray.New(dropDim(a.Shape(), dim)...)
+			a.Each(func(coords []int, v float64) {
+				if coords[dim] != x {
+					return
+				}
+				reduced := make([]int, 0, 2)
+				for i, c := range coords {
+					if i != dim {
+						reduced = append(reduced, c)
+					}
+				}
+				want.Set(v, reduced...)
+			})
+			if !got.EqualApprox(want, 1e-7) {
+				t.Errorf("dim %d x %d: max diff %g", dim, x, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestDiceMatchesSubCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randArray(rng, 16, 8)
+	hat := wavelet.TransformStandard(a)
+	iv := dyadic.NewInterval(2, 2) // [8, 12)
+	got := Dice(hat, 0, iv)
+	want := wavelet.TransformStandard(a.SubCopy([]int{8, 0}, []int{4, 8}))
+	if !got.EqualApprox(want, 1e-7) {
+		t.Errorf("max diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestPivotSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randArray(rng, 4, 8, 4)
+	hat := wavelet.TransformStandard(a)
+	for keep := 0; keep < 3; keep++ {
+		got := wavelet.InverseStandard(PivotSum(hat, keep))
+		want := ndarray.New(a.Extent(keep))
+		a.Each(func(coords []int, v float64) {
+			want.Add(v, coords[keep])
+		})
+		if !got.EqualApprox(want, 1e-7) {
+			t.Errorf("keep %d: max diff %g", keep, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestRollUpChain(t *testing.T) {
+	// Marginalizing twice must match the 2-step brute force.
+	rng := rand.New(rand.NewSource(7))
+	a := randArray(rng, 4, 4, 8)
+	hat := wavelet.TransformStandard(a)
+	got := wavelet.InverseStandard(Marginalize(Marginalize(hat, 0), 0))
+	want := marginalizeBrute(marginalizeBrute(a, 0), 0)
+	if !got.EqualApprox(want, 1e-7) {
+		t.Errorf("max diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestOperatorsPanicOn1D(t *testing.T) {
+	hat := ndarray.New(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("1-d marginalize did not panic")
+		}
+	}()
+	Marginalize(hat, 0)
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	hat := ndarray.New(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range slice did not panic")
+		}
+	}()
+	Slice(hat, 0, 8)
+}
+
+func TestDiceAlongSecondDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randArray(rng, 8, 16)
+	hat := wavelet.TransformStandard(a)
+	iv := dyadic.NewInterval(3, 1) // [8,16) along dim 1
+	got := Dice(hat, 1, iv)
+	want := wavelet.TransformStandard(a.SubCopy([]int{0, 8}, []int{8, 8}))
+	if !got.EqualApprox(want, 1e-7) {
+		t.Errorf("dice along dim 1 differs by %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestPivotSum4D(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randArray(rng, 2, 4, 2, 4)
+	hat := wavelet.TransformStandard(a)
+	for keep := 0; keep < 4; keep++ {
+		got := wavelet.InverseStandard(PivotSum(hat, keep))
+		want := ndarray.New(a.Extent(keep))
+		a.Each(func(coords []int, v float64) {
+			want.Add(v, coords[keep])
+		})
+		if !got.EqualApprox(want, 1e-7) {
+			t.Errorf("keep=%d: 4-d pivot differs by %g", keep, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMarginalizeThenSliceCommute(t *testing.T) {
+	// Slicing dim A then marginalizing dim B must equal doing it the other
+	// way around (on a 3-d cube with A != B).
+	rng := rand.New(rand.NewSource(10))
+	a := randArray(rng, 4, 8, 4)
+	hat := wavelet.TransformStandard(a)
+	// Slice dim 2 at x=1, then marginalize dim 0 (of the reduced cube).
+	p1 := Marginalize(Slice(hat, 2, 1), 0)
+	// Marginalize dim 0, then slice dim 1 (old dim 2) at x=1.
+	p2 := Slice(Marginalize(hat, 0), 1, 1)
+	if !p1.EqualApprox(p2, 1e-8) {
+		t.Errorf("operators do not commute: max diff %g", p1.MaxAbsDiff(p2))
+	}
+}

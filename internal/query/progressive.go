@@ -1,0 +1,77 @@
+package query
+
+import (
+	"sort"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+// ProgressiveStep is one refinement of a progressive range-sum answer.
+type ProgressiveStep struct {
+	Estimate     float64
+	Coefficients int // coefficients incorporated so far
+	Blocks       int // distinct blocks read so far
+}
+
+// ProgressiveRangeSum answers a box aggregate from a standard-form tiled
+// store progressively: the Lemma-2 coefficient set is consumed coarse to
+// fine (largest support first), and each step reports the running estimate
+// with its cumulative I/O. The final step is the exact answer. This is the
+// progressive query answering mode the paper's introduction cites as a
+// driving application of wavelet-transformed storage.
+func ProgressiveRangeSum(st *tile.Store, arrShape, start, shape []int) ([]ProgressiveStep, error) {
+	coefs := wavelet.RangeSumCoefsStandard(arrShape, start, shape)
+	// Coarse-to-fine: sort by support volume descending, then by absolute
+	// weight descending so the big contributors land early.
+	vol := func(c wavelet.Coef) int {
+		v := 1
+		for t, idx := range c.Coords {
+			n := bitutil.Log2(arrShape[t])
+			v *= haar.Support(n, idx).Len()
+		}
+		return v
+	}
+	sort.SliceStable(coefs, func(i, j int) bool {
+		vi, vj := vol(coefs[i]), vol(coefs[j])
+		if vi != vj {
+			return vi > vj
+		}
+		wi, wj := coefs[i].Weight, coefs[j].Weight
+		if wi < 0 {
+			wi = -wi
+		}
+		if wj < 0 {
+			wj = -wj
+		}
+		return wi > wj
+	})
+	reader := tile.NewReader(st)
+	steps := make([]ProgressiveStep, 0, len(coefs))
+	sum := 0.0
+	for i, c := range coefs {
+		v, err := reader.Get(c.Coords)
+		if err != nil {
+			return steps, err
+		}
+		sum += c.Weight * v
+		steps = append(steps, ProgressiveStep{
+			Estimate:     sum,
+			Coefficients: i + 1,
+			Blocks:       reader.BlocksRead(),
+		})
+	}
+	return steps, nil
+}
+
+// ApproximateRangeSum evaluates a box aggregate against a best-K compressed
+// transform held in memory (no storage at all): the approximate query
+// processing mode of the paper's introduction. It returns the approximate
+// sum, computed from only the retained coefficients whose support overlaps
+// the box.
+func ApproximateRangeSum(hat *ndarray.Array, start, shape []int) float64 {
+	return wavelet.RangeSumStandard(hat, start, shape)
+}

@@ -1,0 +1,392 @@
+// Package reconstruct implements partial reconstruction from wavelet
+// transforms (paper §5.4, Result 6): extracting a region of the original
+// data directly from tiled, disk-resident coefficients using the inverses
+// of SHIFT (index translation) and SPLIT (root-path scaling descent),
+// without decomposing the entire dataset.
+//
+// Two naive baselines are included for the comparison the paper motivates:
+// full inverse transformation followed by slicing, and cell-by-cell point
+// reconstruction.
+package reconstruct
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/core"
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+// shapeOf recovers the transform shape from a store's tiling.
+func shapeOf(st *tile.Store) ([]int, error) {
+	switch tl := st.Tiling().(type) {
+	case *tile.Standard:
+		shape := make([]int, tl.Dims())
+		for t := range shape {
+			shape[t] = 1 << uint(tl.Dim(t).Levels())
+		}
+		return shape, nil
+	case *tile.Sequential:
+		return tl.Shape(), nil
+	default:
+		return nil, fmt.Errorf("reconstruct: unsupported tiling %T", st.Tiling())
+	}
+}
+
+// DyadicStandard extracts the original contents of a dyadic block from a
+// standard-form tiled transform via inverse SHIFT-SPLIT. It returns the
+// block values and the number of distinct blocks read.
+func DyadicStandard(st *tile.Store, block dyadic.Range) (*ndarray.Array, int, error) {
+	shape, err := shapeOf(st)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := len(shape)
+	if block.Dims() != d {
+		return nil, 0, fmt.Errorf("reconstruct: block %v for %d-d transform", block, d)
+	}
+	reader := tile.NewReader(st)
+	// Per-dimension source lists: the inverse SHIFT for details, the
+	// inverse SPLIT (root path) for the per-dimension scaling component.
+	perDim := make([][][]core.Target, d)
+	for t := 0; t < d; t++ {
+		n := bitutil.Log2(shape[t])
+		m := block[t].Level
+		k := block[t].Pos
+		size := 1 << uint(m)
+		lists := make([][]core.Target, size)
+		lists[0] = core.ScalingPath1D(n, m, k)
+		for idx := 1; idx < size; idx++ {
+			lists[idx] = []core.Target{{Index: core.ShiftIndex(n, m, k, idx), Weight: 1}}
+		}
+		perDim[t] = lists
+	}
+	bHat := ndarray.New(block.Shape()...)
+	coords := make([]int, d)
+	choice := make([]int, d)
+	var rerr error
+	bHat.Each(func(dst []int, _ float64) {
+		if rerr != nil {
+			return
+		}
+		lists := make([][]core.Target, d)
+		for t := 0; t < d; t++ {
+			lists[t] = perDim[t][dst[t]]
+		}
+		for t := range choice {
+			choice[t] = 0
+		}
+		sum := 0.0
+		for {
+			w := 1.0
+			for t := 0; t < d; t++ {
+				tt := lists[t][choice[t]]
+				coords[t] = tt.Index
+				w *= tt.Weight
+			}
+			v, err := reader.Get(coords)
+			if err != nil {
+				rerr = err
+				return
+			}
+			sum += w * v
+			t := d - 1
+			for ; t >= 0; t-- {
+				choice[t]++
+				if choice[t] < len(lists[t]) {
+					break
+				}
+				choice[t] = 0
+			}
+			if t < 0 {
+				break
+			}
+		}
+		bHat.Set(sum, dst...)
+	})
+	if rerr != nil {
+		return nil, reader.BlocksRead(), rerr
+	}
+	return wavelet.InverseStandard(bHat), reader.BlocksRead(), nil
+}
+
+// DyadicNonStandard extracts the original contents of the cubic block at
+// level m, position pos, from a non-standard tiled transform.
+func DyadicNonStandard(st *tile.Store, m int, pos []int) (*ndarray.Array, int, error) {
+	tl, ok := st.Tiling().(*tile.NonStandard)
+	if !ok {
+		return nil, 0, fmt.Errorf("reconstruct: store is not non-standard tiled (%T)", st.Tiling())
+	}
+	// The top tile's root node sits at level n, the domain level.
+	n, rootPos := tl.RootOf(0)
+	d := len(rootPos)
+	if len(pos) != d {
+		return nil, 0, fmt.Errorf("reconstruct: pos %v for %d-d transform", pos, d)
+	}
+	reader := tile.NewReader(st)
+	edge := 1 << uint(m)
+	shape := make([]int, d)
+	for t := range shape {
+		shape[t] = edge
+	}
+	bHat := ndarray.New(shape...)
+	coords := make([]int, d)
+	var rerr error
+	// Inverse SHIFT: copy the details of the block subtree.
+	bHat.Each(func(dst []int, _ float64) {
+		if rerr != nil {
+			return
+		}
+		origin := true
+		for _, c := range dst {
+			if c != 0 {
+				origin = false
+				break
+			}
+		}
+		if origin {
+			return
+		}
+		j, subband, p := wavelet.NonStdLevel(m, dst)
+		base := 1 << uint(n-j)
+		for t := 0; t < d; t++ {
+			coords[t] = pos[t]<<uint(m-j) + p[t]
+			if subband[t] {
+				coords[t] += base
+			}
+		}
+		v, err := reader.Get(coords)
+		if err != nil {
+			rerr = err
+			return
+		}
+		bHat.Set(v, dst...)
+	})
+	if rerr != nil {
+		return nil, reader.BlocksRead(), rerr
+	}
+	// Inverse SPLIT: descend the quadtree from the root to the block's
+	// scaling coefficient.
+	origin := make([]int, d)
+	u, err := reader.Get(origin)
+	if err != nil {
+		return nil, reader.BlocksRead(), err
+	}
+	for j := n; j > m; j-- {
+		base := 1 << uint(n-j)
+		for mask := 1; mask < 1<<uint(d); mask++ {
+			w := 1.0
+			for t := 0; t < d; t++ {
+				coords[t] = pos[t] >> uint(j-m)
+				if mask>>uint(t)&1 == 1 {
+					coords[t] += base
+					if pos[t]>>uint(j-m-1)&1 == 1 {
+						w = -w
+					}
+				}
+			}
+			v, err := reader.Get(coords)
+			if err != nil {
+				return nil, reader.BlocksRead(), err
+			}
+			u += w * v
+		}
+	}
+	bHat.Set(u, origin...)
+	return wavelet.InverseNonStandard(bHat), reader.BlocksRead(), nil
+}
+
+// Box extracts an arbitrary half-open box [start, start+shape) from a
+// standard-form tiled transform by decomposing it into dyadic blocks per
+// dimension (an arbitrary selection range is a collection of dyadic ranges,
+// §5.4) and extracting each.
+func Box(st *tile.Store, start, shape []int) (*ndarray.Array, int, error) {
+	arrShape, err := shapeOf(st)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := len(arrShape)
+	perDim := make([][]dyadic.Interval, d)
+	for t := 0; t < d; t++ {
+		if start[t] < 0 || shape[t] <= 0 || start[t]+shape[t] > arrShape[t] {
+			return nil, 0, fmt.Errorf("reconstruct: box %v+%v out of bounds %v", start, shape, arrShape)
+		}
+		perDim[t] = dyadic.Decompose(start[t], start[t]+shape[t])
+	}
+	out := ndarray.New(shape...)
+	totalIO := 0
+	idx := make([]int, d)
+	for {
+		block := make(dyadic.Range, d)
+		dstStart := make([]int, d)
+		for t := 0; t < d; t++ {
+			block[t] = perDim[t][idx[t]]
+			dstStart[t] = block[t].Start() - start[t]
+		}
+		vals, io, err := DyadicStandard(st, block)
+		if err != nil {
+			return nil, totalIO, err
+		}
+		totalIO += io
+		out.SubPaste(vals, dstStart)
+		t := d - 1
+		for ; t >= 0; t-- {
+			idx[t]++
+			if idx[t] < len(perDim[t]) {
+				break
+			}
+			idx[t] = 0
+		}
+		if t < 0 {
+			return out, totalIO, nil
+		}
+	}
+}
+
+// NaiveFull reconstructs the entire dataset from a standard-form tiled
+// transform and slices out the requested box — the "decompose everything"
+// horn of §5.4's dilemma. It reads every block.
+func NaiveFull(st *tile.Store, start, shape []int) (*ndarray.Array, int, error) {
+	arrShape, err := shapeOf(st)
+	if err != nil {
+		return nil, 0, err
+	}
+	reader := tile.NewReader(st)
+	hat := ndarray.New(arrShape...)
+	var rerr error
+	hat.Each(func(coords []int, _ float64) {
+		if rerr != nil {
+			return
+		}
+		v, err := reader.Get(coords)
+		if err != nil {
+			rerr = err
+			return
+		}
+		hat.Set(v, coords...)
+	})
+	if rerr != nil {
+		return nil, reader.BlocksRead(), rerr
+	}
+	full := wavelet.InverseStandard(hat)
+	return full.SubCopy(start, shape), reader.BlocksRead(), nil
+}
+
+// NaivePointwise reconstructs the box cell by cell using per-point root
+// paths — the other horn of the dilemma, preferable only for tiny regions.
+func NaivePointwise(st *tile.Store, start, shape []int) (*ndarray.Array, int, error) {
+	arrShape, err := shapeOf(st)
+	if err != nil {
+		return nil, 0, err
+	}
+	reader := tile.NewReader(st)
+	out := ndarray.New(shape...)
+	point := make([]int, len(arrShape))
+	var rerr error
+	out.Each(func(coords []int, _ float64) {
+		if rerr != nil {
+			return
+		}
+		for t := range point {
+			point[t] = start[t] + coords[t]
+		}
+		sum := 0.0
+		for _, c := range wavelet.PointPathStandard(arrShape, point) {
+			v, err := reader.Get(c.Coords)
+			if err != nil {
+				rerr = err
+				return
+			}
+			sum += c.Weight * v
+		}
+		out.Set(sum, coords...)
+	})
+	if rerr != nil {
+		return nil, reader.BlocksRead(), rerr
+	}
+	return out, reader.BlocksRead(), nil
+}
+
+// BoxNonStandard extracts an arbitrary half-open box from a non-standard
+// tiled transform. Arbitrary multidimensional ranges "can always be seen as
+// a collection of cubic intervals" (paper §4.1): the box is decomposed into
+// dyadic runs per dimension, every cross piece is split into cubes of its
+// smallest edge, and each cube is extracted with the inverse SHIFT-SPLIT.
+func BoxNonStandard(st *tile.Store, start, shape []int) (*ndarray.Array, int, error) {
+	tl, ok := st.Tiling().(*tile.NonStandard)
+	if !ok {
+		return nil, 0, fmt.Errorf("reconstruct: store is not non-standard tiled (%T)", st.Tiling())
+	}
+	n, rootPos := tl.RootOf(0)
+	d := len(rootPos)
+	if len(start) != d || len(shape) != d {
+		return nil, 0, fmt.Errorf("reconstruct: box %v+%v for %d dims", start, shape, d)
+	}
+	edge := 1 << uint(n)
+	perDim := make([][]dyadic.Interval, d)
+	for t := 0; t < d; t++ {
+		if start[t] < 0 || shape[t] <= 0 || start[t]+shape[t] > edge {
+			return nil, 0, fmt.Errorf("reconstruct: box %v+%v out of bounds", start, shape)
+		}
+		perDim[t] = dyadic.Decompose(start[t], start[t]+shape[t])
+	}
+	out := ndarray.New(shape...)
+	totalIO := 0
+	idx := make([]int, d)
+	for {
+		piece := make([]dyadic.Interval, d)
+		minLevel := n
+		for t := 0; t < d; t++ {
+			piece[t] = perDim[t][idx[t]]
+			if piece[t].Level < minLevel {
+				minLevel = piece[t].Level
+			}
+		}
+		// Split the (possibly non-cubic) piece into cubes of edge
+		// 2^minLevel and extract each.
+		counts := make([]int, d)
+		for t := 0; t < d; t++ {
+			counts[t] = 1 << uint(piece[t].Level-minLevel)
+		}
+		cube := make([]int, d)
+		for {
+			pos := make([]int, d)
+			dst := make([]int, d)
+			for t := 0; t < d; t++ {
+				pos[t] = piece[t].Pos<<uint(piece[t].Level-minLevel) + cube[t]
+				dst[t] = pos[t]<<uint(minLevel) - start[t]
+			}
+			vals, io, err := DyadicNonStandard(st, minLevel, pos)
+			if err != nil {
+				return nil, totalIO, err
+			}
+			totalIO += io
+			out.SubPaste(vals, dst)
+			t := d - 1
+			for ; t >= 0; t-- {
+				cube[t]++
+				if cube[t] < counts[t] {
+					break
+				}
+				cube[t] = 0
+			}
+			if t < 0 {
+				break
+			}
+		}
+		t := d - 1
+		for ; t >= 0; t-- {
+			idx[t]++
+			if idx[t] < len(perDim[t]) {
+				break
+			}
+			idx[t] = 0
+		}
+		if t < 0 {
+			return out, totalIO, nil
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package reconstruct
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+// fixtureStandard materializes the standard transform of a dataset onto a
+// counted tiled store.
+func fixtureStandard(t *testing.T, src *ndarray.Array, b int) (*tile.Store, *storage.Counting) {
+	t.Helper()
+	shape := src.Shape()
+	ns := make([]int, len(shape))
+	for i, s := range shape {
+		n := 0
+		for 1<<uint(n) < s {
+			n++
+		}
+		ns[i] = n
+	}
+	tiling := tile.NewStandard(ns, b)
+	counting := storage.NewCounting(storage.NewMemStore(tiling.BlockSize()))
+	st, err := tile.NewStore(counting, tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tile.MaterializeStandard(st, wavelet.TransformStandard(src)); err != nil {
+		t.Fatal(err)
+	}
+	counting.Reset()
+	return st, counting
+}
+
+func fixtureNonStandard(t *testing.T, src *ndarray.Array, n, d, b int) (*tile.Store, *storage.Counting) {
+	t.Helper()
+	tiling := tile.NewNonStandard(n, d, b)
+	counting := storage.NewCounting(storage.NewMemStore(tiling.BlockSize()))
+	st, err := tile.NewStore(counting, tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tile.MaterializeNonStandard(st, wavelet.TransformNonStandard(src)); err != nil {
+		t.Fatal(err)
+	}
+	counting.Reset()
+	return st, counting
+}
+
+func TestDyadicStandardExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := dataset.Dense([]int{16, 16}, 1)
+	st, _ := fixtureStandard(t, src, 2)
+	for trial := 0; trial < 20; trial++ {
+		levels := []int{rng.Intn(5), rng.Intn(5)}
+		pos := []int{rng.Intn(16 >> uint(levels[0])), rng.Intn(16 >> uint(levels[1]))}
+		block := dyadic.Range{dyadic.NewInterval(levels[0], pos[0]), dyadic.NewInterval(levels[1], pos[1])}
+		got, io, err := DyadicStandard(st, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := src.SubCopy(block.Start(), block.Shape())
+		if !got.EqualApprox(want, 1e-8) {
+			t.Fatalf("block %v differs by %g", block, got.MaxAbsDiff(want))
+		}
+		if io <= 0 {
+			t.Fatalf("block %v reported %d I/Os", block, io)
+		}
+	}
+}
+
+func TestDyadicNonStandardExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := dataset.Dense([]int{16, 16}, 2)
+	st, _ := fixtureNonStandard(t, src, 4, 2, 2)
+	for m := 0; m <= 4; m++ {
+		side := 1 << uint(4-m)
+		pos := []int{rng.Intn(side), rng.Intn(side)}
+		got, io, err := DyadicNonStandard(st, m, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edge := 1 << uint(m)
+		want := src.SubCopy([]int{pos[0] * edge, pos[1] * edge}, []int{edge, edge})
+		if !got.EqualApprox(want, 1e-8) {
+			t.Fatalf("m=%d pos=%v differs by %g", m, pos, got.MaxAbsDiff(want))
+		}
+		if io <= 0 {
+			t.Fatal("no I/O reported")
+		}
+	}
+}
+
+func TestBoxExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := dataset.Dense([]int{32, 16}, 3)
+	st, _ := fixtureStandard(t, src, 2)
+	for trial := 0; trial < 15; trial++ {
+		start := []int{rng.Intn(32), rng.Intn(16)}
+		shape := []int{1 + rng.Intn(32-start[0]), 1 + rng.Intn(16-start[1])}
+		got, _, err := Box(st, start, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := src.SubCopy(start, shape)
+		if !got.EqualApprox(want, 1e-8) {
+			t.Fatalf("box %v+%v differs by %g", start, shape, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestBoxRejectsOutOfBounds(t *testing.T) {
+	src := dataset.Dense([]int{8, 8}, 4)
+	st, _ := fixtureStandard(t, src, 2)
+	if _, _, err := Box(st, []int{4, 4}, []int{8, 2}); err == nil {
+		t.Error("out-of-bounds box accepted")
+	}
+}
+
+func TestNaiveFullAndPointwiseAgree(t *testing.T) {
+	src := dataset.Dense([]int{16, 16}, 5)
+	st, _ := fixtureStandard(t, src, 2)
+	start, shape := []int{3, 5}, []int{6, 4}
+	full, fullIO, err := NaiveFull(st, start, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, pwIO, err := NaivePointwise(st, start, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := src.SubCopy(start, shape)
+	if !full.EqualApprox(want, 1e-8) || !pw.EqualApprox(want, 1e-8) {
+		t.Fatal("baselines disagree with truth")
+	}
+	if fullIO != st.Tiling().NumBlocks() {
+		t.Errorf("NaiveFull read %d blocks, want all %d", fullIO, st.Tiling().NumBlocks())
+	}
+	if pwIO <= 0 {
+		t.Error("pointwise reported no I/O")
+	}
+}
+
+func TestShiftSplitBeatsNaiveFullForSmallRegions(t *testing.T) {
+	// Result 6's point: extracting a small dyadic region must cost far less
+	// than full reconstruction.
+	src := dataset.Dense([]int{64, 64}, 6)
+	st, _ := fixtureStandard(t, src, 2)
+	block := dyadic.Range{dyadic.NewInterval(2, 3), dyadic.NewInterval(2, 7)}
+	_, ssIO, err := DyadicStandard(st, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fullIO, err := NaiveFull(st, block.Start(), block.Shape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssIO*4 > fullIO {
+		t.Errorf("shift-split I/O %d not clearly below full reconstruction %d", ssIO, fullIO)
+	}
+}
+
+func TestDyadicBeatsPointwiseForMediumRegions(t *testing.T) {
+	src := dataset.Dense([]int{64, 64}, 7)
+	st, _ := fixtureStandard(t, src, 1)
+	block := dyadic.Range{dyadic.NewInterval(4, 1), dyadic.NewInterval(4, 2)}
+	_, ssIO, err := DyadicStandard(st, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pwIO, err := NaivePointwise(st, block.Start(), block.Shape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pointwise re-walks full root paths per cell; the dyadic extraction
+	// shares them. With caching readers the counts converge, but dyadic
+	// must never lose.
+	if ssIO > pwIO {
+		t.Errorf("dyadic extraction I/O %d exceeds pointwise %d", ssIO, pwIO)
+	}
+}
+
+func TestDyadicStandardWholeDomain(t *testing.T) {
+	src := dataset.Dense([]int{8, 8}, 8)
+	st, _ := fixtureStandard(t, src, 2)
+	block := dyadic.Range{dyadic.NewInterval(3, 0), dyadic.NewInterval(3, 0)}
+	got, _, err := DyadicStandard(st, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(src, 1e-8) {
+		t.Error("whole-domain extraction differs")
+	}
+}
+
+func TestBoxNonStandardExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	src := dataset.Dense([]int{32, 32}, 9)
+	st, _ := fixtureNonStandard(t, src, 5, 2, 2)
+	for trial := 0; trial < 25; trial++ {
+		start := []int{rng.Intn(32), rng.Intn(32)}
+		shape := []int{1 + rng.Intn(32-start[0]), 1 + rng.Intn(32-start[1])}
+		got, io, err := BoxNonStandard(st, start, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := src.SubCopy(start, shape)
+		if !got.EqualApprox(want, 1e-7) {
+			t.Fatalf("box %v+%v differs by %g", start, shape, got.MaxAbsDiff(want))
+		}
+		if io <= 0 {
+			t.Fatal("no I/O reported")
+		}
+	}
+}
+
+func TestBoxNonStandard3D(t *testing.T) {
+	src := dataset.Dense([]int{8, 8, 8}, 10)
+	st, _ := fixtureNonStandard(t, src, 3, 3, 1)
+	got, _, err := BoxNonStandard(st, []int{1, 2, 3}, []int{5, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := src.SubCopy([]int{1, 2, 3}, []int{5, 4, 3})
+	if !got.EqualApprox(want, 1e-7) {
+		t.Errorf("3-d box differs by %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestBoxNonStandardRejectsBadInput(t *testing.T) {
+	src := dataset.Dense([]int{8, 8}, 11)
+	st, _ := fixtureNonStandard(t, src, 3, 2, 2)
+	if _, _, err := BoxNonStandard(st, []int{4, 4}, []int{8, 2}); err == nil {
+		t.Error("out-of-bounds box accepted")
+	}
+	if _, _, err := BoxNonStandard(st, []int{0}, []int{4}); err == nil {
+		t.Error("wrong dims accepted")
+	}
+	stdStore, _ := fixtureStandard(t, src, 2)
+	if _, _, err := BoxNonStandard(stdStore, []int{0, 0}, []int{4, 4}); err == nil {
+		t.Error("standard tiling accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferPool is an LRU write-back cache of blocks in front of a BlockStore.
+// It models the paper's limited main memory: a pool of capacity C holds C
+// blocks; accessing a cached block costs no I/O on the underlying store,
+// while a miss reads (and, for dirty evictions, writes) through.
+type BufferPool struct {
+	inner    BlockStore
+	capacity int
+	lru      *list.List // front = most recently used; values are *frame
+	frames   map[int]*list.Element
+	hits     int64
+	misses   int64
+	closed   bool
+}
+
+type frame struct {
+	id    int
+	data  []float64
+	dirty bool
+}
+
+// NewBufferPool wraps inner with an LRU cache of the given block capacity.
+func NewBufferPool(inner BlockStore, capacity int) *BufferPool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("storage: buffer pool capacity %d", capacity))
+	}
+	return &BufferPool{
+		inner:    inner,
+		capacity: capacity,
+		lru:      list.New(),
+		frames:   make(map[int]*list.Element),
+	}
+}
+
+// BlockSize returns the wrapped store's block size.
+func (p *BufferPool) BlockSize() int { return p.inner.BlockSize() }
+
+func (p *BufferPool) get(id int, loadFromInner bool) (*frame, error) {
+	if el, ok := p.frames[id]; ok {
+		p.hits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*frame), nil
+	}
+	p.misses++
+	if err := p.evictIfFull(); err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, data: make([]float64, p.inner.BlockSize())}
+	if loadFromInner {
+		if err := p.inner.ReadBlock(id, fr.data); err != nil {
+			return nil, err
+		}
+	}
+	p.frames[id] = p.lru.PushFront(fr)
+	return fr, nil
+}
+
+func (p *BufferPool) evictIfFull() error {
+	for p.lru.Len() >= p.capacity {
+		el := p.lru.Back()
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := p.inner.WriteBlock(fr.id, fr.data); err != nil {
+				return err
+			}
+		}
+		p.lru.Remove(el)
+		delete(p.frames, fr.id)
+	}
+	return nil
+}
+
+// ReadBlock implements BlockStore through the cache.
+func (p *BufferPool) ReadBlock(id int, buf []float64) error {
+	if p.closed {
+		return ErrClosed
+	}
+	if err := checkBlockArgs(p, id, buf); err != nil {
+		return err
+	}
+	fr, err := p.get(id, true)
+	if err != nil {
+		return err
+	}
+	copy(buf, fr.data)
+	return nil
+}
+
+// WriteBlock implements BlockStore through the cache (write-back: the
+// underlying store sees the block only on eviction or Flush).
+func (p *BufferPool) WriteBlock(id int, data []float64) error {
+	if p.closed {
+		return ErrClosed
+	}
+	if err := checkBlockArgs(p, id, data); err != nil {
+		return err
+	}
+	// A full-block overwrite does not need the old contents.
+	fr, err := p.get(id, false)
+	if err != nil {
+		return err
+	}
+	copy(fr.data, data)
+	fr.dirty = true
+	return nil
+}
+
+// Flush writes all dirty blocks through without evicting them.
+func (p *BufferPool) Flush() error {
+	if p.closed {
+		return ErrClosed
+	}
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := p.inner.WriteBlock(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// HitRate returns hits, misses, and the hit fraction (0 when unused).
+func (p *BufferPool) HitRate() (hits, misses int64, rate float64) {
+	total := p.hits + p.misses
+	if total == 0 {
+		return p.hits, p.misses, 0
+	}
+	return p.hits, p.misses, float64(p.hits) / float64(total)
+}
+
+// Len returns the number of cached blocks.
+func (p *BufferPool) Len() int { return p.lru.Len() }
+
+// Close flushes dirty blocks and closes the underlying store.
+func (p *BufferPool) Close() error {
+	if p.closed {
+		return nil
+	}
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	p.closed = true
+	return p.inner.Close()
+}

@@ -1,0 +1,54 @@
+package storage
+
+import "fmt"
+
+// Faulty wraps a BlockStore and fails operations on command. It exists for
+// failure-injection tests: every engine in this repository must surface
+// storage errors rather than panic or silently corrupt state.
+type Faulty struct {
+	inner BlockStore
+	// FailReadAfter / FailWriteAfter make the n-th subsequent read/write
+	// fail (1 = the next one). Zero disables the trigger.
+	failReadAfter  int64
+	failWriteAfter int64
+	reads          int64
+	writes         int64
+}
+
+// ErrInjected is the error returned by triggered failures.
+var ErrInjected = fmt.Errorf("storage: injected fault")
+
+// NewFaulty wraps inner; use FailReadAfter/FailWriteAfter to arm it.
+func NewFaulty(inner BlockStore) *Faulty {
+	return &Faulty{inner: inner}
+}
+
+// FailReadAfter arms the read trigger: the n-th read from now fails.
+func (f *Faulty) FailReadAfter(n int64) { f.failReadAfter = f.reads + n }
+
+// FailWriteAfter arms the write trigger: the n-th write from now fails.
+func (f *Faulty) FailWriteAfter(n int64) { f.failWriteAfter = f.writes + n }
+
+// BlockSize returns the wrapped block size.
+func (f *Faulty) BlockSize() int { return f.inner.BlockSize() }
+
+// ReadBlock fails if the read trigger fires, else delegates.
+func (f *Faulty) ReadBlock(id int, buf []float64) error {
+	f.reads++
+	if f.failReadAfter != 0 && f.reads >= f.failReadAfter {
+		return fmt.Errorf("read block %d: %w", id, ErrInjected)
+	}
+	return f.inner.ReadBlock(id, buf)
+}
+
+// WriteBlock fails if the write trigger fires, else delegates.
+func (f *Faulty) WriteBlock(id int, data []float64) error {
+	f.writes++
+	if f.failWriteAfter != 0 && f.writes >= f.failWriteAfter {
+		return fmt.Errorf("write block %d: %w", id, ErrInjected)
+	}
+	return f.inner.WriteBlock(id, data)
+}
+
+// Close delegates.
+func (f *Faulty) Close() error { return f.inner.Close() }

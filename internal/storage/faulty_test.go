@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultyReadTrigger(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	buf := make([]float64, 2)
+	if err := f.ReadBlock(0, buf); err != nil {
+		t.Fatalf("unarmed read failed: %v", err)
+	}
+	f.FailReadAfter(2)
+	if err := f.ReadBlock(0, buf); err != nil {
+		t.Fatalf("read 1 of 2 failed early: %v", err)
+	}
+	err := f.ReadBlock(0, buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2 of 2 = %v, want injected fault", err)
+	}
+	// Once triggered it stays failed.
+	if err := f.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Error("fault should persist")
+	}
+}
+
+func TestFaultyWriteTrigger(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	data := []float64{1, 2}
+	f.FailWriteAfter(1)
+	if err := f.WriteBlock(0, data); !errors.Is(err, ErrInjected) {
+		t.Fatal("armed write did not fail")
+	}
+}
+
+func TestFaultyWritesDoNotTriggerReads(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	f.FailReadAfter(1)
+	if err := f.WriteBlock(0, []float64{1, 2}); err != nil {
+		t.Fatalf("write failed: %v", err)
+	}
+	if err := f.ReadBlock(0, make([]float64, 2)); !errors.Is(err, ErrInjected) {
+		t.Fatal("read trigger lost")
+	}
+}
+
+func TestBufferPoolPropagatesInjectedFaults(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	pool := NewBufferPool(f, 1)
+	if err := pool.WriteBlock(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Evicting block 0 (dirty) must surface the write fault.
+	f.FailWriteAfter(1)
+	err := pool.ReadBlock(1, make([]float64, 2))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("eviction error = %v, want injected fault", err)
+	}
+}

@@ -1,0 +1,43 @@
+package storage
+
+import "sync"
+
+// Locked wraps a BlockStore with a mutex, making it safe for concurrent
+// use. None of the stores in this package are otherwise goroutine-safe
+// (they reuse internal buffers), so concurrent readers — e.g. parallel
+// query workers sharing one tiled transform — should wrap the shared
+// device in Locked and give each worker its own tile.Store view (whose
+// scratch buffers are per-instance).
+type Locked struct {
+	mu    sync.Mutex
+	inner BlockStore
+}
+
+// NewLocked wraps inner with a mutex.
+func NewLocked(inner BlockStore) *Locked {
+	return &Locked{inner: inner}
+}
+
+// BlockSize returns the wrapped block size.
+func (l *Locked) BlockSize() int { return l.inner.BlockSize() }
+
+// ReadBlock delegates under the lock.
+func (l *Locked) ReadBlock(id int, buf []float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.ReadBlock(id, buf)
+}
+
+// WriteBlock delegates under the lock.
+func (l *Locked) WriteBlock(id int, data []float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.WriteBlock(id, data)
+}
+
+// Close delegates under the lock.
+func (l *Locked) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Close()
+}

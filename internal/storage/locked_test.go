@@ -1,0 +1,35 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLockedBasics(t *testing.T) {
+	l := NewLocked(NewMemStore(4))
+	testStoreBasics(t, l)
+}
+
+func TestLockedConcurrentAccess(t *testing.T) {
+	l := NewLocked(NewMemStore(2))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]float64, 2)
+			for i := 0; i < 200; i++ {
+				id := (w*7 + i) % 16
+				if err := l.WriteBlock(id, []float64{float64(w), float64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.ReadBlock(id, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,150 @@
+// Package storage provides the disk-block substrate of the paper's
+// experiments: fixed-size blocks of coefficients addressed by integer block
+// IDs, with an in-memory implementation, a real on-disk file implementation,
+// an I/O-counting wrapper (the paper's plots report counted coefficient and
+// block I/Os), and an LRU buffer pool.
+//
+// All stores model a lazily allocated, zero-initialized medium: reading a
+// block that was never written yields zeros. That matches the engines'
+// usage, which merge coefficient deltas into an initially zero transform.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockStore is a device storing equally sized blocks of float64
+// coefficients.
+type BlockStore interface {
+	// BlockSize returns the number of coefficients per block.
+	BlockSize() int
+	// ReadBlock fills buf (length BlockSize) with the contents of block id.
+	ReadBlock(id int, buf []float64) error
+	// WriteBlock stores data (length BlockSize) as block id.
+	WriteBlock(id int, data []float64) error
+	// Close releases resources and flushes any buffered state.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("storage: store is closed")
+
+func checkBlockArgs(bs BlockStore, id int, buf []float64) error {
+	if id < 0 {
+		return fmt.Errorf("storage: negative block id %d", id)
+	}
+	if len(buf) != bs.BlockSize() {
+		return fmt.Errorf("storage: buffer length %d does not match block size %d", len(buf), bs.BlockSize())
+	}
+	return nil
+}
+
+// MemStore is an in-memory BlockStore.
+type MemStore struct {
+	blockSize int
+	blocks    map[int][]float64
+	closed    bool
+}
+
+// NewMemStore creates an in-memory store with the given block size.
+func NewMemStore(blockSize int) *MemStore {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("storage: block size %d", blockSize))
+	}
+	return &MemStore{blockSize: blockSize, blocks: make(map[int][]float64)}
+}
+
+// BlockSize returns the number of coefficients per block.
+func (s *MemStore) BlockSize() int { return s.blockSize }
+
+// ReadBlock implements BlockStore; unwritten blocks read as zeros.
+func (s *MemStore) ReadBlock(id int, buf []float64) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := checkBlockArgs(s, id, buf); err != nil {
+		return err
+	}
+	if b, ok := s.blocks[id]; ok {
+		copy(buf, b)
+		return nil
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// WriteBlock implements BlockStore.
+func (s *MemStore) WriteBlock(id int, data []float64) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := checkBlockArgs(s, id, data); err != nil {
+		return err
+	}
+	b, ok := s.blocks[id]
+	if !ok {
+		b = make([]float64, s.blockSize)
+		s.blocks[id] = b
+	}
+	copy(b, data)
+	return nil
+}
+
+// Len returns the number of materialized blocks.
+func (s *MemStore) Len() int { return len(s.blocks) }
+
+// Close implements BlockStore.
+func (s *MemStore) Close() error {
+	s.closed = true
+	s.blocks = nil
+	return nil
+}
+
+// Stats counts block-level I/O operations.
+type Stats struct {
+	Reads  int64 // blocks read from the underlying store
+	Writes int64 // blocks written to the underlying store
+}
+
+// Total returns Reads + Writes.
+func (s Stats) Total() int64 { return s.Reads + s.Writes }
+
+// Counting wraps a BlockStore and counts every read and write that reaches
+// the underlying store. This is the measurement instrument behind every
+// figure in EXPERIMENTS.md.
+type Counting struct {
+	inner BlockStore
+	stats Stats
+}
+
+// NewCounting wraps inner with an I/O counter.
+func NewCounting(inner BlockStore) *Counting {
+	return &Counting{inner: inner}
+}
+
+// BlockSize returns the wrapped store's block size.
+func (c *Counting) BlockSize() int { return c.inner.BlockSize() }
+
+// ReadBlock counts one read and delegates.
+func (c *Counting) ReadBlock(id int, buf []float64) error {
+	c.stats.Reads++
+	return c.inner.ReadBlock(id, buf)
+}
+
+// WriteBlock counts one write and delegates.
+func (c *Counting) WriteBlock(id int, data []float64) error {
+	c.stats.Writes++
+	return c.inner.WriteBlock(id, data)
+}
+
+// Close delegates to the wrapped store.
+func (c *Counting) Close() error { return c.inner.Close() }
+
+// Stats returns the counters accumulated so far.
+func (c *Counting) Stats() Stats { return c.stats }
+
+// Reset zeroes the counters.
+func (c *Counting) Reset() { c.stats = Stats{} }

@@ -1,0 +1,331 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func testStoreBasics(t *testing.T, s BlockStore) {
+	t.Helper()
+	bs := s.BlockSize()
+	buf := make([]float64, bs)
+
+	// Unwritten blocks read as zeros.
+	if err := s.ReadBlock(7, buf); err != nil {
+		t.Fatalf("read unwritten: %v", err)
+	}
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("unwritten block has %g at %d", v, i)
+		}
+	}
+
+	data := make([]float64, bs)
+	for i := range data {
+		data[i] = float64(i) + 0.5
+	}
+	if err := s.WriteBlock(3, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := s.ReadBlock(3, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	for i := range data {
+		if buf[i] != data[i] {
+			t.Fatalf("round trip differs at %d: %g vs %g", i, buf[i], data[i])
+		}
+	}
+
+	// Overwrite.
+	data[0] = -1
+	if err := s.WriteBlock(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != -1 {
+		t.Fatal("overwrite not visible")
+	}
+
+	// Wrong buffer length and negative id are rejected.
+	if err := s.ReadBlock(0, make([]float64, bs+1)); err == nil {
+		t.Error("oversized buffer accepted")
+	}
+	if err := s.WriteBlock(-1, data); err == nil {
+		t.Error("negative id accepted")
+	}
+}
+
+func TestMemStoreBasics(t *testing.T) {
+	s := NewMemStore(8)
+	testStoreBasics(t, s)
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock(0, make([]float64, 8)); err != ErrClosed {
+		t.Error("read after close should fail")
+	}
+}
+
+func TestFileStoreBasics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blocks.dat")
+	s, err := NewFileStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreBasics(t, s)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify persistence.
+	s2, err := OpenFileStore(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	buf := make([]float64, 16)
+	if err := s2.ReadBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != -1 || buf[1] != 1.5 {
+		t.Errorf("persisted data wrong: %v", buf[:2])
+	}
+}
+
+func TestFileStoreSparseRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sparse.dat")
+	s, err := NewFileStore(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	data := []float64{1, 2, 3, 4}
+	if err := s.WriteBlock(10, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 4)
+	// Block 5 was skipped; it must read as zeros.
+	if err := s.ReadBlock(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range buf {
+		if v != 0 {
+			t.Fatal("hole should read as zeros")
+		}
+	}
+	// Block 100 is past EOF.
+	if err := s.ReadBlock(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range buf {
+		if v != 0 {
+			t.Fatal("past-EOF should read as zeros")
+		}
+	}
+}
+
+func TestCountingCounts(t *testing.T) {
+	c := NewCounting(NewMemStore(4))
+	buf := make([]float64, 4)
+	for i := 0; i < 3; i++ {
+		if err := c.ReadBlock(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.WriteBlock(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Reads != 3 || st.Writes != 5 || st.Total() != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+	c.Reset()
+	if c.Stats().Total() != 0 {
+		t.Error("Reset did not zero stats")
+	}
+}
+
+func TestBufferPoolCachesReads(t *testing.T) {
+	counting := NewCounting(NewMemStore(4))
+	pool := NewBufferPool(counting, 2)
+	buf := make([]float64, 4)
+
+	// Two reads of the same block: one miss, one hit, one underlying read.
+	if err := pool.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Stats().Reads != 1 {
+		t.Errorf("underlying reads = %d, want 1", counting.Stats().Reads)
+	}
+	hits, misses, rate := pool.HitRate()
+	if hits != 1 || misses != 1 || rate != 0.5 {
+		t.Errorf("hit rate = %d/%d (%g)", hits, misses, rate)
+	}
+}
+
+func TestBufferPoolEvictsLRUAndWritesBack(t *testing.T) {
+	counting := NewCounting(NewMemStore(2))
+	pool := NewBufferPool(counting, 2)
+	w := []float64{1, 2}
+	if err := pool.WriteBlock(0, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.WriteBlock(1, w); err != nil {
+		t.Fatal(err)
+	}
+	// No write-through yet (write-back policy).
+	if counting.Stats().Writes != 0 {
+		t.Errorf("write-back violated: %d writes", counting.Stats().Writes)
+	}
+	// Touch block 1 so block 0 is LRU, then bring in block 2.
+	buf := make([]float64, 2)
+	if err := pool.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.ReadBlock(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 must have been evicted and written back.
+	if counting.Stats().Writes != 1 {
+		t.Errorf("evict writes = %d, want 1", counting.Stats().Writes)
+	}
+	inner := make([]float64, 2)
+	if err := counting.ReadBlock(0, inner); err != nil {
+		t.Fatal(err)
+	}
+	if inner[0] != 1 || inner[1] != 2 {
+		t.Error("evicted block contents wrong")
+	}
+	if pool.Len() != 2 {
+		t.Errorf("pool holds %d blocks", pool.Len())
+	}
+}
+
+func TestBufferPoolFlushAndClose(t *testing.T) {
+	mem := NewMemStore(2)
+	pool := NewBufferPool(mem, 4)
+	if err := pool.WriteBlock(5, []float64{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 2)
+	if err := mem.ReadBlock(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Error("Flush did not write through")
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.ReadBlock(5, buf); err != ErrClosed {
+		t.Error("read after close should fail")
+	}
+}
+
+func TestBufferPoolRandomizedEquivalence(t *testing.T) {
+	// A pooled store must behave exactly like an unpooled one.
+	rng := rand.New(rand.NewSource(42))
+	plain := NewMemStore(4)
+	pooled := NewBufferPool(NewMemStore(4), 3)
+	buf1 := make([]float64, 4)
+	buf2 := make([]float64, 4)
+	for op := 0; op < 2000; op++ {
+		id := rng.Intn(10)
+		if rng.Intn(2) == 0 {
+			data := make([]float64, 4)
+			for i := range data {
+				data[i] = rng.Float64()
+			}
+			if err := plain.WriteBlock(id, data); err != nil {
+				t.Fatal(err)
+			}
+			if err := pooled.WriteBlock(id, data); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := plain.ReadBlock(id, buf1); err != nil {
+				t.Fatal(err)
+			}
+			if err := pooled.ReadBlock(id, buf2); err != nil {
+				t.Fatal(err)
+			}
+			for i := range buf1 {
+				if buf1[i] != buf2[i] {
+					t.Fatalf("divergence at op %d block %d slot %d", op, id, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBufferPoolCapacityOne(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(1), 1)
+	if err := pool.WriteBlock(0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.WriteBlock(1, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 1)
+	if err := pool.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Errorf("block 0 = %g", buf[0])
+	}
+}
+
+func TestBufferPoolHitRateUnused(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(2), 2)
+	if h, m, r := pool.HitRate(); h != 0 || m != 0 || r != 0 {
+		t.Errorf("unused pool hit rate = %d/%d (%g)", h, m, r)
+	}
+}
+
+func TestOffsetStore(t *testing.T) {
+	mem := NewMemStore(2)
+	a := NewOffset(mem, 0)
+	b := NewOffset(mem, 100)
+	if err := a.WriteBlock(5, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBlock(5, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 2)
+	if err := a.ReadBlock(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Error("offset views collide")
+	}
+	if err := mem.ReadBlock(105, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 3 {
+		t.Error("offset view not at expected base")
+	}
+	if err := a.ReadBlock(-1, buf); err == nil {
+		t.Error("negative id accepted")
+	}
+	if err := a.Close(); err != nil {
+		t.Error("offset Close should be a no-op")
+	}
+}

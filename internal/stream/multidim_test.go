@@ -1,0 +1,207 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+func TestStandardStreamMatchesOfflineTransform(t *testing.T) {
+	// Stream a full 4x4xT array slice by slice and compare all finalized
+	// coefficients with the offline standard transform.
+	crossShape := []int{4, 4}
+	T := 16
+	nT := 4
+	full := dataset.Dense([]int{4, 4, T}, 5)
+	s := NewStandard(crossShape, 2, 0) // buffer 4 slices, unbounded synopsis
+	for tm := 0; tm < T; tm++ {
+		slice := full.SubCopy([]int{0, 0, tm}, []int{4, 4, 1})
+		flat := ndarray.FromSlice(slice.Data(), 4, 4)
+		if err := s.AddSlice(flat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	want := wavelet.TransformStandard(full)
+	entries := map[CoefMD]float64{}
+	for _, e := range s.Synopsis().Entries() {
+		entries[e.Key] = e.Value
+	}
+	if len(entries) != full.Size() {
+		t.Fatalf("finalized %d coefficients, want %d", len(entries), full.Size())
+	}
+	checked := 0
+	want.Each(func(coords []int, v float64) {
+		cross := coords[0]*4 + coords[1]
+		var key CoefMD
+		if coords[2] == 0 {
+			key = CoefMD{Cross: cross, Time: Coef1D{J: nT, K: 0, Avg: true}}
+		} else {
+			j, k := haar.LevelPos(nT, coords[2])
+			key = CoefMD{Cross: cross, Time: Coef1D{J: j, K: k}}
+		}
+		got, ok := entries[key]
+		if !ok {
+			t.Fatalf("missing coefficient for coords %v (key %+v)", coords, key)
+		}
+		if math.Abs(got-v) > tol {
+			t.Fatalf("coords %v: %g vs %g", coords, got, v)
+		}
+		checked++
+	})
+	if checked != full.Size() {
+		t.Errorf("checked %d coefficients", checked)
+	}
+}
+
+func TestStandardStreamCrestMemory(t *testing.T) {
+	// The crest must hold about crossSize * log(T/B) coefficients (R4).
+	crossShape := []int{4, 4}
+	s := NewStandard(crossShape, 1, 8)
+	T := 64
+	for tm := 0; tm < T; tm++ {
+		slice := ndarray.New(4, 4)
+		slice.Fill(float64(tm))
+		if err := s.AddSlice(slice); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem := s.CrestMemory()
+	crossSize := 16
+	logT := 5 // log2(64/2)
+	if mem < crossSize || mem > 2*crossSize*logT {
+		t.Errorf("crest memory %d outside expected band [%d, %d]", mem, crossSize, 2*crossSize*logT)
+	}
+}
+
+func TestStandardStreamRejectsBadSlice(t *testing.T) {
+	s := NewStandard([]int{4, 4}, 1, 0)
+	if err := s.AddSlice(ndarray.New(4)); err == nil {
+		t.Error("wrong dims accepted")
+	}
+	if err := s.AddSlice(ndarray.New(4, 8)); err == nil {
+		t.Error("wrong extent accepted")
+	}
+}
+
+func TestStandardStreamFinishRejectsPartialBuffer(t *testing.T) {
+	s := NewStandard([]int{4}, 2, 0)
+	if err := s.AddSlice(ndarray.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err == nil {
+		t.Error("partial buffer accepted")
+	}
+}
+
+func TestNonStandardStreamMatchesOfflineTransform(t *testing.T) {
+	// Feed 4 hypercubes of 8x8 as z-ordered 2x2 chunks; every spatial detail
+	// must equal the hypercube's offline non-standard transform and the time
+	// coefficients must equal the Haar transform of the averages.
+	n, d, m := 3, 2, 1
+	hypers := 4
+	s := NewNonStandard(n, d, m, 0)
+	var avgs []float64
+	for h := 0; h < hypers; h++ {
+		cube := dataset.Dense([]int{8, 8}, int64(h+1))
+		avgs = append(avgs, cube.Sum()/64)
+		hat := wavelet.TransformNonStandard(cube)
+		// Feed chunks in the maintainer's expected z-order.
+		for s.chunksIn != 0 || h == s.hyper {
+			pos := s.NextChunkPos()
+			chunk := cube.SubCopy([]int{pos[0] * 2, pos[1] * 2}, []int{2, 2})
+			if err := s.AddChunk(chunk); err != nil {
+				t.Fatal(err)
+			}
+			if s.hyper != h {
+				break
+			}
+		}
+		// Verify this hypercube's details against the offline transform.
+		entries := map[CoefMD]float64{}
+		for _, e := range s.Synopsis().Entries() {
+			entries[e.Key] = e.Value
+		}
+		bad := 0
+		hat.Each(func(coords []int, v float64) {
+			if coords[0] == 0 && coords[1] == 0 {
+				return // the average went to the time chain
+			}
+			flat := coords[0]*8 + coords[1]
+			got, ok := entries[CoefMD{Cross: flat, Time: Coef1D{J: h, K: -1}}]
+			if !ok || math.Abs(got-v) > tol {
+				bad++
+			}
+		})
+		if bad != 0 {
+			t.Fatalf("hypercube %d: %d details differ", h, bad)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Time coefficients = Haar transform of the averages vector.
+	avgHat := haar.Transform(avgs)
+	entries := map[CoefMD]float64{}
+	for _, e := range s.Synopsis().Entries() {
+		entries[e.Key] = e.Value
+	}
+	nH := 2 // log2(4 hypercubes)
+	for j := 1; j <= nH; j++ {
+		for k := 0; k < 1<<uint(nH-j); k++ {
+			got, ok := entries[CoefMD{Cross: -1, Time: Coef1D{J: j, K: k}}]
+			if !ok || math.Abs(got-avgHat[haar.Index(nH, j, k)]) > tol {
+				t.Fatalf("time coefficient w[%d,%d] wrong (got %g ok=%v)", j, k, got, ok)
+			}
+		}
+	}
+	if got, ok := entries[CoefMD{Cross: -1, Time: Coef1D{J: nH, K: 0, Avg: true}}]; !ok || math.Abs(got-avgHat[0]) > tol {
+		t.Fatalf("global average wrong (got %g ok=%v)", got, ok)
+	}
+}
+
+func TestNonStandardStreamCrestMemoryBound(t *testing.T) {
+	// R5: crest memory ~ (2^d-1) log(N/M) + log(T/N), independent of N^(d-1).
+	s := NewNonStandard(4, 2, 1, 8)
+	cube := dataset.Dense([]int{16, 16}, 3)
+	for h := 0; h < 8; h++ {
+		for c := 0; c < 64; c++ {
+			pos := s.NextChunkPos()
+			chunk := cube.SubCopy([]int{pos[0] * 2, pos[1] * 2}, []int{2, 2})
+			if err := s.AddChunk(chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mem := s.CrestMemory()
+	// (2^2)(4-1) + log2(8) = 12 + 3 = 15-ish.
+	if mem > 32 {
+		t.Errorf("crest memory %d exceeds the R5 bound scale", mem)
+	}
+}
+
+func TestNonStandardStreamRejectsBadChunk(t *testing.T) {
+	s := NewNonStandard(3, 2, 1, 0)
+	if err := s.AddChunk(ndarray.New(2)); err == nil {
+		t.Error("wrong dims accepted")
+	}
+	if err := s.AddChunk(ndarray.New(4, 4)); err == nil {
+		t.Error("wrong edge accepted")
+	}
+}
+
+func TestNonStandardStreamFinishRejectsPartialHypercube(t *testing.T) {
+	s := NewNonStandard(3, 2, 1, 0)
+	if err := s.AddChunk(ndarray.New(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err == nil {
+		t.Error("partial hypercube accepted")
+	}
+}

@@ -1,0 +1,258 @@
+// Package stream implements wavelet synopsis maintenance over data streams
+// in the time-series model (paper §5.3):
+//
+//   - Baseline: the Gilbert et al. [5] approach, which keeps the O(log N)
+//     crest coefficients that can still change and spends O(log N)
+//     coefficient updates per arriving item;
+//   - Buffered (Result 3): collect B items, transform them in memory, SHIFT
+//     the B-1 final details out and SPLIT the buffer average onto the crest,
+//     cutting per-item crest updates to O((1/B) log(N/B)) at the price of B
+//     extra memory;
+//   - Standard (Result 4): a d-dimensional stream growing along time under
+//     the standard decomposition, requiring a crest chain per cross-section
+//     basis function (the O(N^(d-1) log T) memory the paper proves
+//     necessary);
+//   - NonStandard (Result 5): the same stream under the non-standard
+//     decomposition, seen as a sequence of N-edge hypercubes whose averages
+//     form a one-dimensional stream; with z-ordered chunk arrivals the
+//     memory drops to O(K + M^d + (2^d-1) log(N/M) + log(T/N)).
+//
+// All maintainers share a cost model: CrestOps counts updates to
+// coefficients that can still change (the quantity Figure 14-style plots
+// report) and TotalOps additionally counts work on finalized coefficients.
+package stream
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+	"github.com/shiftsplit/shiftsplit/internal/synopsis"
+)
+
+// Coef1D identifies a finalized coefficient of a growing one-dimensional
+// transform: the detail w[J,K], or the average over [0, 2^J) when Avg is
+// set (emitted by Finish).
+type Coef1D struct {
+	J   int
+	K   int
+	Avg bool
+}
+
+// Chain folds a left-to-right stream of level-base averages into finalized
+// higher-level detail coefficients using O(log) memory: for each level it
+// holds at most one pending left half. This is the crest of §5.3 in
+// carry-chain form.
+type Chain struct {
+	base    int
+	pending []pendingHalf
+	emit    func(c Coef1D, value float64)
+	pushes  int
+}
+
+type pendingHalf struct {
+	left float64
+	has  bool
+}
+
+// NewChain creates a chain consuming averages of dyadic blocks of size
+// 2^base; emit receives every finalized detail (and the averages flushed by
+// Finish).
+func NewChain(base int, emit func(c Coef1D, value float64)) *Chain {
+	return &Chain{base: base, emit: emit}
+}
+
+// Push delivers the average of the next level-base block and returns the
+// number of crest coefficient updates performed (the cascade depth).
+func (c *Chain) Push(avg float64) int {
+	k := c.pushes
+	c.pushes++
+	ops := 0
+	u := avg
+	for lvl := 0; ; lvl++ {
+		if lvl == len(c.pending) {
+			c.pending = append(c.pending, pendingHalf{})
+		}
+		p := &c.pending[lvl]
+		ops++
+		if !p.has {
+			p.left = u
+			p.has = true
+			return ops
+		}
+		j := c.base + lvl + 1
+		c.emit(Coef1D{J: j, K: k >> uint(lvl+1)}, (p.left-u)/2)
+		u = (p.left + u) / 2
+		p.has = false
+	}
+}
+
+// Levels returns the current number of open crest levels.
+func (c *Chain) Levels() int { return len(c.pending) }
+
+// Pushes returns how many level-base averages have been consumed.
+func (c *Chain) Pushes() int { return c.pushes }
+
+// Finish emits the open left-halves as partial averages, topmost last. For
+// a stream of exactly 2^q blocks only the overall average remains open.
+func (c *Chain) Finish() {
+	for lvl := len(c.pending) - 1; lvl >= 0; lvl-- {
+		if c.pending[lvl].has {
+			c.emit(Coef1D{J: c.base + lvl, K: 0, Avg: true}, c.pending[lvl].left)
+			c.pending[lvl].has = false
+		}
+	}
+}
+
+// Costs aggregates the maintenance cost counters.
+type Costs struct {
+	Items    int64 // items consumed
+	CrestOps int64 // updates to still-mutable (crest) coefficients
+	TotalOps int64 // all coefficient operations, including finalizations
+}
+
+// PerItemCrest returns CrestOps/Items.
+func (c Costs) PerItemCrest() float64 {
+	if c.Items == 0 {
+		return 0
+	}
+	return float64(c.CrestOps) / float64(c.Items)
+}
+
+// PerItemTotal returns TotalOps/Items.
+func (c Costs) PerItemTotal() float64 {
+	if c.Items == 0 {
+		return 0
+	}
+	return float64(c.TotalOps) / float64(c.Items)
+}
+
+// Baseline maintains a best-K synopsis of a 1-d stream the Gilbert et al.
+// way: every arriving item updates the whole crest (all coefficients whose
+// support covers the current position and can still change).
+type Baseline struct {
+	chain *Chain
+	syn   *synopsis.Synopsis[Coef1D]
+	costs Costs
+}
+
+// NewBaseline creates the baseline maintainer with capacity k (0 =
+// unbounded, for exact replay).
+func NewBaseline(k int) *Baseline {
+	b := &Baseline{syn: synopsis.New[Coef1D](k)}
+	b.chain = NewChain(0, func(c Coef1D, v float64) {
+		b.offer(c, v)
+	})
+	return b
+}
+
+func (b *Baseline) offer(c Coef1D, v float64) {
+	b.costs.TotalOps++
+	support := float64(int64(1) << uint(c.J))
+	b.syn.Offer(c, v, v*v*support)
+}
+
+// Add consumes one stream item.
+func (b *Baseline) Add(v float64) {
+	b.costs.Items++
+	// Gilbert et al. update every coefficient on the path to the root: the
+	// crest has one mutable coefficient per open level plus the running
+	// average.
+	depth := b.chain.Levels() + 1
+	b.costs.CrestOps += int64(depth)
+	b.costs.TotalOps += int64(depth)
+	b.chain.Push(v)
+}
+
+// Finish flushes the open averages into the synopsis.
+func (b *Baseline) Finish() {
+	b.chain.Finish()
+}
+
+// Synopsis returns the maintained best-K synopsis.
+func (b *Baseline) Synopsis() *synopsis.Synopsis[Coef1D] { return b.syn }
+
+// Costs returns the accumulated cost counters.
+func (b *Baseline) Costs() Costs { return b.costs }
+
+// Buffered maintains a best-K synopsis with a B-item buffer (Result 3):
+// each full buffer is transformed in memory (its details are final
+// immediately — the SHIFT) and only the buffer average climbs the crest
+// (the SPLIT).
+type Buffered struct {
+	bufBits int
+	buf     []float64
+	chain   *Chain
+	syn     *synopsis.Synopsis[Coef1D]
+	costs   Costs
+	buffers int
+}
+
+// NewBuffered creates the Result-3 maintainer with buffer size B = 2^bufBits
+// and synopsis capacity k (0 = unbounded).
+func NewBuffered(k, bufBits int) *Buffered {
+	if bufBits < 0 {
+		panic(fmt.Sprintf("stream: buffer bits %d", bufBits))
+	}
+	b := &Buffered{
+		bufBits: bufBits,
+		buf:     make([]float64, 0, 1<<uint(bufBits)),
+		syn:     synopsis.New[Coef1D](k),
+	}
+	b.chain = NewChain(bufBits, func(c Coef1D, v float64) {
+		b.offer(c, v)
+	})
+	return b
+}
+
+func (b *Buffered) offer(c Coef1D, v float64) {
+	b.costs.TotalOps++
+	support := float64(int64(1) << uint(c.J))
+	b.syn.Offer(c, v, v*v*support)
+}
+
+// Add consumes one stream item.
+func (b *Buffered) Add(v float64) {
+	b.costs.Items++
+	b.buf = append(b.buf, v)
+	if len(b.buf) < cap(b.buf) {
+		return
+	}
+	b.flush()
+}
+
+func (b *Buffered) flush() {
+	B := len(b.buf)
+	if B == 0 {
+		return
+	}
+	// In-memory transform of the buffer: B-1 details finalize right away.
+	hat := haar.Transform(b.buf)
+	b.costs.TotalOps += int64(B) // transform + shift placement
+	bufIdx := b.buffers
+	for idx := 1; idx < B; idx++ {
+		j, k := haar.LevelPos(b.bufBits, idx)
+		b.offer(Coef1D{J: j, K: bufIdx<<uint(b.bufBits-j) + k}, hat[idx])
+	}
+	// Only the average climbs the crest.
+	ops := b.chain.Push(hat[0])
+	b.costs.CrestOps += int64(ops)
+	b.buffers++
+	b.buf = b.buf[:0]
+}
+
+// Finish transforms any partial buffer (padding with zeros would change the
+// stream; instead the caller is expected to stop at a buffer boundary) and
+// flushes the crest. A non-empty partial buffer is an error.
+func (b *Buffered) Finish() error {
+	if len(b.buf) != 0 {
+		return fmt.Errorf("stream: %d items buffered; stop at a multiple of B=%d", len(b.buf), cap(b.buf))
+	}
+	b.chain.Finish()
+	return nil
+}
+
+// Synopsis returns the maintained best-K synopsis.
+func (b *Buffered) Synopsis() *synopsis.Synopsis[Coef1D] { return b.syn }
+
+// Costs returns the accumulated cost counters.
+func (b *Buffered) Costs() Costs { return b.costs }

@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+func TestStandardStream1DCross(t *testing.T) {
+	// Degenerate d=2 stream with a 2-wide cross-section.
+	full := dataset.Dense([]int{2, 8}, 9)
+	s := NewStandard([]int{2}, 1, 0)
+	for tm := 0; tm < 8; tm++ {
+		slice := ndarray.FromSlice([]float64{full.At(0, tm), full.At(1, tm)}, 2)
+		if err := s.AddSlice(slice); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	want := wavelet.TransformStandard(full)
+	entries := map[CoefMD]float64{}
+	for _, e := range s.Synopsis().Entries() {
+		entries[e.Key] = e.Value
+	}
+	if len(entries) != 16 {
+		t.Fatalf("finalized %d coefficients, want 16", len(entries))
+	}
+	want.Each(func(coords []int, v float64) {
+		var key CoefMD
+		if coords[1] == 0 {
+			key = CoefMD{Cross: coords[0], Time: Coef1D{J: 3, K: 0, Avg: true}}
+		} else {
+			j, k := haar.LevelPos(3, coords[1])
+			key = CoefMD{Cross: coords[0], Time: Coef1D{J: j, K: k}}
+		}
+		got, ok := entries[key]
+		if !ok || math.Abs(got-v) > 1e-9 {
+			t.Fatalf("coords %v: got %g (ok=%v) want %g", coords, got, ok, v)
+		}
+	})
+}
+
+func TestNonStandardStreamChunkEqualsHypercube(t *testing.T) {
+	// m == n: one chunk per hypercube; the crest degenerates to nothing and
+	// only the time chain remains.
+	s := NewNonStandard(2, 2, 2, 0)
+	cubes := []*ndarray.Array{dataset.Dense([]int{4, 4}, 1), dataset.Dense([]int{4, 4}, 2)}
+	for _, cube := range cubes {
+		if err := s.AddChunk(cube); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	entries := map[CoefMD]float64{}
+	for _, e := range s.Synopsis().Entries() {
+		entries[e.Key] = e.Value
+	}
+	for h, cube := range cubes {
+		hat := wavelet.TransformNonStandard(cube)
+		bad := 0
+		hat.Each(func(coords []int, v float64) {
+			if coords[0] == 0 && coords[1] == 0 {
+				return
+			}
+			flat := coords[0]*4 + coords[1]
+			got, ok := entries[CoefMD{Cross: flat, Time: Coef1D{J: h, K: -1}}]
+			if !ok || math.Abs(got-v) > 1e-9 {
+				bad++
+			}
+		})
+		if bad != 0 {
+			t.Fatalf("hypercube %d: %d details wrong", h, bad)
+		}
+	}
+	// Time chain over 2 averages: one detail + the running average.
+	avg0 := cubes[0].Sum() / 16
+	avg1 := cubes[1].Sum() / 16
+	if got := entries[CoefMD{Cross: -1, Time: Coef1D{J: 1, K: 0}}]; math.Abs(got-(avg0-avg1)/2) > 1e-9 {
+		t.Errorf("time detail = %g, want %g", got, (avg0-avg1)/2)
+	}
+	if got := entries[CoefMD{Cross: -1, Time: Coef1D{J: 1, K: 0, Avg: true}}]; math.Abs(got-(avg0+avg1)/2) > 1e-9 {
+		t.Errorf("time average = %g, want %g", got, (avg0+avg1)/2)
+	}
+}
+
+func TestBufferedSingleItemBufferMatchesBaselineCosts(t *testing.T) {
+	// B = 1: every "buffer" is one item; crest cost per item equals the
+	// baseline's amortized cascade depth (~2), below the log-N crest walk.
+	data := dataset.RandomWalk(1<<12, 3)
+	buf := NewBuffered(0, 0)
+	for _, v := range data {
+		buf.Add(v)
+	}
+	if err := buf.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if c := buf.Costs().PerItemCrest(); c > 2.5 {
+		t.Errorf("B=1 crest cost %g, want ~2 (amortized carry)", c)
+	}
+}
+
+func TestChainLevelsGrowLogarithmically(t *testing.T) {
+	ch := NewChain(0, func(Coef1D, float64) {})
+	for i := 0; i < 1<<10; i++ {
+		ch.Push(1)
+	}
+	// After 2^q pushes the chain holds q cleared pair slots plus the open
+	// slot carrying the global average: q+1 levels.
+	if got := ch.Levels(); got != 11 {
+		t.Errorf("after 2^10 pushes chain has %d levels, want 11", got)
+	}
+	if ch.Pushes() != 1024 {
+		t.Errorf("Pushes = %d", ch.Pushes())
+	}
+}
+
+func TestStandardStreamCostsAccumulate(t *testing.T) {
+	s := NewStandard([]int{4}, 2, 8)
+	for tm := 0; tm < 16; tm++ {
+		sl := ndarray.New(4)
+		sl.Fill(float64(tm))
+		if err := s.AddSlice(sl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Costs()
+	if c.Items != 64 {
+		t.Errorf("Items = %d, want 64 cells", c.Items)
+	}
+	if c.TotalOps == 0 || c.CrestOps == 0 {
+		t.Error("costs not accumulated")
+	}
+}
+
+func TestBaselineNonPowerOfTwoLength(t *testing.T) {
+	// The baseline handles arbitrary lengths: coefficients for complete
+	// dyadic blocks finalize, the rest emerge as partial averages at Finish.
+	data := dataset.RandomWalk(11, 5)
+	b := NewBaseline(0)
+	for _, v := range data {
+		b.Add(v)
+	}
+	b.Finish()
+	entries := map[Coef1D]float64{}
+	for _, e := range b.Synopsis().Entries() {
+		entries[e.Key] = e.Value
+	}
+	// Finalized details: levels over complete pairs. For 11 items the first
+	// 8 form a full level-3 tree, items 8-9 a level-1 pair.
+	hat8 := haar.Transform(data[:8])
+	for j := 1; j <= 3; j++ {
+		for k := 0; k < 1<<uint(3-j); k++ {
+			got, ok := entries[Coef1D{J: j, K: k}]
+			if !ok || math.Abs(got-hat8[haar.Index(3, j, k)]) > 1e-9 {
+				t.Fatalf("w[%d,%d] missing or wrong", j, k)
+			}
+		}
+	}
+	// The partial averages cover [0,8) and [8,10) plus the lone item 10.
+	if _, ok := entries[Coef1D{J: 3, K: 0, Avg: true}]; !ok {
+		t.Error("missing level-3 partial average")
+	}
+	if _, ok := entries[Coef1D{J: 1, K: 0, Avg: true}]; !ok {
+		t.Error("missing level-1 partial average")
+	}
+	if _, ok := entries[Coef1D{J: 0, K: 0, Avg: true}]; !ok {
+		t.Error("missing level-0 partial average")
+	}
+}

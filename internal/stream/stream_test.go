@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+)
+
+const tol = 1e-9
+
+func TestChainMatchesOfflineTransform(t *testing.T) {
+	for _, n := range []int{1, 3, 6, 10} {
+		data := dataset.RandomWalk(1<<uint(n), int64(n))
+		got := map[Coef1D]float64{}
+		ch := NewChain(0, func(c Coef1D, v float64) { got[c] = v })
+		for _, v := range data {
+			ch.Push(v)
+		}
+		ch.Finish()
+		hat := haar.Transform(data)
+		// Details.
+		for j := 1; j <= n; j++ {
+			for k := 0; k < 1<<uint(n-j); k++ {
+				want := hat[haar.Index(n, j, k)]
+				gv, ok := got[Coef1D{J: j, K: k}]
+				if !ok {
+					t.Fatalf("n=%d: missing w[%d,%d]", n, j, k)
+				}
+				if math.Abs(gv-want) > tol {
+					t.Fatalf("n=%d w[%d,%d] = %g, want %g", n, j, k, gv, want)
+				}
+			}
+		}
+		// The average.
+		gv, ok := got[Coef1D{J: n, K: 0, Avg: true}]
+		if !ok || math.Abs(gv-hat[0]) > tol {
+			t.Fatalf("n=%d average = %g (%v), want %g", n, gv, ok, hat[0])
+		}
+	}
+}
+
+func TestChainPartialLengthEmitsOpenAverages(t *testing.T) {
+	// 6 items = blocks of 4 + 2: finish should emit an average of the first
+	// 4 (level 2) and of the next 2 (level 1).
+	ch := NewChain(0, func(c Coef1D, v float64) {})
+	var avgs []Coef1D
+	ch.emit = func(c Coef1D, v float64) {
+		if c.Avg {
+			avgs = append(avgs, c)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		ch.Push(float64(i))
+	}
+	ch.Finish()
+	if len(avgs) != 2 || avgs[0].J != 2 || avgs[1].J != 1 {
+		t.Errorf("open averages = %v", avgs)
+	}
+}
+
+func TestBaselineAndBufferedAgree(t *testing.T) {
+	data := dataset.RandomWalk(1<<10, 42)
+	base := NewBaseline(0)
+	for _, v := range data {
+		base.Add(v)
+	}
+	base.Finish()
+	for _, bufBits := range []int{0, 2, 4, 6} {
+		buf := NewBuffered(0, bufBits)
+		for _, v := range data {
+			buf.Add(v)
+		}
+		if err := buf.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		be := map[Coef1D]float64{}
+		for _, e := range base.Synopsis().Entries() {
+			be[e.Key] = e.Value
+		}
+		if buf.Synopsis().Len() != len(be) {
+			t.Fatalf("bufBits=%d: %d entries vs baseline %d", bufBits, buf.Synopsis().Len(), len(be))
+		}
+		for _, e := range buf.Synopsis().Entries() {
+			want, ok := be[e.Key]
+			if !ok {
+				t.Fatalf("bufBits=%d: extra key %+v", bufBits, e.Key)
+			}
+			if math.Abs(e.Value-want) > tol {
+				t.Fatalf("bufBits=%d key %+v: %g vs %g", bufBits, e.Key, e.Value, want)
+			}
+		}
+	}
+}
+
+func TestBufferedReducesCrestCost(t *testing.T) {
+	// Figure 14's shape: per-item crest cost falls roughly like
+	// log(N/B)/B as the buffer grows; the baseline pays ~log N.
+	data := dataset.RandomWalk(1<<14, 7)
+	base := NewBaseline(64)
+	for _, v := range data {
+		base.Add(v)
+	}
+	baseCost := base.Costs().PerItemCrest()
+	if baseCost < 10 { // log2(16384) = 14ish
+		t.Errorf("baseline per-item crest cost %g suspiciously low", baseCost)
+	}
+	prev := baseCost
+	for _, bufBits := range []int{1, 3, 5, 7} {
+		buf := NewBuffered(64, bufBits)
+		for _, v := range data {
+			buf.Add(v)
+		}
+		cost := buf.Costs().PerItemCrest()
+		if cost >= prev {
+			t.Errorf("bufBits=%d: crest cost %g did not fall below %g", bufBits, cost, prev)
+		}
+		prev = cost
+	}
+	if prev > 0.2 {
+		t.Errorf("largest buffer still costs %g crest ops/item", prev)
+	}
+}
+
+func TestBufferedFinishRejectsPartialBuffer(t *testing.T) {
+	buf := NewBuffered(0, 3)
+	for i := 0; i < 5; i++ {
+		buf.Add(1)
+	}
+	if err := buf.Finish(); err == nil {
+		t.Error("partial buffer accepted")
+	}
+}
+
+func TestBaselineTopKIsTrueTopK(t *testing.T) {
+	data := dataset.RandomWalk(1<<8, 9)
+	n := 8
+	k := 10
+	b := NewBaseline(k)
+	for _, v := range data {
+		b.Add(v)
+	}
+	b.Finish()
+	// Offline: energies of all coefficients.
+	hat := haar.Transform(data)
+	type ce struct {
+		e float64
+	}
+	var energies []float64
+	for idx := 0; idx < len(hat); idx++ {
+		sup := float64(haar.Support(n, idx).Len())
+		energies = append(energies, hat[idx]*hat[idx]*sup)
+	}
+	// k-th largest energy.
+	sorted := append([]float64(nil), energies...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	threshold := sorted[k-1]
+	for _, e := range b.Synopsis().Entries() {
+		if e.Weight < threshold-tol {
+			t.Fatalf("retained weight %g below true top-%d threshold %g", e.Weight, k, threshold)
+		}
+	}
+	_ = ce{}
+}
+
+func TestCostsPerItemHelpers(t *testing.T) {
+	c := Costs{Items: 4, CrestOps: 8, TotalOps: 12}
+	if c.PerItemCrest() != 2 || c.PerItemTotal() != 3 {
+		t.Error("per-item helpers wrong")
+	}
+	var zero Costs
+	if zero.PerItemCrest() != 0 || zero.PerItemTotal() != 0 {
+		t.Error("zero-item helpers should be 0")
+	}
+}

@@ -1,0 +1,287 @@
+package synopsis
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+// CoefEntry is one retained coefficient of a compressed transform.
+type CoefEntry struct {
+	Coords []int
+	Value  float64
+	Energy float64
+}
+
+// Compressed is a best-K-term approximation of a multidimensional wavelet
+// transform: the K coefficients whose omission would cost the most squared
+// error. Because the Haar basis is orthogonal, the squared error of the
+// approximation equals exactly the summed energy of the dropped
+// coefficients — the property the container's tests pin down.
+type Compressed struct {
+	Shape         []int
+	Form          wavelet.Form
+	Entries       []CoefEntry
+	DroppedEnergy float64 // summed energy of coefficients not retained
+}
+
+// energyOf returns value^2 times the support volume of the coefficient at
+// coords, for either decomposition form.
+func energyOf(shape []int, form wavelet.Form, coords []int, v float64) float64 {
+	vol := 1.0
+	switch form {
+	case wavelet.Standard:
+		for t, c := range coords {
+			n := bitutil.Log2(shape[t])
+			vol *= float64(haar.Support(n, c).Len())
+		}
+	case wavelet.NonStandard:
+		n := bitutil.Log2(shape[0])
+		j, _, _ := wavelet.NonStdLevel(n, coords)
+		if j > n {
+			j = n // the overall average spans the whole domain
+		}
+		vol = float64(bitutil.IntPow(1<<uint(j), len(shape)))
+	default:
+		panic(fmt.Sprintf("synopsis: unknown form %v", form))
+	}
+	return v * v * vol
+}
+
+// Compress retains the k highest-energy coefficients of hat. k <= 0 keeps
+// everything (useful for round-trip tests).
+func Compress(hat *ndarray.Array, form wavelet.Form, k int) *Compressed {
+	c := &Compressed{Shape: hat.Shape(), Form: form}
+	all := make([]CoefEntry, 0, hat.Size())
+	hat.Each(func(coords []int, v float64) {
+		e := energyOf(c.Shape, form, coords, v)
+		all = append(all, CoefEntry{Coords: append([]int(nil), coords...), Value: v, Energy: e})
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].Energy > all[j].Energy })
+	if k <= 0 || k > len(all) {
+		k = len(all)
+	}
+	c.Entries = all[:k]
+	for _, e := range all[k:] {
+		c.DroppedEnergy += e.Energy
+	}
+	return c
+}
+
+// K returns the number of retained coefficients.
+func (c *Compressed) K() int { return len(c.Entries) }
+
+// RetainedEnergy returns the summed energy of the kept coefficients.
+func (c *Compressed) RetainedEnergy() float64 {
+	sum := 0.0
+	for _, e := range c.Entries {
+		sum += e.Energy
+	}
+	return sum
+}
+
+// Transform materializes the sparse approximation as a dense transform
+// (dropped coefficients are zero).
+func (c *Compressed) Transform() *ndarray.Array {
+	hat := ndarray.New(c.Shape...)
+	for _, e := range c.Entries {
+		hat.Set(e.Value, e.Coords...)
+	}
+	return hat
+}
+
+// Reconstruct inverts the approximation back to the data domain.
+func (c *Compressed) Reconstruct() *ndarray.Array {
+	return wavelet.Inverse(c.Transform(), c.Form)
+}
+
+// PointValue evaluates one cell of the approximation without materializing
+// anything, by walking only the retained coefficients on the cell's path.
+func (c *Compressed) PointValue(point []int) float64 {
+	// For small K a linear scan with per-coefficient weight evaluation is
+	// both simple and fast.
+	sum := 0.0
+	for _, e := range c.Entries {
+		sum += e.Value * pointWeight(c.Shape, c.Form, e.Coords, point)
+	}
+	return sum
+}
+
+// pointWeight returns the contribution weight of the coefficient at coords
+// to the cell at point (0 when the support does not cover the point).
+func pointWeight(shape []int, form wavelet.Form, coords, point []int) float64 {
+	switch form {
+	case wavelet.Standard:
+		w := 1.0
+		for t, cIdx := range coords {
+			n := bitutil.Log2(shape[t])
+			w *= weight1D(n, cIdx, point[t])
+			if w == 0 {
+				return 0
+			}
+		}
+		return w
+	case wavelet.NonStandard:
+		n := bitutil.Log2(shape[0])
+		j, subband, pos := wavelet.NonStdLevel(n, coords)
+		if subband == nil {
+			return 1 // the overall average contributes to every cell
+		}
+		w := 1.0
+		for t := range coords {
+			if point[t]>>uint(j) != pos[t] {
+				return 0
+			}
+			if subband[t] && point[t]>>uint(j-1)&1 == 1 {
+				w = -w
+			}
+		}
+		return w
+	default:
+		panic(fmt.Sprintf("synopsis: unknown form %v", form))
+	}
+}
+
+// weight1D is the contribution of the 1-d coefficient at flat index idx to
+// position p.
+func weight1D(n, idx, p int) float64 {
+	if idx == 0 {
+		return 1
+	}
+	j, k := haar.LevelPos(n, idx)
+	if p>>uint(j) != k {
+		return 0
+	}
+	if p>>uint(j-1)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// SSE returns the exact squared error of the approximation against the
+// original data.
+func (c *Compressed) SSE(orig *ndarray.Array) float64 {
+	rec := c.Reconstruct()
+	sse := 0.0
+	for i, v := range orig.Data() {
+		d := v - rec.Data()[i]
+		sse += d * d
+	}
+	return sse
+}
+
+// --- binary persistence -------------------------------------------------------
+
+const compressedMagic = uint32(0x53535953) // "SSYS"
+
+// WriteTo serializes the compressed transform.
+func (c *Compressed) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(compressedMagic); err != nil {
+		return n, err
+	}
+	if err := put(uint32(c.Form)); err != nil {
+		return n, err
+	}
+	if err := put(uint32(len(c.Shape))); err != nil {
+		return n, err
+	}
+	for _, s := range c.Shape {
+		if err := put(uint32(s)); err != nil {
+			return n, err
+		}
+	}
+	if err := put(uint32(len(c.Entries))); err != nil {
+		return n, err
+	}
+	if err := put(math.Float64bits(c.DroppedEnergy)); err != nil {
+		return n, err
+	}
+	for _, e := range c.Entries {
+		for _, cc := range e.Coords {
+			if err := put(uint32(cc)); err != nil {
+				return n, err
+			}
+		}
+		if err := put(math.Float64bits(e.Value)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadCompressed deserializes a compressed transform written by WriteTo.
+func ReadCompressed(r io.Reader) (*Compressed, error) {
+	br := bufio.NewReader(r)
+	var magic, form, dims uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != compressedMagic {
+		return nil, fmt.Errorf("synopsis: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &form); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &dims); err != nil {
+		return nil, err
+	}
+	if dims == 0 || dims > 16 {
+		return nil, fmt.Errorf("synopsis: implausible dimensionality %d", dims)
+	}
+	c := &Compressed{Form: wavelet.Form(form), Shape: make([]int, dims)}
+	for i := range c.Shape {
+		var s uint32
+		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+			return nil, err
+		}
+		c.Shape[i] = int(s)
+	}
+	var k uint32
+	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+		return nil, err
+	}
+	var de uint64
+	if err := binary.Read(br, binary.LittleEndian, &de); err != nil {
+		return nil, err
+	}
+	c.DroppedEnergy = math.Float64frombits(de)
+	c.Entries = make([]CoefEntry, k)
+	for i := range c.Entries {
+		coords := make([]int, dims)
+		for t := range coords {
+			var cc uint32
+			if err := binary.Read(br, binary.LittleEndian, &cc); err != nil {
+				return nil, err
+			}
+			coords[t] = int(cc)
+		}
+		var vb uint64
+		if err := binary.Read(br, binary.LittleEndian, &vb); err != nil {
+			return nil, err
+		}
+		v := math.Float64frombits(vb)
+		c.Entries[i] = CoefEntry{
+			Coords: coords,
+			Value:  v,
+			Energy: energyOf(c.Shape, c.Form, coords, v),
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,153 @@
+package synopsis
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+func randArray(rng *rand.Rand, shape ...int) *ndarray.Array {
+	a := ndarray.New(shape...)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64() * 10
+	}
+	return a
+}
+
+func TestCompressKeepAllRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randArray(rng, 16, 16)
+	for _, form := range []wavelet.Form{wavelet.Standard, wavelet.NonStandard} {
+		c := Compress(wavelet.Transform(a, form), form, 0)
+		if c.K() != 256 || c.DroppedEnergy != 0 {
+			t.Fatalf("%v: K=%d dropped=%g", form, c.K(), c.DroppedEnergy)
+		}
+		if !c.Reconstruct().EqualApprox(a, 1e-8) {
+			t.Errorf("%v: lossless compression does not round trip", form)
+		}
+	}
+}
+
+func TestSSEEqualsDroppedEnergy(t *testing.T) {
+	// The defining property of best-K Haar approximation: squared error ==
+	// summed energy of the dropped coefficients (orthogonality).
+	rng := rand.New(rand.NewSource(2))
+	for _, form := range []wavelet.Form{wavelet.Standard, wavelet.NonStandard} {
+		a := randArray(rng, 16, 16)
+		hat := wavelet.Transform(a, form)
+		for _, k := range []int{1, 8, 64, 200} {
+			c := Compress(hat, form, k)
+			sse := c.SSE(a)
+			if math.Abs(sse-c.DroppedEnergy) > 1e-6*(1+sse) {
+				t.Fatalf("%v k=%d: SSE %g vs dropped energy %g", form, k, sse, c.DroppedEnergy)
+			}
+		}
+	}
+}
+
+func TestCompressMonotoneError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randArray(rng, 32, 32)
+	hat := wavelet.Transform(a, wavelet.Standard)
+	prev := math.Inf(1)
+	for _, k := range []int{4, 16, 64, 256, 1024} {
+		sse := Compress(hat, wavelet.Standard, k).SSE(a)
+		if sse > prev+1e-9 {
+			t.Fatalf("SSE increased with k: %g -> %g at k=%d", prev, sse, k)
+		}
+		prev = sse
+	}
+	if prev > 1e-9 {
+		t.Errorf("full retention leaves SSE %g", prev)
+	}
+}
+
+func TestCompressIsBestK(t *testing.T) {
+	// No other selection of k coefficients can beat the top-k-by-energy
+	// selection; check against a few random selections.
+	rng := rand.New(rand.NewSource(4))
+	a := randArray(rng, 8, 8)
+	hat := wavelet.Transform(a, wavelet.Standard)
+	k := 10
+	best := Compress(hat, wavelet.Standard, k).SSE(a)
+	full := Compress(hat, wavelet.Standard, 0)
+	for trial := 0; trial < 30; trial++ {
+		perm := rng.Perm(len(full.Entries))[:k]
+		alt := &Compressed{Shape: full.Shape, Form: full.Form}
+		for _, i := range perm {
+			alt.Entries = append(alt.Entries, full.Entries[i])
+		}
+		if alt.SSE(a) < best-1e-9 {
+			t.Fatalf("random selection beat the greedy top-k: %g < %g", alt.SSE(a), best)
+		}
+	}
+}
+
+func TestPointValueMatchesReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, form := range []wavelet.Form{wavelet.Standard, wavelet.NonStandard} {
+		a := randArray(rng, 16, 16)
+		c := Compress(wavelet.Transform(a, form), form, 40)
+		rec := c.Reconstruct()
+		for trial := 0; trial < 50; trial++ {
+			p := []int{rng.Intn(16), rng.Intn(16)}
+			if got, want := c.PointValue(p), rec.At(p...); math.Abs(got-want) > 1e-8 {
+				t.Fatalf("%v point %v: %g vs %g", form, p, got, want)
+			}
+		}
+	}
+}
+
+func TestCompressedPersistenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, form := range []wavelet.Form{wavelet.Standard, wavelet.NonStandard} {
+		a := randArray(rng, 8, 8)
+		c := Compress(wavelet.Transform(a, form), form, 17)
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCompressed(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.K() != c.K() || back.Form != c.Form {
+			t.Fatalf("%v: K=%d form=%v after round trip", form, back.K(), back.Form)
+		}
+		if math.Abs(back.DroppedEnergy-c.DroppedEnergy) > 1e-12 {
+			t.Error("dropped energy not preserved")
+		}
+		if !back.Reconstruct().EqualApprox(c.Reconstruct(), 1e-12) {
+			t.Errorf("%v: reconstruction differs after persistence", form)
+		}
+	}
+}
+
+func TestReadCompressedRejectsGarbage(t *testing.T) {
+	if _, err := ReadCompressed(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadCompressed(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestQuickSSEIdentity(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randArray(rng, 8, 8)
+		hat := wavelet.Transform(a, wavelet.Standard)
+		k := 1 + int(kRaw)%64
+		c := Compress(hat, wavelet.Standard, k)
+		sse := c.SSE(a)
+		return math.Abs(sse-c.DroppedEnergy) <= 1e-6*(1+sse)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

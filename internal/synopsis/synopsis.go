@@ -1,0 +1,106 @@
+// Package synopsis maintains best-K-term wavelet synopses: the K
+// coefficients with the largest retained energy, the summary object that the
+// data-stream algorithms of paper §5.3 keep under bounded memory.
+//
+// For the unnormalized Haar convention used throughout this repository, the
+// squared-error energy of a coefficient equals value² times the size of its
+// support interval; callers pass that weight explicitly so the container
+// stays agnostic to dimensionality and decomposition form.
+package synopsis
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Entry is one retained coefficient.
+type Entry[K comparable] struct {
+	Key    K
+	Value  float64
+	Weight float64 // retention priority; energy = value^2 * support
+}
+
+// Synopsis keeps the K entries with the largest weight seen so far.
+type Synopsis[K comparable] struct {
+	k     int
+	items entryHeap[K]
+	index map[K]bool
+}
+
+// New creates a synopsis retaining at most k entries. k <= 0 means
+// unbounded (useful for exact replay in tests).
+func New[K comparable](k int) *Synopsis[K] {
+	return &Synopsis[K]{k: k, index: make(map[K]bool)}
+}
+
+// K returns the capacity (0 = unbounded).
+func (s *Synopsis[K]) K() int { return s.k }
+
+// Len returns the number of retained entries.
+func (s *Synopsis[K]) Len() int { return len(s.items) }
+
+// Offer proposes a finalized coefficient. If the synopsis is full and the
+// new entry outweighs the current minimum, the minimum is evicted and
+// returned. Offering an already-present key panics: stream coefficients
+// are only finalized once.
+func (s *Synopsis[K]) Offer(key K, value, weight float64) (evicted Entry[K], wasEvicted bool) {
+	if s.index[key] {
+		panic(fmt.Sprintf("synopsis: key %v offered twice", key))
+	}
+	e := Entry[K]{Key: key, Value: value, Weight: weight}
+	if s.k <= 0 || len(s.items) < s.k {
+		s.index[key] = true
+		heap.Push(&s.items, e)
+		return evicted, false
+	}
+	if s.items[0].Weight >= weight {
+		return e, true // the newcomer itself is dropped
+	}
+	evicted = s.items[0]
+	delete(s.index, evicted.Key)
+	s.index[key] = true
+	s.items[0] = e
+	heap.Fix(&s.items, 0)
+	return evicted, true
+}
+
+// Contains reports whether a key is retained.
+func (s *Synopsis[K]) Contains(key K) bool { return s.index[key] }
+
+// Entries returns the retained entries in unspecified order.
+func (s *Synopsis[K]) Entries() []Entry[K] {
+	out := make([]Entry[K], len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// MinWeight returns the smallest retained weight (0 when empty).
+func (s *Synopsis[K]) MinWeight() float64 {
+	if len(s.items) == 0 {
+		return 0
+	}
+	return s.items[0].Weight
+}
+
+// RetainedEnergy returns the sum of retained weights.
+func (s *Synopsis[K]) RetainedEnergy() float64 {
+	sum := 0.0
+	for _, e := range s.items {
+		sum += e.Weight
+	}
+	return sum
+}
+
+type entryHeap[K comparable] []Entry[K]
+
+func (h entryHeap[K]) Len() int            { return len(h) }
+func (h entryHeap[K]) Less(i, j int) bool  { return h[i].Weight < h[j].Weight }
+func (h entryHeap[K]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap[K]) Push(x interface{}) { *h = append(*h, x.(Entry[K])) }
+func (h *entryHeap[K]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

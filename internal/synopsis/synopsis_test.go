@@ -1,0 +1,117 @@
+package synopsis
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOfferBelowCapacity(t *testing.T) {
+	s := New[int](3)
+	for i := 0; i < 3; i++ {
+		if _, ev := s.Offer(i, float64(i), float64(i)); ev {
+			t.Fatalf("eviction below capacity at %d", i)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestOfferEvictsMinimum(t *testing.T) {
+	s := New[string](2)
+	s.Offer("a", 1, 10)
+	s.Offer("b", 2, 20)
+	ev, was := s.Offer("c", 3, 15)
+	if !was || ev.Key != "a" {
+		t.Fatalf("evicted %+v (%v), want a", ev, was)
+	}
+	if !s.Contains("b") || !s.Contains("c") || s.Contains("a") {
+		t.Error("wrong retained set")
+	}
+}
+
+func TestOfferRejectsWeakNewcomer(t *testing.T) {
+	s := New[string](2)
+	s.Offer("a", 1, 10)
+	s.Offer("b", 2, 20)
+	ev, was := s.Offer("c", 3, 5)
+	if !was || ev.Key != "c" {
+		t.Fatalf("weak newcomer should bounce, got %+v (%v)", ev, was)
+	}
+	if s.Contains("c") {
+		t.Error("weak newcomer retained")
+	}
+}
+
+func TestOfferDuplicatePanics(t *testing.T) {
+	s := New[int](2)
+	s.Offer(1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate key did not panic")
+		}
+	}()
+	s.Offer(1, 2, 2)
+}
+
+func TestUnboundedKeepsAll(t *testing.T) {
+	s := New[int](0)
+	for i := 0; i < 1000; i++ {
+		if _, ev := s.Offer(i, 1, float64(i)); ev {
+			t.Fatal("unbounded synopsis evicted")
+		}
+	}
+	if s.Len() != 1000 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestTopKMatchesOfflineSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, k = 500, 25
+	weights := make([]float64, n)
+	s := New[int](k)
+	for i := range weights {
+		weights[i] = rng.Float64() * 100
+		s.Offer(i, 0, weights[i])
+	}
+	sorted := append([]float64(nil), weights...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	threshold := sorted[k-1]
+	for _, e := range s.Entries() {
+		if e.Weight < threshold {
+			t.Fatalf("retained weight %g below true top-%d threshold %g", e.Weight, k, threshold)
+		}
+	}
+	var sum float64
+	for _, w := range sorted[:k] {
+		sum += w
+	}
+	if got := s.RetainedEnergy(); got < sum-1e-9 || got > sum+1e-9 {
+		t.Errorf("retained energy %g, want %g", got, sum)
+	}
+}
+
+func TestMinWeight(t *testing.T) {
+	s := New[int](3)
+	if s.MinWeight() != 0 {
+		t.Error("empty MinWeight should be 0")
+	}
+	s.Offer(1, 0, 5)
+	s.Offer(2, 0, 3)
+	s.Offer(3, 0, 9)
+	if s.MinWeight() != 3 {
+		t.Errorf("MinWeight = %g", s.MinWeight())
+	}
+}
+
+func TestStructKeys(t *testing.T) {
+	type jk struct{ J, K int }
+	s := New[jk](2)
+	s.Offer(jk{1, 0}, 1, 1)
+	s.Offer(jk{2, 0}, 2, 2)
+	if !s.Contains(jk{1, 0}) {
+		t.Error("struct key lookup failed")
+	}
+}

@@ -1,0 +1,192 @@
+package tile
+
+import "github.com/shiftsplit/shiftsplit/internal/ndarray"
+
+// Batch accumulates coefficient updates against a tiled store and applies
+// them with one read and one write per touched block. The chunked
+// transformation engines use one Batch per chunk, which realizes the paper's
+// per-chunk I/O accounting: a chunk's SHIFT-SPLIT output costs as many block
+// I/Os as it touches tiles (§4.2), regardless of how many coefficients land
+// in each tile.
+type Batch struct {
+	store  *Store
+	blocks map[int][]float64 // block id -> working copy (loaded on first touch)
+	reads  int
+}
+
+// NewBatch starts an empty batch against st.
+func NewBatch(st *Store) *Batch {
+	return &Batch{store: st, blocks: make(map[int][]float64)}
+}
+
+func (b *Batch) load(block int) ([]float64, error) {
+	if data, ok := b.blocks[block]; ok {
+		return data, nil
+	}
+	data, err := b.store.ReadTile(block)
+	if err != nil {
+		return nil, err
+	}
+	b.reads++
+	b.blocks[block] = data
+	return data, nil
+}
+
+// Add accumulates a delta into the coefficient at coords.
+func (b *Batch) Add(coords []int, delta float64) error {
+	block, slot := b.store.Tiling().Locate(coords)
+	data, err := b.load(block)
+	if err != nil {
+		return err
+	}
+	data[slot] += delta
+	return nil
+}
+
+// Set overwrites the coefficient at coords.
+func (b *Batch) Set(coords []int, v float64) error {
+	block, slot := b.store.Tiling().Locate(coords)
+	data, err := b.load(block)
+	if err != nil {
+		return err
+	}
+	data[slot] = v
+	return nil
+}
+
+// Touched returns the number of distinct blocks in the batch so far.
+func (b *Batch) Touched() int { return len(b.blocks) }
+
+// Flush writes every touched block back and resets the batch.
+func (b *Batch) Flush() error {
+	for id, data := range b.blocks {
+		if err := b.store.WriteTile(id, data); err != nil {
+			return err
+		}
+	}
+	b.blocks = make(map[int][]float64)
+	return nil
+}
+
+// BlockCapacities returns, for every block of the tiling, how many real
+// transform coefficients of an array with the given shape map into it. Slots
+// holding redundant scaling coefficients (slot 0 of non-root tiles) and
+// unused slots of shallow tiles are not counted.
+func BlockCapacities(shape []int, t Tiling) map[int]int {
+	caps := make(map[int]int)
+	coords := make([]int, len(shape))
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == len(shape) {
+			block, _ := t.Locate(coords)
+			caps[block]++
+			return
+		}
+		for v := 0; v < shape[dim]; v++ {
+			coords[dim] = v
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	return caps
+}
+
+// OnceWriter writes final (write-once) coefficient values through a tiled
+// store, buffering each block in memory until every real coefficient slot
+// of that block has been set and then writing it exactly once. This is the
+// I/O discipline of the z-ordered non-standard transformation (Result 2):
+// every output block costs a single write and no reads.
+type OnceWriter struct {
+	store      *Store
+	capacities map[int]int
+	pending    map[int]*onceBlock
+	written    map[int]bool
+}
+
+type onceBlock struct {
+	data      []float64 // nil until the first non-zero value arrives
+	remaining int
+}
+
+// NewOnceWriter creates a write-once sink; capacities must come from
+// BlockCapacities for the same shape and tiling.
+func NewOnceWriter(st *Store, capacities map[int]int) *OnceWriter {
+	return &OnceWriter{
+		store:      st,
+		capacities: capacities,
+		pending:    make(map[int]*onceBlock),
+		written:    make(map[int]bool),
+	}
+}
+
+// Set records a final coefficient value, flushing its block if complete.
+// Blocks that turn out to be entirely zero are never written at all —
+// unwritten blocks read back as zeros, which is how the engines inherit the
+// paper's sparse-data savings (§5.1) for free.
+func (w *OnceWriter) Set(coords []int, v float64) error {
+	block, slot := w.store.Tiling().Locate(coords)
+	ob, ok := w.pending[block]
+	if !ok {
+		ob = &onceBlock{remaining: w.capacities[block]}
+		w.pending[block] = ob
+	}
+	if v != 0 {
+		if ob.data == nil {
+			ob.data = make([]float64, w.store.Tiling().BlockSize())
+		}
+		ob.data[slot] = v
+	}
+	ob.remaining--
+	if ob.remaining == 0 {
+		delete(w.pending, block)
+		if ob.data == nil {
+			return nil // all-zero block: nothing to store
+		}
+		if err := w.store.WriteTile(block, ob.data); err != nil {
+			return err
+		}
+		w.written[block] = true
+	}
+	return nil
+}
+
+// Pending returns the number of blocks still buffered (the engine's
+// memory footprint beyond the chunk itself).
+func (w *OnceWriter) Pending() int { return len(w.pending) }
+
+// MaxWrites returns how many blocks have been written so far.
+func (w *OnceWriter) MaxWrites() int { return len(w.written) }
+
+// Flush writes any incomplete blocks (normally only blocks whose unset
+// slots are reserved scaling slots). All-zero blocks are dropped.
+func (w *OnceWriter) Flush() error {
+	for id, ob := range w.pending {
+		delete(w.pending, id)
+		if ob.data == nil {
+			continue
+		}
+		if err := w.store.WriteTile(id, ob.data); err != nil {
+			return err
+		}
+		w.written[id] = true
+	}
+	return nil
+}
+
+// WriteArray stores a full in-memory transform through a tiled store with
+// one write per block — the cost of sequentially dumping a transform.
+func WriteArray(st *Store, hat *ndarray.Array) error {
+	caps := BlockCapacities(hat.Shape(), st.Tiling())
+	w := NewOnceWriter(st, caps)
+	var err error
+	hat.Each(func(coords []int, v float64) {
+		if err != nil {
+			return
+		}
+		err = w.Set(coords, v)
+	})
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}

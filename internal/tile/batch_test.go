@@ -1,0 +1,159 @@
+package tile
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+func TestBatchCoalescesBlockIO(t *testing.T) {
+	tiling := NewOneD(6, 2)
+	counting := storage.NewCounting(storage.NewMemStore(tiling.BlockSize()))
+	st, err := NewStore(counting, tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(st)
+	// Touch many coefficients inside one tile: the finest-level details of
+	// indices 32..35 live in the same subtree band but different tiles;
+	// use a path instead — indices 1, 2, 3 share the top tile for b=2.
+	for _, idx := range []int{1, 2, 3} {
+		if err := b.Add([]int{idx}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Touched() != 1 {
+		t.Fatalf("touched %d blocks, want 1", b.Touched())
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats := counting.Stats()
+	if stats.Reads != 1 || stats.Writes != 1 {
+		t.Errorf("stats = %+v, want one read and one write", stats)
+	}
+}
+
+func TestBatchAddAccumulates(t *testing.T) {
+	tiling := NewOneD(4, 2)
+	st, err := NewStore(storage.NewMemStore(tiling.BlockSize()), tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(st)
+	if err := b.Add([]int{5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]int{5}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set([]int{6}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Get([]int{5}); v != 5 {
+		t.Errorf("accumulated value %g", v)
+	}
+	if v, _ := st.Get([]int{6}); v != 7 {
+		t.Errorf("set value %g", v)
+	}
+}
+
+func TestBatchFlushResets(t *testing.T) {
+	tiling := NewOneD(4, 2)
+	st, err := NewStore(storage.NewMemStore(tiling.BlockSize()), tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(st)
+	if err := b.Add([]int{3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Touched() != 0 {
+		t.Error("batch not reset after flush")
+	}
+	// A second flush is a no-op.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchSeesPriorState(t *testing.T) {
+	tiling := NewOneD(4, 2)
+	st, err := NewStore(storage.NewMemStore(tiling.BlockSize()), tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set([]int{9}, 10); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(st)
+	if err := b.Add([]int{9}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Get([]int{9}); v != 15 {
+		t.Errorf("read-modify-write got %g, want 15", v)
+	}
+}
+
+func TestBlockCapacitiesSumToDomain(t *testing.T) {
+	for _, c := range []struct {
+		shape  []int
+		tiling Tiling
+	}{
+		{[]int{64}, NewOneD(6, 2)},
+		{[]int{16, 16}, NewStandard([]int{4, 4}, 2)},
+		{[]int{16, 16}, NewNonStandard(4, 2, 2)},
+		{[]int{8, 8}, NewSequential([]int{8, 8}, 16)},
+	} {
+		caps := BlockCapacities(c.shape, c.tiling)
+		total := 0
+		for _, v := range caps {
+			total += v
+		}
+		want := 1
+		for _, s := range c.shape {
+			want *= s
+		}
+		if total != want {
+			t.Errorf("%T: capacities sum to %d, want %d", c.tiling, total, want)
+		}
+	}
+}
+
+func TestWriteArrayRoundTrip(t *testing.T) {
+	tiling := NewNonStandard(3, 2, 2)
+	st, err := NewStore(storage.NewMemStore(tiling.BlockSize()), tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hat := ndarray.New(8, 8)
+	for i := range hat.Data() {
+		hat.Data()[i] = float64(i) + 1
+	}
+	if err := WriteArray(st, hat); err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	hat.Each(func(coords []int, v float64) {
+		got, err := st.Get(coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			bad++
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d coefficients differ after WriteArray", bad)
+	}
+}

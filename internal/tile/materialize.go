@@ -1,0 +1,176 @@
+package tile
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/core"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
+
+// MaterializeStandard writes a complete standard-form transform into a tiled
+// store, filling every slot of every block: real transform coefficients at
+// their Locate positions plus the redundant generalized coefficients (mixed
+// per-dimension scaling/detail products, §3.2) in the slots whose
+// per-dimension component is the tile-root scaling.
+func MaterializeStandard(st *Store, hat *ndarray.Array) error {
+	tiling, ok := st.Tiling().(*Standard)
+	if !ok {
+		return fmt.Errorf("tile: MaterializeStandard needs a *Standard tiling, got %T", st.Tiling())
+	}
+	d := tiling.Dims()
+	if hat.Dims() != d {
+		return fmt.Errorf("tile: transform has %d dims, tiling %d", hat.Dims(), d)
+	}
+	// Per-dimension basis table: basis[t][tile*B+slot] lists the weighted
+	// 1-d transform indices whose combination yields that slot's value
+	// along dimension t (nil for unused slots of shallow tiles).
+	basis := make([][][]core.Target, d)
+	for t := 0; t < d; t++ {
+		oneD := tiling.Dim(t)
+		n := oneD.Levels()
+		if hat.Extent(t) != 1<<uint(n) {
+			return fmt.Errorf("tile: dim %d extent %d does not match tiling n=%d", t, hat.Extent(t), n)
+		}
+		B := oneD.BlockSize()
+		table := make([][]core.Target, oneD.NumBlocks()*B)
+		for idx := 0; idx < 1<<uint(n); idx++ {
+			bt, slot := oneD.Locate1D(idx)
+			table[bt*B+slot] = []core.Target{{Index: idx, Weight: 1}}
+		}
+		for bt := 1; bt < oneD.NumBlocks(); bt++ {
+			j, k := oneD.RootOf(bt)
+			table[bt*B+0] = core.ScalingPath1D(n, j, k)
+		}
+		basis[t] = table
+	}
+	// Fill every block.
+	B := 1
+	if d > 0 {
+		B = tiling.Dim(0).BlockSize()
+	}
+	blockData := make([]float64, tiling.BlockSize())
+	perDimTiles := make([]int, d)
+	perDimSlots := make([]int, d)
+	coords := make([]int, d)
+	choice := make([]int, d)
+	for block := 0; block < tiling.NumBlocks(); block++ {
+		copy(perDimTiles, tiling.PerDimBlocks(block))
+		for i := range blockData {
+			blockData[i] = 0
+		}
+		for slot := 0; slot < tiling.BlockSize(); slot++ {
+			// Decompose the flat slot into per-dimension slots.
+			rem := slot
+			empty := false
+			lists := make([][]core.Target, d)
+			for t := d - 1; t >= 0; t-- {
+				perDimSlots[t] = rem % B
+				rem /= B
+				lists[t] = basis[t][perDimTiles[t]*B+perDimSlots[t]]
+				if lists[t] == nil {
+					empty = true
+				}
+			}
+			if empty {
+				continue
+			}
+			for t := range choice {
+				choice[t] = 0
+			}
+			sum := 0.0
+			for {
+				w := 1.0
+				for t := 0; t < d; t++ {
+					tt := lists[t][choice[t]]
+					coords[t] = tt.Index
+					w *= tt.Weight
+				}
+				sum += w * hat.At(coords...)
+				t := d - 1
+				for ; t >= 0; t-- {
+					choice[t]++
+					if choice[t] < len(lists[t]) {
+						break
+					}
+					choice[t] = 0
+				}
+				if t < 0 {
+					break
+				}
+			}
+			blockData[slot] = sum
+		}
+		if err := st.WriteTile(block, blockData); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeNonStandard writes a complete non-standard transform into a
+// tiled store: every detail at its Locate position, the overall average in
+// slot 0 of the top tile, and each other tile's root-cell scaling
+// coefficient in its slot 0.
+func MaterializeNonStandard(st *Store, hat *ndarray.Array) error {
+	tiling, ok := st.Tiling().(*NonStandard)
+	if !ok {
+		return fmt.Errorf("tile: MaterializeNonStandard needs a *NonStandard tiling, got %T", st.Tiling())
+	}
+	if hat.Dims() != tiling.d {
+		return fmt.Errorf("tile: transform has %d dims, tiling %d", hat.Dims(), tiling.d)
+	}
+	for t := 0; t < tiling.d; t++ {
+		if hat.Extent(t) != 1<<uint(tiling.n) {
+			return fmt.Errorf("tile: extent %d does not match tiling n=%d", hat.Extent(t), tiling.n)
+		}
+	}
+	blocks := make(map[int][]float64, tiling.NumBlocks())
+	get := func(id int) []float64 {
+		b, ok := blocks[id]
+		if !ok {
+			b = make([]float64, tiling.BlockSize())
+			blocks[id] = b
+		}
+		return b
+	}
+	hat.Each(func(coords []int, v float64) {
+		block, slot := tiling.Locate(coords)
+		get(block)[slot] = v
+	})
+	for block := 1; block < tiling.NumBlocks(); block++ {
+		level, pos := tiling.RootOf(block)
+		get(block)[0] = core.ScalingNonStandard(hat, level, pos)
+	}
+	for id := 0; id < tiling.NumBlocks(); id++ {
+		if b, ok := blocks[id]; ok {
+			if err := st.WriteTile(id, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AffectedTiles returns the number of distinct blocks touched by a set of
+// coefficient coordinates, the quantity Table 1 bounds for SHIFT and SPLIT.
+func AffectedTiles(t Tiling, each func(visit func(coords []int))) int {
+	seen := make(map[int]struct{})
+	each(func(coords []int) {
+		block, _ := t.Locate(coords)
+		seen[block] = struct{}{}
+	})
+	return len(seen)
+}
+
+// TheoreticalShiftTilesOneD returns ceil(M/B), the §4.2 bound on tiles
+// affected by a 1-d SHIFT of a block of size M with tile size B.
+func TheoreticalShiftTilesOneD(m, b int) int {
+	return bitutil.CeilDiv(1<<uint(m), 1<<uint(b))
+}
+
+// TheoreticalSplitTilesOneD returns ceil(log(N/M)/log B)-ish: the number of
+// tiles met by a root path of n-m levels when tiles span b levels.
+func TheoreticalSplitTilesOneD(n, m, b int) int {
+	return bitutil.CeilDiv(n-m, b)
+}

@@ -1,0 +1,210 @@
+package tile
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+// Standard tiles a standard-form multidimensional transform as the cross
+// product of per-dimension OneD tilings (§3.2): a block holds the B^d
+// generalized coefficients formed by crossing d single-dimensional tile
+// bases.
+type Standard struct {
+	dims []*OneD
+	b    int
+}
+
+// NewStandard creates the standard-form tiling for a transform whose
+// dimension t has size 2^n[t], with per-dimension block edge 2^b (so blocks
+// hold 2^(b*d) slots).
+func NewStandard(n []int, b int) *Standard {
+	if len(n) == 0 {
+		panic("tile: NewStandard with no dimensions")
+	}
+	dims := make([]*OneD, len(n))
+	for i, ni := range n {
+		dims[i] = NewOneD(ni, b)
+	}
+	return &Standard{dims: dims, b: b}
+}
+
+// Dims returns the dimensionality.
+func (s *Standard) Dims() int { return len(s.dims) }
+
+// Dim returns the per-dimension tiling for dimension t.
+func (s *Standard) Dim(t int) *OneD { return s.dims[t] }
+
+// BlockSize returns B^d.
+func (s *Standard) BlockSize() int {
+	return bitutil.IntPow(1<<uint(s.b), len(s.dims))
+}
+
+// NumBlocks returns the product of per-dimension tile counts.
+func (s *Standard) NumBlocks() int {
+	n := 1
+	for _, d := range s.dims {
+		n *= d.NumBlocks()
+	}
+	return n
+}
+
+// Locate maps transform coordinates to (block, slot) by combining the
+// per-dimension locations in mixed radix.
+func (s *Standard) Locate(coords []int) (block, slot int) {
+	if len(coords) != len(s.dims) {
+		panic(fmt.Sprintf("tile: Standard.Locate with %d coords for %d dims", len(coords), len(s.dims)))
+	}
+	for t, d := range s.dims {
+		bt, st := d.Locate1D(coords[t])
+		block = block*d.NumBlocks() + bt
+		slot = slot*d.BlockSize() + st
+	}
+	return block, slot
+}
+
+// PerDimBlocks splits a flat block ID back into per-dimension tile IDs.
+func (s *Standard) PerDimBlocks(block int) []int {
+	out := make([]int, len(s.dims))
+	for t := len(s.dims) - 1; t >= 0; t-- {
+		nb := s.dims[t].NumBlocks()
+		out[t] = block % nb
+		block /= nb
+	}
+	return out
+}
+
+// NonStandard tiles a non-standard transform of a cubic d-dimensional
+// domain of edge 2^n into quadtree subtrees of height b (§3.2, Figure 7).
+// Each block holds (D^h - 1)/(D - 1) nodes of D-1 detail coefficients each
+// (D = 2^d, h the tile height) plus the root scaling in slot 0; full-height
+// tiles use exactly B^d = D^b slots.
+type NonStandard struct {
+	n, d, b int
+	h0      int
+	cumRoot []int // cumRoot[t] = number of tiles in bands < t
+}
+
+// NewNonStandard creates the non-standard tiling.
+func NewNonStandard(n, d, b int) *NonStandard {
+	if n < 0 || d < 1 || b < 1 {
+		panic(fmt.Sprintf("tile: NewNonStandard(%d, %d, %d)", n, d, b))
+	}
+	h0 := n % b
+	if h0 == 0 {
+		h0 = bitutil.Min(b, n)
+	}
+	t := &NonStandard{n: n, d: d, b: b, h0: h0}
+	cum := []int{0}
+	for s := 0; s < n; {
+		cum = append(cum, cum[len(cum)-1]+bitutil.IntPow(1<<uint(s), d))
+		if s == 0 {
+			s = h0
+		} else {
+			s += b
+		}
+	}
+	t.cumRoot = cum
+	return t
+}
+
+// BlockSize returns B^d = 2^(b*d).
+func (t *NonStandard) BlockSize() int {
+	return bitutil.IntPow(1<<uint(t.b), t.d)
+}
+
+// NumBlocks returns the number of quadtree subtree tiles.
+func (t *NonStandard) NumBlocks() int {
+	if t.n == 0 {
+		return 1
+	}
+	return t.cumRoot[len(t.cumRoot)-1]
+}
+
+func (t *NonStandard) bandStart(band int) int {
+	if band == 0 {
+		return 0
+	}
+	return t.h0 + (band-1)*t.b
+}
+
+func (t *NonStandard) bandOf(depth int) int {
+	if depth < t.h0 {
+		return 0
+	}
+	return 1 + (depth-t.h0)/t.b
+}
+
+// Locate maps Mallat-layout coordinates of the cubic transform to
+// (block, slot). The overall average at the origin maps to slot 0 of the
+// top tile.
+func (t *NonStandard) Locate(coords []int) (block, slot int) {
+	if len(coords) != t.d {
+		panic(fmt.Sprintf("tile: NonStandard.Locate with %d coords for d=%d", len(coords), t.d))
+	}
+	j, subband, pos := wavelet.NonStdLevel(t.n, coords)
+	if subband == nil { // the overall average
+		return 0, 0
+	}
+	depth := t.n - j
+	band := t.bandOf(depth)
+	start := t.bandStart(band)
+	delta := depth - start // node depth within the tile
+	// Tile root cell: the ancestor of the node's cell delta levels up.
+	rootIdx := 0
+	localIdx := 0
+	for i := 0; i < t.d; i++ {
+		root := pos[i] >> uint(delta)
+		rootIdx = rootIdx<<uint(start) | root
+		localIdx = localIdx<<uint(delta) | (pos[i] - root<<uint(delta))
+	}
+	block = t.cumRoot[band] + rootIdx
+	// Nodes above this one inside the tile: (D^delta - 1)/(D - 1).
+	dPow := bitutil.IntPow(1<<uint(t.d), delta)
+	nodesAbove := (dPow - 1) / (1<<uint(t.d) - 1)
+	nodeLocal := nodesAbove + localIdx
+	mask := 0
+	for i := 0; i < t.d; i++ {
+		if subband[i] {
+			mask |= 1 << uint(i)
+		}
+	}
+	slot = 1 + nodeLocal*(1<<uint(t.d)-1) + (mask - 1)
+	return block, slot
+}
+
+// RootOf returns the level and cell position of the tile's root node, whose
+// scaling coefficient occupies slot 0. For the top tile it returns the root
+// node (level n, origin).
+func (t *NonStandard) RootOf(block int) (level int, pos []int) {
+	if block < 0 || block >= t.NumBlocks() {
+		panic(fmt.Sprintf("tile: NonStandard.RootOf(%d)", block))
+	}
+	pos = make([]int, t.d)
+	if t.n == 0 {
+		return 0, pos
+	}
+	band := 0
+	for band+1 < len(t.cumRoot) && t.cumRoot[band+1] <= block {
+		band++
+	}
+	start := t.bandStart(band)
+	rootIdx := block - t.cumRoot[band]
+	for i := t.d - 1; i >= 0; i-- {
+		pos[i] = rootIdx & (1<<uint(start) - 1)
+		rootIdx >>= uint(start)
+	}
+	return t.n - start, pos
+}
+
+// TileHeight returns how many quadtree levels the block spans.
+func (t *NonStandard) TileHeight(block int) int {
+	if t.n == 0 {
+		return 0
+	}
+	if block < t.cumRoot[1] {
+		return t.h0
+	}
+	return t.b
+}

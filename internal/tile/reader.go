@@ -1,0 +1,51 @@
+package tile
+
+// Reader provides cached coefficient reads over a tiled store for the
+// duration of one logical operation: each block is read from the underlying
+// store at most once, so the number of distinct blocks touched — the
+// quantity the paper's query-cost analyses bound — is exactly the I/O the
+// wrapped storage.Counting observes.
+type Reader struct {
+	store *Store
+	cache map[int][]float64
+}
+
+// NewReader starts a read cache over st.
+func NewReader(st *Store) *Reader {
+	return &Reader{store: st, cache: make(map[int][]float64)}
+}
+
+// Get reads one coefficient, loading its block on first touch.
+func (r *Reader) Get(coords []int) (float64, error) {
+	block, slot := r.store.Tiling().Locate(coords)
+	data, err := r.block(block)
+	if err != nil {
+		return 0, err
+	}
+	return data[slot], nil
+}
+
+// Slot reads a raw block slot (used for the redundant scaling slots that
+// have no coefficient coordinates).
+func (r *Reader) Slot(block, slot int) (float64, error) {
+	data, err := r.block(block)
+	if err != nil {
+		return 0, err
+	}
+	return data[slot], nil
+}
+
+func (r *Reader) block(id int) ([]float64, error) {
+	if data, ok := r.cache[id]; ok {
+		return data, nil
+	}
+	data, err := r.store.ReadTile(id)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[id] = data
+	return data, nil
+}
+
+// BlocksRead returns the number of distinct blocks loaded so far.
+func (r *Reader) BlocksRead() int { return len(r.cache) }

@@ -1,0 +1,79 @@
+package tile
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+// Store provides coefficient-level access to a transform laid out on a
+// BlockStore according to a Tiling. Every access goes through whole-block
+// reads and writes, so wrapping the underlying store with storage.Counting
+// (and optionally a storage.BufferPool to model available memory) measures
+// exactly the block I/O the paper's figures report.
+type Store struct {
+	bs     storage.BlockStore
+	tiling Tiling
+	buf    []float64
+}
+
+// NewStore binds a tiling to a block store. The store's block size must
+// match the tiling's.
+func NewStore(bs storage.BlockStore, tiling Tiling) (*Store, error) {
+	if bs.BlockSize() != tiling.BlockSize() {
+		return nil, fmt.Errorf("tile: block size mismatch: store %d, tiling %d", bs.BlockSize(), tiling.BlockSize())
+	}
+	return &Store{bs: bs, tiling: tiling, buf: make([]float64, bs.BlockSize())}, nil
+}
+
+// Tiling returns the tiling in use.
+func (s *Store) Tiling() Tiling { return s.tiling }
+
+// Blocks returns the underlying block store.
+func (s *Store) Blocks() storage.BlockStore { return s.bs }
+
+// Get reads one coefficient.
+func (s *Store) Get(coords []int) (float64, error) {
+	block, slot := s.tiling.Locate(coords)
+	if err := s.bs.ReadBlock(block, s.buf); err != nil {
+		return 0, err
+	}
+	return s.buf[slot], nil
+}
+
+// Set writes one coefficient (read-modify-write of its block).
+func (s *Store) Set(coords []int, v float64) error {
+	block, slot := s.tiling.Locate(coords)
+	if err := s.bs.ReadBlock(block, s.buf); err != nil {
+		return err
+	}
+	s.buf[slot] = v
+	return s.bs.WriteBlock(block, s.buf)
+}
+
+// Add accumulates a delta into one coefficient (read-modify-write).
+func (s *Store) Add(coords []int, delta float64) error {
+	block, slot := s.tiling.Locate(coords)
+	if err := s.bs.ReadBlock(block, s.buf); err != nil {
+		return err
+	}
+	s.buf[slot] += delta
+	return s.bs.WriteBlock(block, s.buf)
+}
+
+// ReadTile returns a copy of one whole block.
+func (s *Store) ReadTile(block int) ([]float64, error) {
+	out := make([]float64, s.tiling.BlockSize())
+	if err := s.bs.ReadBlock(block, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteTile stores one whole block.
+func (s *Store) WriteTile(block int, data []float64) error {
+	return s.bs.WriteBlock(block, data)
+}
+
+// Close closes the underlying block store.
+func (s *Store) Close() error { return s.bs.Close() }

@@ -1,0 +1,244 @@
+// Package tile implements the paper's optimal coefficient-to-disk-block
+// allocation strategy (§3): wavelet trees are partitioned into subtree tiles
+// sized to fit one disk block, so that the path-to-root access pattern of
+// reconstruction touches as few blocks as possible, and so that SHIFT-SPLIT
+// operations touch B (respectively log B) times fewer tiles than
+// coefficients (§4.2, Table 1).
+//
+// Three tilings are provided:
+//
+//   - OneD: binary subtrees of height b for a 1-d transform of size 2^n
+//     (Figure 4), 2^b - 1 details plus the subtree root's scaling
+//     coefficient per block of B = 2^b slots;
+//   - Standard: the cross product of d OneD tilings for a standard-form
+//     multidimensional transform (§3.2), B^d slots per block; and
+//   - NonStandard: quadtree subtrees of height b for a non-standard
+//     transform (Figure 7), (D^b-1)/(D-1) nodes of D-1 coefficients each
+//     (D = 2^d) plus the root scaling, B^d slots per block.
+//
+// A Sequential tiling (flat row-major chunks of the coefficient array,
+// ignoring tree structure) is included as the ablation baseline.
+//
+// Slot 0 of every tile is reserved for the scaling coefficient of the tile's
+// root. For the tile containing the tree root this is the transform's
+// overall average; for all other tiles it is redundant derived data that the
+// paper stores to cut query cost (a point can then be reconstructed from a
+// single block).
+package tile
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+)
+
+// Tiling maps coefficient coordinates of a transform to (block, slot).
+type Tiling interface {
+	// BlockSize returns the number of coefficient slots per block.
+	BlockSize() int
+	// NumBlocks returns the total number of blocks covering the domain.
+	NumBlocks() int
+	// Locate maps transform-layout coordinates to a block ID and a slot
+	// within that block.
+	Locate(coords []int) (block, slot int)
+}
+
+// OneD tiles the error tree of a 1-d transform of size 2^n into subtrees of
+// height b. When b does not divide n the tile containing the tree root is
+// shallower (height n mod b); every block still has 2^b slots.
+type OneD struct {
+	n, b    int
+	h0      int   // height of the top band
+	cumRoot []int // cumRoot[t] = number of tiles in bands < t
+}
+
+// NewOneD creates the 1-d tiling for a domain of size 2^n with block size
+// 2^b coefficients.
+func NewOneD(n, b int) *OneD {
+	if n < 0 || b < 1 {
+		panic(fmt.Sprintf("tile: NewOneD(%d, %d)", n, b))
+	}
+	h0 := n % b
+	if h0 == 0 {
+		h0 = bitutil.Min(b, n)
+	}
+	t := &OneD{n: n, b: b, h0: h0}
+	// Band t starts at depth S(t): S(0)=0, S(t)=h0+(t-1)*b.
+	cum := []int{0}
+	for s := 0; s < n; {
+		cum = append(cum, cum[len(cum)-1]+(1<<uint(s)))
+		if s == 0 {
+			s = t.h0
+		} else {
+			s += b
+		}
+	}
+	t.cumRoot = cum
+	return t
+}
+
+// Levels returns n.
+func (t *OneD) Levels() int { return t.n }
+
+// BlockSize returns 2^b.
+func (t *OneD) BlockSize() int { return 1 << uint(t.b) }
+
+// NumBlocks returns the number of tiles covering the tree (1 for the
+// degenerate n = 0 domain, which holds only the average).
+func (t *OneD) NumBlocks() int {
+	if t.n == 0 {
+		return 1
+	}
+	return t.cumRoot[len(t.cumRoot)-1]
+}
+
+// bandStart returns the starting depth of band index band.
+func (t *OneD) bandStart(band int) int {
+	if band == 0 {
+		return 0
+	}
+	return t.h0 + (band-1)*t.b
+}
+
+// bandOf returns the band index of a node at the given tree depth.
+func (t *OneD) bandOf(depth int) int {
+	if depth < t.h0 {
+		return 0
+	}
+	return 1 + (depth-t.h0)/t.b
+}
+
+// Locate1D maps a flat transform index to (block, slot). Index 0 (the
+// overall average) maps to slot 0 of the top tile.
+func (t *OneD) Locate1D(idx int) (block, slot int) {
+	if idx < 0 || idx >= 1<<uint(t.n) {
+		panic(fmt.Sprintf("tile: Locate1D(%d) out of range for n=%d", idx, t.n))
+	}
+	if idx == 0 {
+		return 0, 0
+	}
+	depth := bits.Len(uint(idx)) - 1
+	band := t.bandOf(depth)
+	start := t.bandStart(band)
+	delta := depth - start
+	root := idx >> uint(delta)
+	block = t.cumRoot[band] + root - 1<<uint(start)
+	slot = idx - (root-1)<<uint(delta)
+	return block, slot
+}
+
+// Locate implements Tiling for 1-element coordinate slices.
+func (t *OneD) Locate(coords []int) (block, slot int) {
+	if len(coords) != 1 {
+		panic(fmt.Sprintf("tile: OneD.Locate with %d coords", len(coords)))
+	}
+	return t.Locate1D(coords[0])
+}
+
+// RootOf returns the error-tree level j and translation k of the root
+// detail of a tile, so that slot 0 of the tile holds the scaling
+// coefficient u[j,k]. For the top tile it returns (n, 0).
+func (t *OneD) RootOf(block int) (j, k int) {
+	if t.n == 0 {
+		if block != 0 {
+			panic(fmt.Sprintf("tile: RootOf(%d) for n=0", block))
+		}
+		return 0, 0
+	}
+	if block < 0 || block >= t.NumBlocks() {
+		panic(fmt.Sprintf("tile: RootOf(%d) out of range", block))
+	}
+	band := 0
+	for band+1 < len(t.cumRoot) && t.cumRoot[band+1] <= block {
+		band++
+	}
+	start := t.bandStart(band)
+	root := 1<<uint(start) + (block - t.cumRoot[band])
+	// The root detail w[j,k] sits at flat index root = 2^(n-j) + k.
+	j = t.n - start
+	k = root - 1<<uint(start)
+	return j, k
+}
+
+// TileHeight returns the subtree height of the given block (h0 for the top
+// band, b otherwise), i.e. how many detail levels it spans.
+func (t *OneD) TileHeight(block int) int {
+	if t.n == 0 {
+		return 0
+	}
+	if block < t.cumRoot[1] {
+		return t.h0
+	}
+	return t.b
+}
+
+// Sequential is the ablation baseline: it ignores tree structure and packs
+// coefficients into blocks by flat row-major offset.
+type Sequential struct {
+	shape     []int
+	blockSize int
+}
+
+// NewSequential creates a sequential tiling of an arbitrary-shape transform.
+func NewSequential(shape []int, blockSize int) *Sequential {
+	if blockSize < 1 {
+		panic(fmt.Sprintf("tile: NewSequential block size %d", blockSize))
+	}
+	return &Sequential{shape: append([]int(nil), shape...), blockSize: blockSize}
+}
+
+// BlockSize returns the configured block size.
+func (s *Sequential) BlockSize() int { return s.blockSize }
+
+// Shape returns the transform shape the tiling covers.
+func (s *Sequential) Shape() []int { return append([]int(nil), s.shape...) }
+
+// NumBlocks returns ceil(size / blockSize).
+func (s *Sequential) NumBlocks() int {
+	size := 1
+	for _, e := range s.shape {
+		size *= e
+	}
+	return bitutil.CeilDiv(size, s.blockSize)
+}
+
+// Locate maps coordinates by flat row-major offset.
+func (s *Sequential) Locate(coords []int) (block, slot int) {
+	if len(coords) != len(s.shape) {
+		panic(fmt.Sprintf("tile: Sequential.Locate coords %v for shape %v", coords, s.shape))
+	}
+	off := 0
+	for i, c := range coords {
+		if c < 0 || c >= s.shape[i] {
+			panic(fmt.Sprintf("tile: Sequential.Locate coords %v out of %v", coords, s.shape))
+		}
+		off = off*s.shape[i] + c
+	}
+	return off / s.blockSize, off % s.blockSize
+}
+
+// TileIndices returns the flat transform indices of the detail coefficients
+// stored in a 1-d tile (the inverse of Locate1D, excluding the scaling
+// slot). For the top tile of a non-degenerate domain the list also includes
+// index 0, which is a real coefficient there.
+func (t *OneD) TileIndices(block int) []int {
+	if t.n == 0 {
+		return []int{0}
+	}
+	j, k := t.RootOf(block)
+	root := 1<<uint(t.n-j) + k
+	height := t.TileHeight(block)
+	var out []int
+	if block == 0 {
+		out = append(out, 0)
+	}
+	lo, hi := root, root
+	for lvl := 0; lvl < height; lvl++ {
+		for idx := lo; idx <= hi && idx < 1<<uint(t.n); idx++ {
+			out = append(out, idx)
+		}
+		lo, hi = 2*lo, 2*hi+1
+	}
+	return out
+}

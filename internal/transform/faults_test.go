@@ -1,0 +1,71 @@
+package transform
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+// faultyStore builds a tile.Store over a Faulty wrapper.
+func faultyStore(t *testing.T, tiling tile.Tiling) (*tile.Store, *storage.Faulty) {
+	t.Helper()
+	f := storage.NewFaulty(storage.NewMemStore(tiling.BlockSize()))
+	st, err := tile.NewStore(f, tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, f
+}
+
+func TestChunkedStandardSurfacesReadFault(t *testing.T) {
+	src := dataset.Dense([]int{16, 16}, 1)
+	st, f := faultyStore(t, tile.NewStandard([]int{4, 4}, 2))
+	f.FailReadAfter(5)
+	_, err := ChunkedStandard(src, 2, st)
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestChunkedStandardSurfacesWriteFault(t *testing.T) {
+	src := dataset.Dense([]int{16, 16}, 1)
+	st, f := faultyStore(t, tile.NewStandard([]int{4, 4}, 2))
+	f.FailWriteAfter(3)
+	_, err := ChunkedStandard(src, 2, st)
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestCrestEngineSurfacesWriteFault(t *testing.T) {
+	src := dataset.Dense([]int{16, 16}, 2)
+	st, f := faultyStore(t, tile.NewNonStandard(4, 2, 2))
+	f.FailWriteAfter(2)
+	_, err := ChunkedNonStandard(src, 1, st, NonStdOptions{ZOrderCrest: true})
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestRowMajorEngineSurfacesFault(t *testing.T) {
+	src := dataset.Dense([]int{16, 16}, 3)
+	st, f := faultyStore(t, tile.NewNonStandard(4, 2, 2))
+	f.FailReadAfter(4)
+	_, err := ChunkedNonStandard(src, 1, st, NonStdOptions{})
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestVitterSurfacesFault(t *testing.T) {
+	src := dataset.Dense([]int{8, 8}, 4)
+	f := storage.NewFaulty(storage.NewMemStore(4))
+	f.FailWriteAfter(2)
+	_, err := Vitter(src, 16, f, 4)
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}

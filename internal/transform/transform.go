@@ -1,0 +1,484 @@
+// Package transform implements the I/O-efficient transformation of massive
+// multidimensional datasets (paper §5.1) and the external-memory baseline it
+// is compared against.
+//
+// Three engines are provided, all operating against counted block storage so
+// that the experiments of §6.1 can be regenerated:
+//
+//   - ChunkedStandard (Result 1): transform memory-sized chunks and merge
+//     them into the standard-form transform with SHIFT (write-once detail
+//     subtrees) and SPLIT (read-modify-write root-path contributions);
+//   - ChunkedNonStandard (Result 2): the same for the non-standard form;
+//     with z-ordered chunk access and an in-memory crest the split traffic
+//     disappears entirely and every output block is written exactly once;
+//   - Vitter (the baseline of [12, 13]): a straightforward external-memory
+//     standard transformation that sweeps the working array level by level
+//     per dimension through an LRU buffer pool, with no tiling and no
+//     SHIFT-SPLIT.
+package transform
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/core"
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+	"github.com/shiftsplit/shiftsplit/internal/zorder"
+)
+
+// Stats reports what an engine did. Block-level I/O on the destination
+// store is measured by the storage.Counting wrapper the caller installs;
+// Stats carries the engine-side quantities.
+type Stats struct {
+	InputCoefReads int64 // cells read from the source dataset
+	Chunks         int   // chunks processed
+	SkippedChunks  int   // all-zero chunks skipped (the §5.1 sparse-data saving)
+	MaxCrestMemory int   // peak buffered coefficients beyond the chunk (non-standard crest engine)
+}
+
+// allZero reports whether every cell of a is zero. A zero chunk contributes
+// nothing to the transform (linearity), so the engines skip its output I/O
+// entirely — the paper's accommodation for sparse data.
+func allZero(a *ndarray.Array) bool {
+	for _, v := range a.Data() {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func checkChunkable(src *ndarray.Array, m int) ([]int, error) {
+	shape := src.Shape()
+	edge := 1 << uint(m)
+	for _, s := range shape {
+		if !bitutil.IsPow2(s) {
+			return nil, fmt.Errorf("transform: extent %d is not a power of two", s)
+		}
+		if s < edge {
+			return nil, fmt.Errorf("transform: chunk edge %d exceeds extent %d", edge, s)
+		}
+	}
+	return shape, nil
+}
+
+// ChunkedStandard transforms src into the standard form held by out, using
+// memory for one chunk of edge 2^m per dimension. Each chunk is transformed
+// in memory and merged with SHIFT-SPLIT; every touched tile costs one read
+// and one write per chunk (no cross-chunk caching, matching the paper's
+// Result 1 analysis).
+func ChunkedStandard(src *ndarray.Array, m int, out *tile.Store) (Stats, error) {
+	shape, err := checkChunkable(src, m)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	edge := 1 << uint(m)
+	d := len(shape)
+	grid := make([]int, d)
+	for i, s := range shape {
+		grid[i] = s / edge
+	}
+	chunkShape := make([]int, d)
+	for i := range chunkShape {
+		chunkShape[i] = edge
+	}
+	pos := make([]int, d)
+	start := make([]int, d)
+	for {
+		for i := range pos {
+			start[i] = pos[i] * edge
+		}
+		chunk := src.SubCopy(start, chunkShape)
+		st.InputCoefReads += int64(chunk.Size())
+		st.Chunks++
+		if allZero(chunk) {
+			st.SkippedChunks++
+		} else {
+			bHat := wavelet.TransformStandard(chunk)
+			block := dyadic.NewCubeRange(m, pos)
+			batch := tile.NewBatch(out)
+			var applyErr error
+			core.EachEmbedStandard(shape, block, bHat, func(coords []int, delta float64) {
+				if applyErr != nil {
+					return
+				}
+				applyErr = batch.Add(coords, delta)
+			})
+			if applyErr != nil {
+				return st, applyErr
+			}
+			if err := batch.Flush(); err != nil {
+				return st, err
+			}
+		}
+		// Advance the chunk cursor in row-major order.
+		i := d - 1
+		for ; i >= 0; i-- {
+			pos[i]++
+			if pos[i] < grid[i] {
+				break
+			}
+			pos[i] = 0
+		}
+		if i < 0 {
+			return st, nil
+		}
+	}
+}
+
+// NonStdOptions selects the chunk access pattern of ChunkedNonStandard.
+type NonStdOptions struct {
+	// ZOrderCrest enables the Result-2 discipline: chunks are visited in
+	// z-order and chunk averages are folded bottom-up through an in-memory
+	// crest of (2^d-1)*log(N/M) coefficients, so no split contribution ever
+	// hits storage and every output block is written exactly once.
+	ZOrderCrest bool
+}
+
+// ChunkedNonStandard transforms a cubic src into the non-standard form held
+// by out, with memory for one chunk of edge 2^m. Without options the chunks
+// are visited in row-major order and split contributions are read-modify-
+// written per chunk; with ZOrderCrest the engine achieves the optimal
+// write-only I/O of Result 2.
+func ChunkedNonStandard(src *ndarray.Array, m int, out *tile.Store, opts NonStdOptions) (Stats, error) {
+	shape, err := checkChunkable(src, m)
+	if err != nil {
+		return Stats{}, err
+	}
+	for _, s := range shape[1:] {
+		if s != shape[0] {
+			return Stats{}, fmt.Errorf("transform: non-standard form requires a cubic dataset, got %v", shape)
+		}
+	}
+	n := bitutil.Log2(shape[0])
+	if opts.ZOrderCrest {
+		return chunkedNonStdCrest(src, n, m, out)
+	}
+	return chunkedNonStdRowMajor(src, n, m, out)
+}
+
+func chunkedNonStdRowMajor(src *ndarray.Array, n, m int, out *tile.Store) (Stats, error) {
+	var st Stats
+	d := src.Dims()
+	edge := 1 << uint(m)
+	side := 1 << uint(n-m)
+	chunkShape := make([]int, d)
+	for i := range chunkShape {
+		chunkShape[i] = edge
+	}
+	pos := make([]int, d)
+	start := make([]int, d)
+	origin := make([]int, d)
+	ph := cubicShape(n, d)
+	for {
+		for i := range pos {
+			start[i] = pos[i] * edge
+		}
+		chunk := src.SubCopy(start, chunkShape)
+		st.InputCoefReads += int64(chunk.Size())
+		st.Chunks++
+		if allZero(chunk) {
+			st.SkippedChunks++
+		} else {
+			bHat := wavelet.TransformNonStandard(chunk)
+			batch := tile.NewBatch(out)
+			var applyErr error
+			set := func(coords []int, delta float64) {
+				if applyErr != nil {
+					return
+				}
+				applyErr = batch.Add(coords, delta)
+			}
+			core.EachShiftNonStandard(ph, m, pos, bHat, set)
+			core.EachSplitNonStandard(ph, m, pos, bHat.At(origin...), set)
+			if applyErr != nil {
+				return st, applyErr
+			}
+			if err := batch.Flush(); err != nil {
+				return st, err
+			}
+		}
+		i := d - 1
+		for ; i >= 0; i-- {
+			pos[i]++
+			if pos[i] < side {
+				break
+			}
+			pos[i] = 0
+		}
+		if i < 0 {
+			return st, nil
+		}
+	}
+}
+
+// cubicShape returns the shape of the cubic destination transform.
+func cubicShape(n, d int) []int {
+	shape := make([]int, d)
+	for i := range shape {
+		shape[i] = 1 << uint(n)
+	}
+	return shape
+}
+
+// Crest is the in-memory bottom-up merger of Result 2: for every level above
+// the chunks it buffers the 2^d child averages of the currently open node;
+// when the last child arrives it emits the node's 2^d - 1 details (in the
+// Mallat coordinates of the enclosing cubic transform) and pushes the node
+// average one level up. It is also the engine of the non-standard stream
+// synopsis (Result 5), which is why it is exported.
+type Crest struct {
+	d, n, m int
+	// buf[j-m-1] holds the child averages accumulating for the open node at
+	// level j; count[j-m-1] tracks how many have arrived.
+	buf   [][]float64
+	count []int
+	emit  func(coords []int, v float64) error
+	root  float64
+}
+
+// Root returns the overall average after the final Push.
+func (c *Crest) Root() float64 { return c.root }
+
+// NewCrest creates a crest for chunks of edge 2^m inside a cubic domain of
+// edge 2^n with d dimensions; emit receives each finalized coefficient. The
+// final call emits the overall average at the origin.
+func NewCrest(d, n, m int, emit func(coords []int, v float64) error) *Crest {
+	levels := n - m
+	c := &Crest{d: d, n: n, m: m, emit: emit, count: make([]int, levels)}
+	c.buf = make([][]float64, levels)
+	for i := range c.buf {
+		c.buf[i] = make([]float64, 1<<uint(d))
+	}
+	return c
+}
+
+// Push delivers the average of the level-(m+depth) cell at position pos
+// (z-order guarantees siblings arrive consecutively). External callers
+// always use depth 0 (a chunk average); recursion uses higher depths.
+func (c *Crest) Push(depth int, pos []int, avg float64) error {
+	if c.m+depth == c.n {
+		c.root = avg
+		origin := make([]int, c.d)
+		return c.emit(origin, avg)
+	}
+	slot := 0
+	for i := 0; i < c.d; i++ {
+		slot |= (pos[i] & 1) << uint(i)
+	}
+	level := depth // index into buf: node being built at level m+depth+1
+	c.buf[level][slot] = avg
+	c.count[level]++
+	if c.count[level] < 1<<uint(c.d) {
+		return nil
+	}
+	// Node complete: compute its details and average.
+	c.count[level] = 0
+	j := c.m + depth + 1
+	parent := make([]int, c.d)
+	for i := 0; i < c.d; i++ {
+		parent[i] = pos[i] >> 1
+	}
+	den := float64(int(1) << uint(c.d))
+	base := 1 << uint(c.n-j)
+	coords := make([]int, c.d)
+	var parentAvg float64
+	for mask := 0; mask < 1<<uint(c.d); mask++ {
+		sum := 0.0
+		for q := 0; q < 1<<uint(c.d); q++ {
+			w := 1.0
+			for i := 0; i < c.d; i++ {
+				if mask>>uint(i)&1 == 1 && q>>uint(i)&1 == 1 {
+					w = -w
+				}
+			}
+			sum += w * c.buf[level][q]
+		}
+		sum /= den
+		if mask == 0 {
+			parentAvg = sum
+			continue
+		}
+		for i := 0; i < c.d; i++ {
+			coords[i] = parent[i]
+			if mask>>uint(i)&1 == 1 {
+				coords[i] += base
+			}
+		}
+		if err := c.emit(coords, sum); err != nil {
+			return err
+		}
+	}
+	return c.Push(depth+1, parent, parentAvg)
+}
+
+func chunkedNonStdCrest(src *ndarray.Array, n, m int, out *tile.Store) (Stats, error) {
+	var st Stats
+	d := src.Dims()
+	edge := 1 << uint(m)
+	side := 1 << uint(n-m)
+	chunkShape := make([]int, d)
+	for i := range chunkShape {
+		chunkShape[i] = edge
+	}
+	caps := tile.BlockCapacities(src.Shape(), out.Tiling())
+	writer := tile.NewOnceWriter(out, caps)
+	cr := NewCrest(d, n, m, writer.Set)
+	ph := cubicShape(n, d)
+	zeroHat := ndarray.New(chunkShape...) // stand-in transform for all-zero chunks
+	start := make([]int, d)
+	origin := make([]int, d)
+	var runErr error
+	maxPending := 0
+	zorder.Curve(d, side, func(pos []int) {
+		if runErr != nil {
+			return
+		}
+		for i := range pos {
+			start[i] = pos[i] * edge
+		}
+		chunk := src.SubCopy(start, chunkShape)
+		st.InputCoefReads += int64(chunk.Size())
+		st.Chunks++
+		avg := 0.0
+		if allZero(chunk) {
+			// A zero chunk still participates in the crest (its siblings
+			// need its average) and its zero details must still be recorded
+			// so that boundary blocks complete — but the writer never
+			// materializes or writes blocks that stay entirely zero.
+			st.SkippedChunks++
+			core.EachShiftNonStandard(ph, m, pos, zeroHat, func(coords []int, _ float64) {
+				if runErr != nil {
+					return
+				}
+				runErr = writer.Set(coords, 0)
+			})
+		} else {
+			bHat := wavelet.TransformNonStandard(chunk)
+			avg = bHat.At(origin...)
+			// Details of the chunk subtree are final: stream them to the
+			// writer.
+			core.EachShiftNonStandard(ph, m, pos, bHat, func(coords []int, v float64) {
+				if runErr != nil {
+					return
+				}
+				runErr = writer.Set(coords, v)
+			})
+		}
+		if runErr != nil {
+			return
+		}
+		// The chunk average climbs the crest instead of touching storage.
+		runErr = cr.Push(0, append([]int(nil), pos...), avg)
+		if p := writer.Pending() * out.Tiling().BlockSize(); p > maxPending {
+			maxPending = p
+		}
+	})
+	if runErr != nil {
+		return st, runErr
+	}
+	if err := writer.Flush(); err != nil {
+		return st, err
+	}
+	st.MaxCrestMemory = maxPending + (1<<uint(d))*(n-m)
+	return st, nil
+}
+
+// Vitter is the baseline of [12, 13]: it materializes the working array on
+// storage and performs the standard decomposition dimension by dimension,
+// one level at a time, through an LRU buffer pool of memCoefs coefficients.
+// No tiling and no SHIFT-SPLIT: every level pass streams the current
+// averages region through the pool, with whatever locality the row-major
+// block layout affords.
+func Vitter(src *ndarray.Array, memCoefs int, out storage.BlockStore, blockSize int) (Stats, error) {
+	var st Stats
+	shape := src.Shape()
+	for _, s := range shape {
+		if !bitutil.IsPow2(s) {
+			return st, fmt.Errorf("transform: extent %d is not a power of two", s)
+		}
+	}
+	poolBlocks := bitutil.Max(1, memCoefs/blockSize)
+	pool := storage.NewBufferPool(out, poolBlocks)
+	flat := tile.NewSequential(shape, blockSize)
+	stf, err := tile.NewStore(pool, flat)
+	if err != nil {
+		return st, err
+	}
+	// Load the dataset.
+	var loadErr error
+	src.Each(func(coords []int, v float64) {
+		if loadErr != nil {
+			return
+		}
+		st.InputCoefReads++
+		loadErr = stf.Set(coords, v)
+	})
+	if loadErr != nil {
+		return st, loadErr
+	}
+	// Level passes, dimension by dimension, operating in the compacted
+	// in-place layout (averages at low indices along the active dimension).
+	d := len(shape)
+	coords := make([]int, d)
+	for dim := 0; dim < d; dim++ {
+		n := bitutil.Log2(shape[dim])
+		for j := 1; j <= n; j++ {
+			region := shape[dim] >> uint(j-1)
+			half := region / 2
+			// For every fiber position (other dims full range), combine
+			// pairs along dim into average + detail.
+			var rec func(i int) error
+			rec = func(i int) error {
+				if i == d {
+					// Read the region along dim, transform one level,
+					// write back.
+					line := make([]float64, region)
+					for x := 0; x < region; x++ {
+						coords[dim] = x
+						v, err := stf.Get(coords)
+						if err != nil {
+							return err
+						}
+						line[x] = v
+					}
+					for k := 0; k < half; k++ {
+						avg := (line[2*k] + line[2*k+1]) / 2
+						det := (line[2*k] - line[2*k+1]) / 2
+						coords[dim] = k
+						if err := stf.Set(coords, avg); err != nil {
+							return err
+						}
+						coords[dim] = half + k
+						if err := stf.Set(coords, det); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				if i == dim {
+					return rec(i + 1)
+				}
+				for v := 0; v < shape[i]; v++ {
+					coords[i] = v
+					if err := rec(i + 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := rec(0); err != nil {
+				return st, err
+			}
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		return st, err
+	}
+	return st, nil
+}

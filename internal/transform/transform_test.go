@@ -1,0 +1,309 @@
+package transform
+
+import (
+	"math"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+// countedStore builds MemStore -> Counting -> tile.Store.
+func countedStore(t *testing.T, tiling tile.Tiling) (*tile.Store, *storage.Counting) {
+	t.Helper()
+	counting := storage.NewCounting(storage.NewMemStore(tiling.BlockSize()))
+	st, err := tile.NewStore(counting, tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, counting
+}
+
+// verifyAgainst checks every coefficient in the store against want.
+func verifyAgainst(t *testing.T, st *tile.Store, want *ndarray.Array, tol float64) {
+	t.Helper()
+	bad := 0
+	var worst float64
+	want.Each(func(coords []int, v float64) {
+		got, err := st.Get(coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(got - v); diff > tol {
+			bad++
+			if diff > worst {
+				worst = diff
+			}
+		}
+	})
+	if bad > 0 {
+		t.Fatalf("%d coefficients differ (worst %g)", bad, worst)
+	}
+}
+
+func TestChunkedStandardCorrect(t *testing.T) {
+	for _, c := range []struct {
+		shape []int
+		m, b  int
+	}{
+		{[]int{32}, 3, 2},
+		{[]int{16, 16}, 2, 2},
+		{[]int{16, 16}, 2, 1},
+		{[]int{8, 8, 8}, 1, 2},
+		{[]int{16, 16}, 4, 2}, // single chunk
+	} {
+		src := dataset.Dense(c.shape, 1)
+		ns := make([]int, len(c.shape))
+		for i, s := range c.shape {
+			ns[i] = log2(s)
+		}
+		st, _ := countedStore(t, tile.NewStandard(ns, c.b))
+		stats, err := ChunkedStandard(src, c.m, st)
+		if err != nil {
+			t.Fatalf("shape %v: %v", c.shape, err)
+		}
+		if stats.InputCoefReads != int64(src.Size()) {
+			t.Errorf("shape %v: input reads %d, want %d", c.shape, stats.InputCoefReads, src.Size())
+		}
+		verifyAgainst(t, st, wavelet.TransformStandard(src), 1e-8)
+	}
+}
+
+func TestChunkedNonStandardRowMajorCorrect(t *testing.T) {
+	src := dataset.Dense([]int{16, 16}, 2)
+	st, _ := countedStore(t, tile.NewNonStandard(4, 2, 2))
+	stats, err := ChunkedNonStandard(src, 2, st, NonStdOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Chunks != 16 {
+		t.Errorf("chunks = %d", stats.Chunks)
+	}
+	verifyAgainst(t, st, wavelet.TransformNonStandard(src), 1e-8)
+}
+
+func TestChunkedNonStandardCrestCorrect(t *testing.T) {
+	for _, c := range []struct{ n, d, m, b int }{
+		{4, 2, 2, 2},
+		{4, 2, 1, 2},
+		{3, 3, 1, 1},
+		{5, 1, 2, 2},
+		{4, 2, 0, 2}, // single-cell chunks
+	} {
+		shape := make([]int, c.d)
+		for i := range shape {
+			shape[i] = 1 << uint(c.n)
+		}
+		src := dataset.Dense(shape, 3)
+		st, _ := countedStore(t, tile.NewNonStandard(c.n, c.d, c.b))
+		_, err := ChunkedNonStandard(src, c.m, st, NonStdOptions{ZOrderCrest: true})
+		if err != nil {
+			t.Fatalf("n=%d d=%d m=%d: %v", c.n, c.d, c.m, err)
+		}
+		verifyAgainst(t, st, wavelet.TransformNonStandard(src), 1e-8)
+	}
+}
+
+func TestCrestIsWriteOnly(t *testing.T) {
+	// Result 2: with z-order and the crest, the engine never reads a block.
+	src := dataset.Dense([]int{32, 32}, 4)
+	st, counting := countedStore(t, tile.NewNonStandard(5, 2, 2))
+	_, err := ChunkedNonStandard(src, 2, st, NonStdOptions{ZOrderCrest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := counting.Stats()
+	if stats.Reads != 0 {
+		t.Errorf("crest engine performed %d reads, want 0", stats.Reads)
+	}
+	// Every block is written exactly once: writes == blocks touched.
+	if stats.Writes > int64(st.Tiling().NumBlocks()) {
+		t.Errorf("writes %d exceed total blocks %d", stats.Writes, st.Tiling().NumBlocks())
+	}
+}
+
+func TestCrestBeatsRowMajorIO(t *testing.T) {
+	src := dataset.Dense([]int{32, 32}, 5)
+	stZ, cZ := countedStore(t, tile.NewNonStandard(5, 2, 2))
+	if _, err := ChunkedNonStandard(src, 1, stZ, NonStdOptions{ZOrderCrest: true}); err != nil {
+		t.Fatal(err)
+	}
+	stR, cR := countedStore(t, tile.NewNonStandard(5, 2, 2))
+	if _, err := ChunkedNonStandard(src, 1, stR, NonStdOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if cZ.Stats().Total() >= cR.Stats().Total() {
+		t.Errorf("z-order crest I/O %d should beat row-major %d", cZ.Stats().Total(), cR.Stats().Total())
+	}
+}
+
+func TestChunkedStandardIOScalesWithMemory(t *testing.T) {
+	// Result 1: larger chunks (more memory) => fewer split I/Os.
+	src := dataset.Dense([]int{64, 64}, 6)
+	tiling := tile.NewSequential([]int{64, 64}, 1) // coefficient granularity
+	var prev int64 = 1 << 62
+	for _, m := range []int{1, 2, 3, 4} {
+		counting := storage.NewCounting(storage.NewMemStore(1))
+		st, err := tile.NewStore(counting, tiling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ChunkedStandard(src, m, st); err != nil {
+			t.Fatal(err)
+		}
+		total := counting.Stats().Total()
+		if total > prev {
+			t.Errorf("m=%d: I/O %d increased over smaller memory %d", m, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestVitterCorrect(t *testing.T) {
+	src := dataset.Dense([]int{16, 8}, 7)
+	out := storage.NewCounting(storage.NewMemStore(4))
+	stats, err := Vitter(src, 64, out, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputCoefReads != int64(src.Size()) {
+		t.Errorf("input reads = %d", stats.InputCoefReads)
+	}
+	// Read back through a fresh sequential store view.
+	st, err := tile.NewStore(out, tile.NewSequential([]int{16, 8}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainst(t, st, wavelet.TransformStandard(src), 1e-8)
+}
+
+func TestVitterMemorySensitivity(t *testing.T) {
+	// More memory must not increase Vitter's I/O, and should reduce it
+	// substantially between starved and generous settings.
+	src := dataset.Dense([]int{32, 32}, 8)
+	measure := func(mem int) int64 {
+		counting := storage.NewCounting(storage.NewMemStore(8))
+		if _, err := Vitter(src, mem, counting, 8); err != nil {
+			t.Fatal(err)
+		}
+		return counting.Stats().Total()
+	}
+	starved := measure(16)
+	generous := measure(1024)
+	if generous > starved {
+		t.Errorf("generous memory I/O %d exceeds starved %d", generous, starved)
+	}
+	if starved == generous {
+		t.Logf("warning: Vitter I/O flat in memory (%d)", starved)
+	}
+}
+
+func TestShiftSplitBeatsVitter(t *testing.T) {
+	// The headline claim of §6.1 at block granularity.
+	shape := []int{32, 32}
+	src := dataset.Dense(shape, 9)
+	b := 2
+	blockSize := 1 << uint(b*2)
+
+	stS, cS := countedStore(t, tile.NewStandard([]int{5, 5}, b))
+	if _, err := ChunkedStandard(src, 3, stS); err != nil {
+		t.Fatal(err)
+	}
+	stN, cN := countedStore(t, tile.NewNonStandard(5, 2, b))
+	if _, err := ChunkedNonStandard(src, 3, stN, NonStdOptions{ZOrderCrest: true}); err != nil {
+		t.Fatal(err)
+	}
+	cV := storage.NewCounting(storage.NewMemStore(blockSize))
+	if _, err := Vitter(src, 8*8, cV, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	if cS.Stats().Total() >= cV.Stats().Total() {
+		t.Errorf("shift-split standard %d should beat Vitter %d", cS.Stats().Total(), cV.Stats().Total())
+	}
+	if cN.Stats().Total() >= cS.Stats().Total() {
+		t.Errorf("non-standard crest %d should beat standard %d", cN.Stats().Total(), cS.Stats().Total())
+	}
+}
+
+func TestChunkEdgeTooLarge(t *testing.T) {
+	src := ndarray.New(8, 8)
+	st, _ := countedStore(t, tile.NewStandard([]int{3, 3}, 2))
+	if _, err := ChunkedStandard(src, 4, st); err == nil {
+		t.Error("oversized chunk accepted")
+	}
+}
+
+func TestNonStandardRejectsNonCubic(t *testing.T) {
+	src := ndarray.New(8, 16)
+	st, _ := countedStore(t, tile.NewNonStandard(3, 2, 2))
+	if _, err := ChunkedNonStandard(src, 1, st, NonStdOptions{}); err == nil {
+		t.Error("non-cubic dataset accepted")
+	}
+}
+
+func TestCrestMemoryBound(t *testing.T) {
+	// The crest engine's extra memory should stay near
+	// (2^d - 1) log(N/M) * B^d, far below the dataset size.
+	src := dataset.Dense([]int{64, 64}, 10)
+	st, _ := countedStore(t, tile.NewNonStandard(6, 2, 2))
+	stats, err := ChunkedNonStandard(src, 2, st, NonStdOptions{ZOrderCrest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxCrestMemory >= src.Size()/4 {
+		t.Errorf("crest memory %d too close to dataset size %d", stats.MaxCrestMemory, src.Size())
+	}
+}
+
+func log2(x int) int {
+	n := 0
+	for 1<<uint(n) < x {
+		n++
+	}
+	return n
+}
+
+func TestStandardIOTracksPaperFormula(t *testing.T) {
+	// Result 1: measured coefficient I/O must stay within a small constant
+	// factor of N^d/M^d * (M + log(N/M))^d across a chunk-size sweep.
+	src := dataset.Dense([]int{64, 64}, 20)
+	for _, m := range []int{1, 2, 3, 4} {
+		counting := storage.NewCounting(storage.NewMemStore(1))
+		st, err := tile.NewStore(counting, tile.NewSequential([]int{64, 64}, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ChunkedStandard(src, m, st); err != nil {
+			t.Fatal(err)
+		}
+		measured := float64(counting.Stats().Total())
+		M := float64(int(1) << uint(m))
+		logNM := float64(6 - m)
+		formula := (4096 / (M * M)) * (M + logNM) * (M + logNM)
+		ratio := measured / formula
+		if ratio < 0.5 || ratio > 4 {
+			t.Errorf("m=%d: measured %d vs formula %.0f (ratio %.2f) outside [0.5, 4]",
+				m, counting.Stats().Total(), formula, ratio)
+		}
+	}
+}
+
+func TestCrestIOIsExactlyOptimal(t *testing.T) {
+	// Result 2 at coefficient granularity: exactly N^d writes, 0 reads.
+	src := dataset.Dense([]int{32, 32}, 21)
+	counting := storage.NewCounting(storage.NewMemStore(1))
+	st, err := tile.NewStore(counting, tile.NewSequential([]int{32, 32}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ChunkedNonStandard(src, 2, st, NonStdOptions{ZOrderCrest: true}); err != nil {
+		t.Fatal(err)
+	}
+	stats := counting.Stats()
+	if stats.Reads != 0 || stats.Writes != 1024 {
+		t.Errorf("crest I/O = %+v, want exactly 0 reads and 1024 writes", stats)
+	}
+}

@@ -1,0 +1,50 @@
+package wavelet
+
+import (
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
+
+// BasisVector materializes the synthesis basis function of one coefficient:
+// the data-domain array reconstructed from a transform that is 1 at coords
+// and 0 elsewhere (Appendix A/B of the paper). It exists chiefly for
+// verification: the basis family must be orthogonal with squared norms
+// equal to the coefficient support volumes, which pins down every layout
+// and sign convention in the library at once.
+func BasisVector(shape []int, form Form, coords []int) *ndarray.Array {
+	hat := ndarray.New(shape...)
+	hat.Set(1, coords...)
+	return Inverse(hat, form)
+}
+
+// SupportVolume returns the number of cells in the support of the
+// coefficient at coords, for either form.
+func SupportVolume(shape []int, form Form, coords []int) int {
+	switch form {
+	case Standard:
+		vol := 1
+		for t, c := range coords {
+			n := bitutil.Log2(shape[t])
+			if c == 0 {
+				vol *= 1 << uint(n)
+				continue
+			}
+			// Support length of a 1-d detail is 2^level.
+			p := 1
+			for p*2 <= c {
+				p *= 2
+			}
+			vol *= (1 << uint(n)) / p
+		}
+		return vol
+	case NonStandard:
+		n := bitutil.Log2(shape[0])
+		j, subband, _ := NonStdLevel(n, coords)
+		if subband == nil {
+			j = n
+		}
+		return bitutil.IntPow(1<<uint(j), len(shape))
+	default:
+		panic("wavelet: unknown form")
+	}
+}

@@ -1,0 +1,131 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
+
+// TestBasisOrthogonality verifies, for both forms, that all basis functions
+// are mutually orthogonal with squared norm equal to their support volume —
+// the property that makes best-K thresholding optimal and SSE accounting
+// exact throughout the library.
+func TestBasisOrthogonality(t *testing.T) {
+	shape := []int{8, 8}
+	for _, form := range []Form{Standard, NonStandard} {
+		var bases []*ndarray.Array
+		var vols []int
+		probe := ndarray.New(shape...)
+		probe.Each(func(coords []int, _ float64) {
+			bases = append(bases, BasisVector(shape, form, coords))
+			vols = append(vols, SupportVolume(shape, form, coords))
+		})
+		for i := range bases {
+			for j := i; j < len(bases); j++ {
+				dot := 0.0
+				for x := range bases[i].Data() {
+					dot += bases[i].Data()[x] * bases[j].Data()[x]
+				}
+				if i == j {
+					if math.Abs(dot-float64(vols[i])) > 1e-9 {
+						t.Fatalf("%v: basis %d norm^2 = %g, want support volume %d", form, i, dot, vols[i])
+					}
+				} else if math.Abs(dot) > 1e-10 {
+					t.Fatalf("%v: bases %d and %d not orthogonal (dot %g)", form, i, j, dot)
+				}
+			}
+		}
+	}
+}
+
+// TestBasisSynthesisIdentity verifies that the data equals the
+// coefficient-weighted sum of basis vectors.
+func TestBasisSynthesisIdentity(t *testing.T) {
+	shape := []int{4, 8}
+	a := ndarray.New(shape...)
+	for i := range a.Data() {
+		a.Data()[i] = float64(i)*0.37 - 3
+	}
+	hat := TransformStandard(a)
+	sum := ndarray.New(shape...)
+	hat.Each(func(coords []int, c float64) {
+		if c == 0 {
+			return
+		}
+		basis := BasisVector(shape, Standard, coords)
+		for x := range sum.Data() {
+			sum.Data()[x] += c * basis.Data()[x]
+		}
+	})
+	if !sum.EqualApprox(a, 1e-8) {
+		t.Errorf("synthesis identity fails by %g", sum.MaxAbsDiff(a))
+	}
+}
+
+// TestStandardBasisIsTensorProduct confirms the standard multidimensional
+// basis factorizes across dimensions (Appendix B).
+func TestStandardBasisIsTensorProduct(t *testing.T) {
+	shape := []int{8, 8}
+	for _, coords := range [][]int{{0, 0}, {1, 3}, {5, 0}, {6, 7}} {
+		basis := BasisVector(shape, Standard, coords)
+		// 1-d factors.
+		f0 := BasisVector([]int{8}, Standard, []int{coords[0]})
+		f1 := BasisVector([]int{8}, Standard, []int{coords[1]})
+		for x := 0; x < 8; x++ {
+			for y := 0; y < 8; y++ {
+				want := f0.At(x) * f1.At(y)
+				if math.Abs(basis.At(x, y)-want) > 1e-12 {
+					t.Fatalf("coords %v: basis(%d,%d) = %g, want %g", coords, x, y, basis.At(x, y), want)
+				}
+			}
+		}
+	}
+}
+
+// TestNonStandardBasisPiecewiseConstant confirms each non-standard basis is
+// constant on the quadrants of its support and zero outside it.
+func TestNonStandardBasisPiecewiseConstant(t *testing.T) {
+	shape := []int{8, 8}
+	probe := ndarray.New(shape...)
+	probe.Each(func(coords []int, _ float64) {
+		basis := BasisVector(shape, NonStandard, coords)
+		j, subband, pos := NonStdLevel(3, coords)
+		if subband == nil {
+			// The average basis: all ones.
+			for _, v := range basis.Data() {
+				if v != 1 {
+					t.Fatalf("average basis not constant one")
+				}
+			}
+			return
+		}
+		size := 1 << uint(j)
+		half := size / 2
+		for x := 0; x < 8; x++ {
+			for y := 0; y < 8; y++ {
+				v := basis.At(x, y)
+				inside := x >= pos[0]*size && x < (pos[0]+1)*size &&
+					y >= pos[1]*size && y < (pos[1]+1)*size
+				if !inside {
+					if v != 0 {
+						t.Fatalf("coords %v: non-zero value outside support", coords)
+					}
+					continue
+				}
+				// Inside: value must be +-1 with sign given by quadrant bits
+				// of the subband dimensions.
+				want := 1.0
+				if subband[0] && (x-pos[0]*size) >= half {
+					want = -want
+				}
+				if subband[1] && (y-pos[1]*size) >= half {
+					want = -want
+				}
+				if v != want {
+					t.Fatalf("coords %v at (%d,%d): %g, want %g", coords, x, y, v, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
+
+func TestStandardDegenerate1xN(t *testing.T) {
+	// A 1xN array: dimension 0 is trivial; the transform must match the
+	// 1-d transform of the row.
+	rng := rand.New(rand.NewSource(20))
+	a := randArray(rng, 1, 16)
+	hat := TransformStandard(a)
+	row := ndarray.FromSlice(append([]float64(nil), a.Data()...), 16)
+	want := TransformStandard(row)
+	for j := 0; j < 16; j++ {
+		if math.Abs(hat.At(0, j)-want.At(j)) > 1e-9 {
+			t.Fatalf("column %d differs", j)
+		}
+	}
+	if !InverseStandard(hat).EqualApprox(a, 1e-9) {
+		t.Error("1xN round trip failed")
+	}
+}
+
+func TestStandard4DRoundTripAndPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randArray(rng, 4, 4, 4, 4)
+	hat := TransformStandard(a)
+	if !InverseStandard(hat).EqualApprox(a, 1e-9) {
+		t.Fatal("4-d round trip failed")
+	}
+	for trial := 0; trial < 30; trial++ {
+		p := []int{rng.Intn(4), rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+		if got := ReconstructPointStandard(hat, p); math.Abs(got-a.At(p...)) > 1e-8 {
+			t.Fatalf("point %v: %g vs %g", p, got, a.At(p...))
+		}
+		// Lemma-1 path size in 4-d: (n+1)^4 = 81 coefficients.
+		if got := len(PointPathStandard(a.Shape(), p)); got != 81 {
+			t.Fatalf("path size %d, want 81", got)
+		}
+	}
+}
+
+func TestNonStandard4D(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randArray(rng, 4, 4, 4, 4)
+	hat := TransformNonStandard(a)
+	if !InverseNonStandard(hat).EqualApprox(a, 1e-9) {
+		t.Fatal("4-d non-standard round trip failed")
+	}
+	for trial := 0; trial < 30; trial++ {
+		p := []int{rng.Intn(4), rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+		if got := ReconstructPointNonStandard(hat, p); math.Abs(got-a.At(p...)) > 1e-8 {
+			t.Fatalf("point %v: %g vs %g", p, got, a.At(p...))
+		}
+	}
+}
+
+func TestRangeSumStandard3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randArray(rng, 8, 4, 8)
+	hat := TransformStandard(a)
+	for trial := 0; trial < 40; trial++ {
+		s := []int{rng.Intn(8), rng.Intn(4), rng.Intn(8)}
+		sh := []int{1 + rng.Intn(8-s[0]), 1 + rng.Intn(4-s[1]), 1 + rng.Intn(8-s[2])}
+		if got, want := RangeSumStandard(hat, s, sh), a.SumRange(s, sh); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("box %v+%v: %g vs %g", s, sh, got, want)
+		}
+	}
+}
+
+func TestConstantArrayHasOnlyAverage(t *testing.T) {
+	a := ndarray.New(8, 8)
+	a.Fill(3.5)
+	for _, form := range []Form{Standard, NonStandard} {
+		hat := Transform(a, form)
+		hat.Each(func(coords []int, v float64) {
+			if coords[0] == 0 && coords[1] == 0 {
+				if math.Abs(v-3.5) > 1e-12 {
+					t.Errorf("%v: average %g", form, v)
+				}
+				return
+			}
+			if v != 0 {
+				t.Errorf("%v: detail at %v is %g", form, coords, v)
+			}
+		})
+	}
+}
+
+func TestSingleSpikeEnergyConservation(t *testing.T) {
+	// A unit spike has energy 1; sum of coefficient energies must match.
+	a := ndarray.New(16, 16)
+	a.Set(1, 5, 9)
+	for _, form := range []Form{Standard, NonStandard} {
+		hat := Transform(a, form)
+		energy := 0.0
+		n := 4
+		hat.Each(func(coords []int, v float64) {
+			if v == 0 {
+				return
+			}
+			vol := 1.0
+			switch form {
+			case Standard:
+				for _, c := range coords {
+					vol *= supportLen(n, c)
+				}
+			case NonStandard:
+				j, sb, _ := NonStdLevel(n, coords)
+				if sb == nil {
+					j = n
+				}
+				vol = float64(int(1) << uint(2*j))
+			}
+			energy += v * v * vol
+		})
+		if math.Abs(energy-1) > 1e-9 {
+			t.Errorf("%v: spike energy %g, want 1", form, energy)
+		}
+	}
+}
+
+func supportLen(n, idx int) float64 {
+	if idx == 0 {
+		return float64(int(1) << uint(n))
+	}
+	// level of idx: highest power of two <= idx gives 2^(n-j).
+	p := 1
+	for p*2 <= idx {
+		p *= 2
+	}
+	return float64((int(1) << uint(n)) / p)
+}

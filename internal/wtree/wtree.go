@@ -1,0 +1,190 @@
+// Package wtree navigates the wavelet trees of §2.2 and §3.1 of the paper:
+// the binary error tree of a one-dimensional transform and the quadtree-like
+// tree of the non-standard multidimensional transform. (The standard
+// multidimensional form has no single tree; it is navigated as the cross
+// product of one-dimensional trees, see wavelet.PointPathStandard.)
+//
+// The error-tree order of package haar makes the one-dimensional tree an
+// implicit binary heap over flat indices: the detail w[j,k] at index
+// 2^(n-j)+k has parent at index/2 and children at 2*index and 2*index+1.
+// Index 1 (w[n,0]) is the tree root; index 0 holds the scaling coefficient
+// u[n,0], treated as the parent of index 1.
+package wtree
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+)
+
+// Parent returns the flat index of the parent coefficient in a transform of
+// size 2^n. The parent of the root detail (index 1) is the scaling
+// coefficient at index 0; index 0 has no parent and panics.
+func Parent(idx int) int {
+	if idx <= 0 {
+		panic(fmt.Sprintf("wtree: Parent(%d)", idx))
+	}
+	return idx / 2
+}
+
+// Children returns the flat indices of the two children of the coefficient
+// at idx in a transform of size n2 = 2^n, and ok=false for leaves (finest
+// level details) and for idx 0, whose only "child" is index 1.
+func Children(n2, idx int) (left, right int, ok bool) {
+	if idx < 1 || idx >= n2 {
+		panic(fmt.Sprintf("wtree: Children(%d, %d)", n2, idx))
+	}
+	if 2*idx >= n2 {
+		return 0, 0, false
+	}
+	return 2 * idx, 2*idx + 1, true
+}
+
+// PathToRoot returns the flat indices from idx up to and including the
+// scaling coefficient at index 0. For a point query this is the set of
+// coefficients that must accompany idx (the access pattern exploited by the
+// tiling strategy of §3).
+func PathToRoot(idx int) []int {
+	if idx < 0 {
+		panic(fmt.Sprintf("wtree: PathToRoot(%d)", idx))
+	}
+	path := []int{idx}
+	for idx > 0 {
+		idx /= 2
+		path = append(path, idx)
+	}
+	return path
+}
+
+// Depth returns the number of edges from idx to index 1 (the detail root).
+// Index 0 has depth -1 by convention (it sits above the detail tree).
+func Depth(idx int) int {
+	if idx == 0 {
+		return -1
+	}
+	d := 0
+	for idx > 1 {
+		idx /= 2
+		d++
+	}
+	return d
+}
+
+// Covers reports whether the coefficient at index a covers the coefficient
+// at index b (Definition 2) in a transform of size 2^n.
+func Covers(n, a, b int) bool {
+	return haar.Support(n, a).Covers(haar.Support(n, b))
+}
+
+// SubtreeSize returns the number of detail coefficients in the subtree of
+// the error tree rooted at idx (inclusive), for a transform of size n2=2^n.
+func SubtreeSize(n2, idx int) int {
+	if idx < 1 || idx >= n2 {
+		panic(fmt.Sprintf("wtree: SubtreeSize(%d, %d)", n2, idx))
+	}
+	// The subtree of w[j,k] holds one detail per level 1..j over the
+	// support I[j,k], i.e. 2^j - 1 details... but clipped by the heap: the
+	// implicit heap over [1, n2) is complete, so the subtree of idx has
+	// size 2^h - 1 where h is the number of complete levels below idx.
+	size := 0
+	lo, hi := idx, idx
+	for lo < n2 {
+		size += bitutil.Min(hi, n2-1) - lo + 1
+		lo, hi = 2*lo, 2*hi+1
+	}
+	return size
+}
+
+// QuadNode identifies one node of the non-standard wavelet tree: the cell
+// I[Level, Pos_1] x ... x I[Level, Pos_d]. Each node carries the 2^d - 1
+// detail coefficients whose support is that cell (paper Figure 7).
+type QuadNode struct {
+	Level int
+	Pos   []int
+}
+
+// NewQuadNode builds a node, copying pos.
+func NewQuadNode(level int, pos []int) QuadNode {
+	return QuadNode{Level: level, Pos: append([]int(nil), pos...)}
+}
+
+// Dims returns the dimensionality of the node.
+func (q QuadNode) Dims() int { return len(q.Pos) }
+
+// Cell returns the support hypercube of the node.
+func (q QuadNode) Cell() dyadic.Range {
+	return dyadic.NewCubeRange(q.Level, q.Pos)
+}
+
+// Parent returns the node one level up whose cell covers this one.
+func (q QuadNode) Parent() QuadNode {
+	pos := make([]int, len(q.Pos))
+	for i, p := range q.Pos {
+		pos[i] = p / 2
+	}
+	return QuadNode{Level: q.Level + 1, Pos: pos}
+}
+
+// Child returns the child node in quadrant mask (bit i selects the upper
+// half of dimension i). It panics at level 1, below which nodes hold
+// original data rather than coefficients.
+func (q QuadNode) Child(mask int) QuadNode {
+	if q.Level <= 1 {
+		panic("wtree: Child below level 1")
+	}
+	pos := make([]int, len(q.Pos))
+	for i := range q.Pos {
+		pos[i] = 2*q.Pos[i] + mask>>uint(i)&1
+	}
+	return QuadNode{Level: q.Level - 1, Pos: pos}
+}
+
+// NumChildren returns 2^d, the quadtree branching factor D of §3.2.
+func (q QuadNode) NumChildren() int { return 1 << uint(len(q.Pos)) }
+
+// CoefCoords returns the array coordinates (in the Mallat layout of package
+// wavelet) of the 2^d - 1 detail coefficients stored in this node, for a
+// cubic transform of edge 2^n.
+func (q QuadNode) CoefCoords(n int) [][]int {
+	d := len(q.Pos)
+	base := 1 << uint(n-q.Level)
+	out := make([][]int, 0, 1<<uint(d)-1)
+	for mask := 1; mask < 1<<uint(d); mask++ {
+		coords := make([]int, d)
+		for i := 0; i < d; i++ {
+			coords[i] = q.Pos[i]
+			if mask>>uint(i)&1 == 1 {
+				coords[i] += base
+			}
+		}
+		out = append(out, coords)
+	}
+	return out
+}
+
+// PathToRoot returns the nodes from q up to the root node at level n.
+func (q QuadNode) PathToRoot(n int) []QuadNode {
+	path := []QuadNode{q}
+	cur := q
+	for cur.Level < n {
+		cur = cur.Parent()
+		path = append(path, cur)
+	}
+	return path
+}
+
+// QuadNodeForPoint returns the level-j node whose cell contains the point.
+func QuadNodeForPoint(j int, point []int) QuadNode {
+	pos := make([]int, len(point))
+	for i, p := range point {
+		pos[i] = p >> uint(j)
+	}
+	return QuadNode{Level: j, Pos: pos}
+}
+
+// String renders the node.
+func (q QuadNode) String() string {
+	return fmt.Sprintf("QuadNode(level=%d, pos=%v)", q.Level, q.Pos)
+}

@@ -1,0 +1,92 @@
+package wtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+)
+
+func TestQuickPathToRootLength(t *testing.T) {
+	f := func(raw uint16) bool {
+		idx := int(raw)%4095 + 1
+		path := PathToRoot(idx)
+		// Length = depth + 2 (itself ... root detail, plus the scaling).
+		if len(path) != Depth(idx)+2 {
+			return false
+		}
+		// Strictly decreasing indices, ending at 0.
+		for i := 1; i < len(path); i++ {
+			if path[i] >= path[i-1] {
+				return false
+			}
+		}
+		return path[len(path)-1] == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoversIsPartialOrder(t *testing.T) {
+	n := 8
+	f := func(a, b uint16) bool {
+		ia := int(a)%(1<<uint(n)-1) + 1
+		ib := int(b)%(1<<uint(n)-1) + 1
+		// Antisymmetry: mutual cover implies equal support.
+		if Covers(n, ia, ib) && Covers(n, ib, ia) {
+			return haar.Support(n, ia) == haar.Support(n, ib)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtreeSizeRecurrence(t *testing.T) {
+	n2 := 256
+	f := func(raw uint8) bool {
+		idx := int(raw)%127 + 1 // has children in a 256-tree
+		l, r, ok := Children(n2, idx)
+		if !ok {
+			return true
+		}
+		return SubtreeSize(n2, idx) == 1+SubtreeSize(n2, l)+SubtreeSize(n2, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadNodeChildrenPartitionCell(t *testing.T) {
+	q := NewQuadNode(3, []int{1, 2})
+	covered := map[[2]int]bool{}
+	for mask := 0; mask < q.NumChildren(); mask++ {
+		c := q.Child(mask)
+		cell := c.Cell()
+		s := cell.Start()
+		for x := s[0]; x < s[0]+cell.Shape()[0]; x++ {
+			for y := s[1]; y < s[1]+cell.Shape()[1]; y++ {
+				key := [2]int{x, y}
+				if covered[key] {
+					t.Fatalf("cell (%d,%d) covered twice", x, y)
+				}
+				covered[key] = true
+			}
+		}
+	}
+	if len(covered) != q.Cell().Volume() {
+		t.Errorf("children cover %d cells, parent has %d", len(covered), q.Cell().Volume())
+	}
+}
+
+func TestQuadNodeStringAndDims(t *testing.T) {
+	q := NewQuadNode(2, []int{1, 2, 3})
+	if q.Dims() != 3 {
+		t.Errorf("Dims = %d", q.Dims())
+	}
+	if q.String() == "" {
+		t.Error("empty String")
+	}
+}

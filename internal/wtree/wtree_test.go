@@ -1,0 +1,217 @@
+package wtree
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/haar"
+)
+
+func TestParentChildConsistency(t *testing.T) {
+	n2 := 64
+	for idx := 1; idx < n2; idx++ {
+		l, r, ok := Children(n2, idx)
+		if !ok {
+			if 2*idx < n2 {
+				t.Fatalf("Children(%d) spuriously reported leaf", idx)
+			}
+			continue
+		}
+		if Parent(l) != idx || Parent(r) != idx {
+			t.Fatalf("parent of children of %d: %d, %d", idx, Parent(l), Parent(r))
+		}
+	}
+}
+
+func TestParentMatchesLevelArithmetic(t *testing.T) {
+	// w[j,k]'s parent must be w[j+1, k/2] (§2.2).
+	n := 6
+	for j := 1; j < n; j++ {
+		for k := 0; k < 1<<uint(n-j); k++ {
+			idx := haar.Index(n, j, k)
+			pj, pk := haar.LevelPos(n, Parent(idx))
+			if pj != j+1 || pk != k/2 {
+				t.Fatalf("parent of w[%d,%d] = w[%d,%d]", j, k, pj, pk)
+			}
+		}
+	}
+	// The root detail's parent is the scaling coefficient.
+	if Parent(1) != 0 {
+		t.Error("parent of w[n,0] should be u[n,0]")
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	path := PathToRoot(13) // 13 -> 6 -> 3 -> 1 -> 0
+	want := []int{13, 6, 3, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestPathToRootMatchesLemma1(t *testing.T) {
+	// The path of the finest coefficient covering point i must equal the
+	// coefficient set of haar.PointPath.
+	n := 6
+	for i := 0; i < 1<<uint(n); i++ {
+		leaf := haar.Index(n, 1, i/2)
+		path := PathToRoot(leaf)
+		fromLemma := map[int]bool{}
+		for _, c := range haar.PointPath(n, i) {
+			fromLemma[c.Index] = true
+		}
+		if len(path) != len(fromLemma) {
+			t.Fatalf("point %d: path %v vs lemma set %v", i, path, fromLemma)
+		}
+		for _, idx := range path {
+			if !fromLemma[idx] {
+				t.Fatalf("point %d: path index %d not in Lemma-1 set", i, idx)
+			}
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cases := map[int]int{0: -1, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3}
+	for idx, want := range cases {
+		if got := Depth(idx); got != want {
+			t.Errorf("Depth(%d) = %d, want %d", idx, got, want)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	n := 3
+	// w[2,0] covers w[1,0] and w[1,1].
+	w20 := haar.Index(n, 2, 0)
+	if !Covers(n, w20, haar.Index(n, 1, 0)) || !Covers(n, w20, haar.Index(n, 1, 1)) {
+		t.Error("w[2,0] should cover its children")
+	}
+	if Covers(n, w20, haar.Index(n, 1, 2)) {
+		t.Error("w[2,0] should not cover w[1,2]")
+	}
+	if !Covers(n, 0, w20) {
+		t.Error("scaling coefficient should cover everything")
+	}
+}
+
+func TestSubtreeSize(t *testing.T) {
+	n2 := 16
+	// Full tree below index 1: 15 details.
+	if got := SubtreeSize(n2, 1); got != 15 {
+		t.Errorf("SubtreeSize(1) = %d", got)
+	}
+	if got := SubtreeSize(n2, 2); got != 7 {
+		t.Errorf("SubtreeSize(2) = %d", got)
+	}
+	if got := SubtreeSize(n2, 8); got != 1 {
+		t.Errorf("SubtreeSize(8) = %d", got)
+	}
+}
+
+func TestSubtreeSizeSumsToWhole(t *testing.T) {
+	n2 := 32
+	if SubtreeSize(n2, 2)+SubtreeSize(n2, 3)+1 != SubtreeSize(n2, 1) {
+		t.Error("subtree sizes do not compose")
+	}
+}
+
+func TestQuadNodeParentChild(t *testing.T) {
+	q := NewQuadNode(2, []int{1, 3})
+	p := q.Parent()
+	if p.Level != 3 || p.Pos[0] != 0 || p.Pos[1] != 1 {
+		t.Fatalf("parent = %v", p)
+	}
+	for mask := 0; mask < 4; mask++ {
+		c := q.Child(mask)
+		back := c.Parent()
+		if back.Level != q.Level || back.Pos[0] != q.Pos[0] || back.Pos[1] != q.Pos[1] {
+			t.Fatalf("child %d round trip = %v", mask, back)
+		}
+	}
+}
+
+func TestQuadNodeChildAtLevel1Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Child at level 1 did not panic")
+		}
+	}()
+	NewQuadNode(1, []int{0}).Child(0)
+}
+
+func TestQuadNodeCell(t *testing.T) {
+	q := NewQuadNode(2, []int{1, 0})
+	cell := q.Cell()
+	if cell.Volume() != 16 {
+		t.Errorf("cell volume %d", cell.Volume())
+	}
+	if s := cell.Start(); s[0] != 4 || s[1] != 0 {
+		t.Errorf("cell start %v", s)
+	}
+}
+
+func TestQuadNodeCoefCoords(t *testing.T) {
+	// 8x8 transform (n=3), node at level 2 pos (1,0): base = 2^(3-2) = 2.
+	q := NewQuadNode(2, []int{1, 0})
+	coords := q.CoefCoords(3)
+	if len(coords) != 3 {
+		t.Fatalf("coords = %v", coords)
+	}
+	want := [][]int{{3, 0}, {1, 2}, {3, 2}} // masks 01, 10, 11
+	for i := range want {
+		if coords[i][0] != want[i][0] || coords[i][1] != want[i][1] {
+			t.Fatalf("CoefCoords = %v, want %v", coords, want)
+		}
+	}
+}
+
+func TestQuadNodeCoefCoordsCount3D(t *testing.T) {
+	q := NewQuadNode(1, []int{0, 0, 0})
+	if got := len(q.CoefCoords(3)); got != 7 {
+		t.Errorf("3-d node has %d coefficients, want 7", got)
+	}
+	if q.NumChildren() != 8 {
+		t.Errorf("NumChildren = %d", q.NumChildren())
+	}
+}
+
+func TestQuadNodePathToRoot(t *testing.T) {
+	q := NewQuadNode(1, []int{3, 2})
+	path := q.PathToRoot(3)
+	if len(path) != 3 {
+		t.Fatalf("path length %d", len(path))
+	}
+	if path[2].Level != 3 || path[2].Pos[0] != 0 || path[2].Pos[1] != 0 {
+		t.Fatalf("root = %v", path[2])
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !path[i+1].Cell().Covers(path[i].Cell()) {
+			t.Fatalf("path node %v does not cover %v", path[i+1], path[i])
+		}
+	}
+}
+
+func TestQuadNodeForPoint(t *testing.T) {
+	q := QuadNodeForPoint(2, []int{5, 11})
+	if q.Level != 2 || q.Pos[0] != 1 || q.Pos[1] != 2 {
+		t.Fatalf("QuadNodeForPoint = %v", q)
+	}
+	start := q.Cell().Start()
+	if start[0] > 5 || start[1] > 11 {
+		t.Error("cell does not contain point")
+	}
+}
+
+func TestNewQuadNodeCopiesPos(t *testing.T) {
+	pos := []int{1, 2}
+	q := NewQuadNode(1, pos)
+	pos[0] = 99
+	if q.Pos[0] != 1 {
+		t.Error("NewQuadNode aliases pos")
+	}
+}

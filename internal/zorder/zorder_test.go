@@ -1,0 +1,133 @@
+package zorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncode2D(t *testing.T) {
+	// Classic 2-d Morton table for a 4x4 grid (x = coords[0] in low bit).
+	cases := []struct {
+		x, y, code int
+	}{
+		{0, 0, 0}, {1, 0, 1}, {0, 1, 2}, {1, 1, 3},
+		{2, 0, 4}, {3, 0, 5}, {2, 1, 6}, {3, 1, 7},
+		{0, 2, 8}, {0, 3, 10}, {2, 2, 12}, {3, 3, 15},
+	}
+	for _, c := range cases {
+		if got := Encode([]int{c.x, c.y}); got != c.code {
+			t.Errorf("Encode(%d,%d) = %d, want %d", c.x, c.y, got, c.code)
+		}
+	}
+}
+
+func TestEncode1DIsIdentity(t *testing.T) {
+	for v := 0; v < 100; v++ {
+		if got := Encode([]int{v}); got != v {
+			t.Errorf("Encode([%d]) = %d", v, got)
+		}
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	if Encode(nil) != 0 {
+		t.Error("Encode(nil) != 0")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		for code := 0; code < 1<<uint(2*d+2); code++ {
+			coords := Decode(code, d)
+			if got := Encode(coords); got != code {
+				t.Fatalf("d=%d Encode(Decode(%d)) = %d", d, code, got)
+			}
+		}
+	}
+}
+
+func TestEncodeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative coordinate did not panic")
+		}
+	}()
+	Encode([]int{1, -1})
+}
+
+func TestCurveVisitsEveryCellOnce(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		for _, side := range []int{1, 2, 4, 8} {
+			seen := map[int]bool{}
+			Curve(d, side, func(coords []int) {
+				key := 0
+				for _, c := range coords {
+					if c < 0 || c >= side {
+						t.Fatalf("coords %v out of grid side %d", coords, side)
+					}
+					key = key*side + c
+				}
+				if seen[key] {
+					t.Fatalf("cell %v visited twice (d=%d side=%d)", coords, d, side)
+				}
+				seen[key] = true
+			})
+			want := 1
+			for i := 0; i < d; i++ {
+				want *= side
+			}
+			if len(seen) != want {
+				t.Fatalf("d=%d side=%d visited %d cells, want %d", d, side, len(seen), want)
+			}
+		}
+	}
+}
+
+func TestCurveLocality(t *testing.T) {
+	// In z-order over a 2^k grid, the first 4 cells of a 2-d curve form the
+	// first 2x2 quadrant, the first 16 the first 4x4 quadrant, etc.
+	var cells [][]int
+	Curve(2, 8, func(coords []int) {
+		cells = append(cells, append([]int(nil), coords...))
+	})
+	for _, q := range []int{2, 4, 8} {
+		for i := 0; i < q*q; i++ {
+			if cells[i][0] >= q || cells[i][1] >= q {
+				t.Fatalf("cell %d = %v escapes %dx%d quadrant", i, cells[i], q, q)
+			}
+		}
+	}
+}
+
+func TestCurveNonPow2Side(t *testing.T) {
+	count := 0
+	Curve(2, 3, func(coords []int) { count++ })
+	if count != 9 {
+		t.Errorf("Curve(2,3) visited %d cells", count)
+	}
+}
+
+func TestQuickRoundTrip3D(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		coords := []int{int(a % 1024), int(b % 1024), int(c % 1024)}
+		got := Decode(Encode(coords), 3)
+		return got[0] == coords[0] && got[1] == coords[1] && got[2] == coords[2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMonotoneInBlock(t *testing.T) {
+	// Within any aligned 2x2 block, z-codes are consecutive.
+	f := func(x, y uint8) bool {
+		bx, by := int(x%64)*2, int(y%64)*2
+		base := Encode([]int{bx, by})
+		return Encode([]int{bx + 1, by}) == base+1 &&
+			Encode([]int{bx, by + 1}) == base+2 &&
+			Encode([]int{bx + 1, by + 1}) == base+3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

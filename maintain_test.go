@@ -1,0 +1,50 @@
+package shiftsplit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNonStdAppenderFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	a, err := NewNonStdAppender(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewArray(8, 24)
+	for h := 0; h < 3; h++ {
+		cube := randArray(rng, 8, 8)
+		full.SubPaste(cube, []int{0, h * 8})
+		if err := a.Append(cube); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Hypercubes() != 3 {
+		t.Errorf("Hypercubes = %d", a.Hypercubes())
+	}
+	v, err := a.PointAt([]int{3, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-full.At(3, 17)) > 1e-8 {
+		t.Errorf("point = %g, want %g", v, full.At(3, 17))
+	}
+	sum, err := a.RangeSum([]int{2, 5}, []int{4, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := full.SumRange([]int{2, 5}, []int{4, 15}); math.Abs(sum-want) > 1e-6 {
+		t.Errorf("range sum = %g, want %g", sum, want)
+	}
+	got, err := a.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(full, 1e-8) {
+		t.Error("reconstruction differs")
+	}
+	if a.TotalIO().Total() == 0 {
+		t.Error("no I/O recorded")
+	}
+}

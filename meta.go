@@ -1,0 +1,95 @@
+package shiftsplit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+// storeMeta is the JSON sidecar written next to file-backed stores so they
+// can be reopened with OpenStore.
+type storeMeta struct {
+	Shape        []int  `json:"shape"`
+	Form         string `json:"form"`
+	TileBits     int    `json:"tile_bits"`
+	Materialized bool   `json:"materialized"`
+}
+
+func metaPath(path string) string { return path + ".meta.json" }
+
+func (s *Store) saveMeta() error {
+	if s.opts.Path == "" {
+		return nil
+	}
+	m := storeMeta{
+		Shape:        s.opts.Shape,
+		Form:         s.opts.Form.String(),
+		TileBits:     s.opts.TileBits,
+		Materialized: s.materialized,
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(metaPath(s.opts.Path), data, 0o644)
+}
+
+// OpenStore reopens a file-backed store previously created with CreateStore
+// (its metadata sidecar must be present).
+func OpenStore(path string) (*Store, error) {
+	data, err := os.ReadFile(metaPath(path))
+	if err != nil {
+		return nil, fmt.Errorf("shiftsplit: read store metadata: %w", err)
+	}
+	var m storeMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shiftsplit: parse store metadata: %w", err)
+	}
+	var form Form
+	switch m.Form {
+	case Standard.String():
+		form = Standard
+	case NonStandard.String():
+		form = NonStandard
+	default:
+		return nil, fmt.Errorf("shiftsplit: unknown form %q in metadata", m.Form)
+	}
+	opts := StoreOptions{Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path}
+	ns := make([]int, len(opts.Shape))
+	for i, e := range opts.Shape {
+		if !bitutil.IsPow2(e) {
+			return nil, fmt.Errorf("shiftsplit: bad extent %d in metadata", e)
+		}
+		ns[i] = bitutil.Log2(e)
+	}
+	var tiling tile.Tiling
+	if form == Standard {
+		tiling = tile.NewStandard(ns, opts.TileBits)
+	} else {
+		tiling = tile.NewNonStandard(ns[0], len(ns), opts.TileBits)
+	}
+	fs, err := storage.OpenFileStore(path, tiling.BlockSize())
+	if err != nil {
+		return nil, err
+	}
+	counting := storage.NewCounting(fs)
+	st, err := tile.NewStore(counting, tiling)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		opts:         opts,
+		tiling:       tiling,
+		counting:     counting,
+		store:        st,
+		materialized: m.Materialized,
+	}, nil
+}
+
+// Sync persists metadata (form, shape, materialization state) for
+// file-backed stores; in-memory stores ignore it.
+func (s *Store) Sync() error { return s.saveMeta() }

@@ -1,0 +1,100 @@
+package shiftsplit
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	src := randArray(rng, 16, 16)
+	path := filepath.Join(t.TempDir(), "persist.wav")
+
+	st, err := CreateStore(StoreOptions{Shape: []int{16, 16}, Form: NonStandard, TileBits: 2, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Materialize(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Form() != NonStandard {
+		t.Errorf("form = %v", re.Form())
+	}
+	if sh := re.Shape(); sh[0] != 16 || sh[1] != 16 {
+		t.Errorf("shape = %v", sh)
+	}
+	// Materialization state survived: single-block point queries still work.
+	v, io, err := re.Point(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io != 1 {
+		t.Errorf("reopened point query cost %d blocks", io)
+	}
+	if math.Abs(v-src.At(5, 9)) > 1e-8 {
+		t.Errorf("reopened point = %g, want %g", v, src.At(5, 9))
+	}
+	// Range sums too.
+	sum, _, err := re.RangeSum([]int{2, 3}, []int{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := src.SumRange([]int{2, 3}, []int{5, 7}); math.Abs(sum-want) > 1e-6 {
+		t.Errorf("reopened range sum %g, want %g", sum, want)
+	}
+}
+
+func TestOpenStoreMissingMeta(t *testing.T) {
+	if _, err := OpenStore(filepath.Join(t.TempDir(), "nothing.wav")); err == nil {
+		t.Error("missing metadata accepted")
+	}
+}
+
+func TestSyncInMemoryIsNoop(t *testing.T) {
+	st, err := CreateStore(StoreOptions{Shape: []int{8}, Form: Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Sync(); err != nil {
+		t.Errorf("Sync on in-memory store: %v", err)
+	}
+}
+
+func TestOpenStoreCorruptMeta(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.wav")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".meta.json", []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Error("corrupt metadata accepted")
+	}
+	if err := os.WriteFile(path+".meta.json", []byte(`{"shape":[12],"form":"standard","tile_bits":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Error("bad extent in metadata accepted")
+	}
+	if err := os.WriteFile(path+".meta.json", []byte(`{"shape":[8],"form":"hexagonal","tile_bits":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Error("unknown form in metadata accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package shiftsplit
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/dyadic"
+	"github.com/shiftsplit/shiftsplit/internal/olap"
+)
+
+// The OLAP operators below work directly on standard-form transforms and
+// return the exact transform of the result cube — no data is ever
+// reconstructed. They panic on invalid dimensions, mirroring slice
+// indexing.
+
+// Rollup returns the transform of the cube summed over dimension dim.
+func Rollup(hat *Array, dim int) *Array { return olap.Marginalize(hat, dim) }
+
+// AverageOver returns the transform of the cube averaged over dimension dim.
+func AverageOver(hat *Array, dim int) *Array { return olap.Average(hat, dim) }
+
+// SliceAt returns the transform of the (d-1)-dimensional cube with
+// dimension dim fixed to x.
+func SliceAt(hat *Array, dim, x int) *Array { return olap.Slice(hat, dim, x) }
+
+// Totals returns the 1-d transform of the grand totals along dimension
+// keep (every other dimension rolled up).
+func Totals(hat *Array, keep int) *Array { return olap.PivotSum(hat, keep) }
+
+// DiceDyadic returns the transform of the cube restricted along dimension
+// dim to the dyadic run [start, start+length); the run must be dyadic.
+func DiceDyadic(hat *Array, dim, start, length int) (*Array, error) {
+	if dim < 0 || dim >= hat.Dims() {
+		return nil, fmt.Errorf("shiftsplit: dice dimension %d out of range", dim)
+	}
+	iv, ok := dyadic.FromRange(start, length)
+	if !ok || start+length > hat.Extent(dim) {
+		return nil, fmt.Errorf("shiftsplit: [%d,+%d) is not a dyadic run of dim %d", start, length, dim)
+	}
+	if iv.Level > bitutil.Log2(hat.Extent(dim)) {
+		return nil, fmt.Errorf("shiftsplit: dice run longer than dimension")
+	}
+	return olap.Dice(hat, dim, iv), nil
+}

@@ -1,0 +1,93 @@
+package shiftsplit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRollupFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	a := randArray(rng, 8, 16)
+	hat := Transform(a, Standard)
+	rolled := Inverse(Rollup(hat, 1), Standard)
+	for i := 0; i < 8; i++ {
+		want := 0.0
+		for j := 0; j < 16; j++ {
+			want += a.At(i, j)
+		}
+		if math.Abs(rolled.At(i)-want) > 1e-8 {
+			t.Fatalf("row %d: %g vs %g", i, rolled.At(i), want)
+		}
+	}
+}
+
+func TestAverageOverFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randArray(rng, 4, 8)
+	avg := Inverse(AverageOver(Transform(a, Standard), 0), Standard)
+	for j := 0; j < 8; j++ {
+		want := 0.0
+		for i := 0; i < 4; i++ {
+			want += a.At(i, j) / 4
+		}
+		if math.Abs(avg.At(j)-want) > 1e-8 {
+			t.Fatalf("col %d: %g vs %g", j, avg.At(j), want)
+		}
+	}
+}
+
+func TestSliceAtFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randArray(rng, 8, 8, 4)
+	sl := Inverse(SliceAt(Transform(a, Standard), 2, 3), Standard)
+	bad := 0
+	sl.Each(func(coords []int, v float64) {
+		if math.Abs(v-a.At(coords[0], coords[1], 3)) > 1e-8 {
+			bad++
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d slice cells differ", bad)
+	}
+}
+
+func TestTotalsFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randArray(rng, 4, 8, 2)
+	tot := Inverse(Totals(Transform(a, Standard), 1), Standard)
+	for j := 0; j < 8; j++ {
+		want := 0.0
+		for i := 0; i < 4; i++ {
+			for k := 0; k < 2; k++ {
+				want += a.At(i, j, k)
+			}
+		}
+		if math.Abs(tot.At(j)-want) > 1e-7 {
+			t.Fatalf("totals[%d]: %g vs %g", j, tot.At(j), want)
+		}
+	}
+}
+
+func TestDiceDyadicFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randArray(rng, 16, 8)
+	hat := Transform(a, Standard)
+	diced, err := DiceDyadic(hat, 0, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Transform(a.SubCopy([]int{8, 0}, []int{4, 8}), Standard)
+	if !diced.EqualApprox(want, 1e-8) {
+		t.Error("dice differs from sub-transform")
+	}
+	if _, err := DiceDyadic(hat, 0, 3, 4); err == nil {
+		t.Error("unaligned dice accepted")
+	}
+	if _, err := DiceDyadic(hat, 0, 8, 16); err == nil {
+		t.Error("overflowing dice accepted")
+	}
+	if _, err := DiceDyadic(hat, 5, 0, 4); err == nil {
+		t.Error("bad dimension accepted")
+	}
+}

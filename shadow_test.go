@@ -1,0 +1,93 @@
+package shiftsplit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStoreShadowFuzz drives a Store through long random sequences of
+// wavelet-domain operations (merges, clears, queries, extractions) while
+// maintaining a plain dense array as the source of truth. Every query must
+// agree with the shadow at every step — the strongest integration guarantee
+// in the suite.
+func TestStoreShadowFuzz(t *testing.T) {
+	for _, form := range []Form{Standard, NonStandard} {
+		form := form
+		t.Run(form.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			const n = 16
+			shadow := NewArray(n, n)
+			st, err := CreateStore(StoreOptions{Shape: []int{n, n}, Form: form, TileBits: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+
+			randomBlock := func() Block {
+				level := rng.Intn(3) // edges 1, 2, 4
+				side := n >> uint(level)
+				return CubeBlock(level, rng.Intn(side), rng.Intn(side))
+			}
+
+			for op := 0; op < 400; op++ {
+				switch rng.Intn(5) {
+				case 0: // merge a random delta block
+					b := randomBlock()
+					delta := NewArray(b.Shape()...)
+					for i := range delta.Data() {
+						delta.Data()[i] = rng.NormFloat64()
+					}
+					if err := st.MergeBlock(b, Transform(delta, form)); err != nil {
+						t.Fatalf("op %d merge: %v", op, err)
+					}
+					shadow.SubAdd(delta, b.Start())
+				case 1: // clear a random block
+					b := randomBlock()
+					if err := st.ClearBlock(b); err != nil {
+						t.Fatalf("op %d clear: %v", op, err)
+					}
+					zero := NewArray(b.Shape()...)
+					shadow.SubPaste(zero, b.Start())
+				case 2: // point query
+					p := []int{rng.Intn(n), rng.Intn(n)}
+					v, _, err := st.Point(p...)
+					if err != nil {
+						t.Fatalf("op %d point: %v", op, err)
+					}
+					if math.Abs(v-shadow.At(p...)) > 1e-6 {
+						t.Fatalf("op %d point %v: %g vs shadow %g", op, p, v, shadow.At(p...))
+					}
+				case 3: // range sum
+					s := []int{rng.Intn(n), rng.Intn(n)}
+					sh := []int{1 + rng.Intn(n-s[0]), 1 + rng.Intn(n-s[1])}
+					v, _, err := st.RangeSum(s, sh)
+					if err != nil {
+						t.Fatalf("op %d range: %v", op, err)
+					}
+					if math.Abs(v-shadow.SumRange(s, sh)) > 1e-5 {
+						t.Fatalf("op %d range %v+%v: %g vs shadow %g", op, s, sh, v, shadow.SumRange(s, sh))
+					}
+				case 4: // extract a block and compare contents
+					b := randomBlock()
+					vals, _, err := st.ExtractBlock(b)
+					if err != nil {
+						t.Fatalf("op %d extract: %v", op, err)
+					}
+					want := shadow.SubCopy(b.Start(), b.Shape())
+					if !vals.EqualApprox(want, 1e-6) {
+						t.Fatalf("op %d extract %v: differs by %g", op, b, vals.MaxAbsDiff(want))
+					}
+				}
+			}
+			// Final global check.
+			hat, err := st.ReadTransform()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Inverse(hat, form).EqualApprox(shadow, 1e-6) {
+				t.Error("final state diverged from shadow")
+			}
+		})
+	}
+}

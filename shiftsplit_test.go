@@ -1,0 +1,346 @@
+package shiftsplit
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func randArray(rng *rand.Rand, shape ...int) *Array {
+	a := NewArray(shape...)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64() * 10
+	}
+	return a
+}
+
+func TestTransformInverseBothForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randArray(rng, 16, 16)
+	for _, form := range []Form{Standard, NonStandard} {
+		back := Inverse(Transform(a, form), form)
+		if !back.EqualApprox(a, 1e-9) {
+			t.Errorf("%v round trip failed", form)
+		}
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	b := CubeBlock(2, 1, 3)
+	if s := b.Start(); s[0] != 4 || s[1] != 12 {
+		t.Errorf("Start = %v", s)
+	}
+	if s := b.Shape(); s[0] != 4 || s[1] != 4 {
+		t.Errorf("Shape = %v", s)
+	}
+	b2, err := BlockAt([]int{4, 12}, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Levels[0] != 2 || b2.Pos[1] != 3 {
+		t.Errorf("BlockAt = %+v", b2)
+	}
+	if _, err := BlockAt([]int{3, 0}, []int{4, 4}); err == nil {
+		t.Error("unaligned block accepted")
+	}
+	if _, err := BlockAt([]int{0}, []int{4, 4}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestMergeExtractRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, form := range []Form{Standard, NonStandard} {
+		aHat := NewArray(16, 16)
+		blockData := randArray(rng, 4, 4)
+		bHat := Transform(blockData, form)
+		b := CubeBlock(2, 1, 2)
+		if err := Merge(aHat, form, b, bHat); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Extract(aHat, form, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(bHat, 1e-9) {
+			t.Errorf("%v merge/extract round trip failed", form)
+		}
+		// The merged transform must invert to the padded block.
+		full := Inverse(aHat, form)
+		want := NewArray(16, 16)
+		want.SubPaste(blockData, b.Start())
+		if !full.EqualApprox(want, 1e-8) {
+			t.Errorf("%v merged transform does not invert to padded data", form)
+		}
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	aHat := NewArray(8, 8)
+	bHat := NewArray(4, 4)
+	if err := Merge(aHat, Standard, Block{Levels: []int{2, 2}, Pos: []int{5, 0}}, bHat); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if err := Merge(aHat, Standard, CubeBlock(1, 0, 0), bHat); err == nil {
+		t.Error("mismatched block transform accepted")
+	}
+	if err := Merge(aHat, NonStandard, Block{Levels: []int{2, 1}, Pos: []int{0, 0}}, NewArray(4, 2)); err == nil {
+		t.Error("non-cubic non-standard block accepted")
+	}
+}
+
+func TestBlockAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randArray(rng, 8, 8)
+	b := CubeBlock(1, 2, 3)
+	want := a.SumRange(b.Start(), b.Shape()) / 4
+	for _, form := range []Form{Standard, NonStandard} {
+		got, err := BlockAverage(Transform(a, form), form, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("%v BlockAverage = %g, want %g", form, got, want)
+		}
+	}
+}
+
+func TestPointValueAndRangeSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randArray(rng, 16, 16)
+	for _, form := range []Form{Standard, NonStandard} {
+		hat := Transform(a, form)
+		for trial := 0; trial < 20; trial++ {
+			p := []int{rng.Intn(16), rng.Intn(16)}
+			if got := PointValue(hat, form, p); math.Abs(got-a.At(p...)) > 1e-8 {
+				t.Fatalf("%v point %v: %g vs %g", form, p, got, a.At(p...))
+			}
+			s := []int{rng.Intn(16), rng.Intn(16)}
+			sh := []int{1 + rng.Intn(16-s[0]), 1 + rng.Intn(16-s[1])}
+			if got := RangeSum(hat, form, s, sh); math.Abs(got-a.SumRange(s, sh)) > 1e-6 {
+				t.Fatalf("%v box %v+%v: %g vs %g", form, s, sh, got, a.SumRange(s, sh))
+			}
+		}
+	}
+}
+
+func TestStoreLifecycleStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := randArray(rng, 32, 32)
+	st, err := CreateStore(StoreOptions{Shape: []int{32, 32}, Form: Standard, TileBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Materialize(src); err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+
+	// Single-block point queries.
+	for trial := 0; trial < 20; trial++ {
+		p := []int{rng.Intn(32), rng.Intn(32)}
+		v, io, err := st.Point(p...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if io != 1 {
+			t.Fatalf("materialized point query cost %d blocks", io)
+		}
+		if math.Abs(v-src.At(p...)) > 1e-8 {
+			t.Fatalf("point %v = %g, want %g", p, v, src.At(p...))
+		}
+	}
+	// Range sums.
+	v, _, err := st.RangeSum([]int{4, 8}, []int{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := src.SumRange([]int{4, 8}, []int{10, 5}); math.Abs(v-want) > 1e-6 {
+		t.Errorf("range sum %g, want %g", v, want)
+	}
+	// Partial reconstruction.
+	vals, _, err := st.ExtractBlock(CubeBlock(3, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.EqualApprox(src.SubCopy([]int{8, 16}, []int{8, 8}), 1e-8) {
+		t.Error("ExtractBlock wrong")
+	}
+	box, _, err := st.ExtractBox([]int{3, 5}, []int{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !box.EqualApprox(src.SubCopy([]int{3, 5}, []int{7, 9}), 1e-8) {
+		t.Error("ExtractBox wrong")
+	}
+	if st.Stats().Total() == 0 {
+		t.Error("no I/O counted")
+	}
+}
+
+func TestStoreChunkedNonStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := randArray(rng, 16, 16)
+	st, err := CreateStore(StoreOptions{Shape: []int{16, 16}, Form: NonStandard, TileBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.TransformChunked(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	hat, err := st.ReadTransform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hat.EqualApprox(Transform(src, NonStandard), 1e-8) {
+		t.Error("chunked transform differs from offline transform")
+	}
+	// Root-path point query works without materialization.
+	p := []int{5, 11}
+	v, _, err := st.Point(p...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-src.At(p...)) > 1e-8 {
+		t.Errorf("point %v = %g, want %g", p, v, src.At(p...))
+	}
+}
+
+func TestStoreMergeBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := randArray(rng, 16, 16)
+	st, err := CreateStore(StoreOptions{Shape: []int{16, 16}, Form: Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.TransformChunked(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	delta := randArray(rng, 4, 4)
+	b := CubeBlock(2, 2, 1)
+	if err := st.MergeBlock(b, Transform(delta, Standard)); err != nil {
+		t.Fatal(err)
+	}
+	updated := src.Clone()
+	updated.SubAdd(delta, b.Start())
+	hat, err := st.ReadTransform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hat.EqualApprox(Transform(updated, Standard), 1e-8) {
+		t.Error("MergeBlock does not match re-transform of updated data")
+	}
+}
+
+func TestStoreFileBacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := randArray(rng, 16, 16)
+	path := filepath.Join(t.TempDir(), "cube.wav")
+	st, err := CreateStore(StoreOptions{Shape: []int{16, 16}, Form: Standard, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Materialize(src); err != nil {
+		t.Fatal(err)
+	}
+	v, io, err := st.Point(7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io != 1 || math.Abs(v-src.At(7, 9)) > 1e-8 {
+		t.Errorf("file-backed point query: v=%g io=%d", v, io)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	if _, err := CreateStore(StoreOptions{Shape: nil, Form: Standard}); err == nil {
+		t.Error("empty shape accepted")
+	}
+	if _, err := CreateStore(StoreOptions{Shape: []int{12}, Form: Standard}); err == nil {
+		t.Error("non-power-of-two shape accepted")
+	}
+	if _, err := CreateStore(StoreOptions{Shape: []int{8, 16}, Form: NonStandard}); err == nil {
+		t.Error("non-cubic non-standard shape accepted")
+	}
+}
+
+func TestAppenderFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, err := NewAppender([]int{8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := randArray(rng, 8, 8)
+	res, err := a.Append(1, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expansions != 0 {
+		t.Errorf("unexpected expansion: %+v", res)
+	}
+	s2 := randArray(rng, 8, 8)
+	res, err = a.Append(1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expansions != 1 || res.ExpansionIO.Total() == 0 {
+		t.Errorf("expected one costed expansion: %+v", res)
+	}
+	got, err := a.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewArray(8, 16)
+	want.SubPaste(s1, []int{0, 0})
+	want.SubPaste(s2, []int{0, 8})
+	if !got.EqualApprox(want, 1e-8) {
+		t.Error("appender reconstruction wrong")
+	}
+	if a.TotalIO().Total() == 0 {
+		t.Error("no I/O recorded")
+	}
+	if sh := a.Shape(); sh[1] != 16 {
+		t.Errorf("Shape = %v", sh)
+	}
+	if u := a.Used(); u[1] != 16 {
+		t.Errorf("Used = %v", u)
+	}
+}
+
+func TestStreamSynopsisFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := NewStreamSynopsis(16, 4)
+	n := 1 << 12
+	for i := 0; i < n; i++ {
+		s.Add(rng.NormFloat64())
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Items() != int64(n) {
+		t.Errorf("Items = %d", s.Items())
+	}
+	entries := s.Entries()
+	if len(entries) != 16 {
+		t.Errorf("retained %d entries", len(entries))
+	}
+	for _, e := range entries {
+		if e.Energy < 0 {
+			t.Error("negative energy")
+		}
+	}
+	crest, total := s.PerItemCost()
+	if crest <= 0 || total <= crest {
+		t.Errorf("costs: crest=%g total=%g", crest, total)
+	}
+	if crest > 1 {
+		t.Errorf("buffered crest cost %g should be well below 1 for B=16", crest)
+	}
+}

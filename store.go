@@ -1,0 +1,402 @@
+package shiftsplit
+
+import (
+	"fmt"
+
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/query"
+	"github.com/shiftsplit/shiftsplit/internal/reconstruct"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+	"github.com/shiftsplit/shiftsplit/internal/transform"
+)
+
+// IOStats reports block-level I/O on a Store.
+type IOStats struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total returns Reads + Writes.
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// StoreOptions configures CreateStore.
+type StoreOptions struct {
+	// Shape of the transformed domain; every extent must be a power of two,
+	// and the non-standard form requires a cubic shape.
+	Shape []int
+	// Form of decomposition (Standard or NonStandard).
+	Form Form
+	// TileBits is the per-dimension tile edge exponent b: blocks hold
+	// 2^(b*dims) coefficients under the paper's optimal tiling (§3).
+	// Defaults to 2.
+	TileBits int
+	// Path, when non-empty, backs the store with a real file; otherwise the
+	// store is in memory.
+	Path string
+	// CacheBlocks, when positive, interposes a write-back LRU buffer pool
+	// of that many blocks between the store and its I/O counter — the
+	// "available memory" knob of the paper's query scenarios. Stats then
+	// reports only the I/O that misses the cache.
+	CacheBlocks int
+}
+
+// Store is a wavelet transform resident on tiled block storage, with every
+// block read and write counted. It is the disk-facing half of the library:
+// bulk transformation, queries, partial reconstruction, and SHIFT-SPLIT
+// block merges all run against it.
+//
+// A Store is not safe for concurrent use (it reuses internal block
+// buffers); guard it with your own synchronization.
+type Store struct {
+	opts         StoreOptions
+	tiling       tile.Tiling
+	counting     *storage.Counting
+	pool         *storage.BufferPool
+	store        *tile.Store
+	materialized bool
+}
+
+// CreateStore creates an empty tiled store for a transform of the given
+// shape and form.
+func CreateStore(opts StoreOptions) (*Store, error) {
+	if len(opts.Shape) == 0 {
+		return nil, fmt.Errorf("shiftsplit: empty shape")
+	}
+	if opts.TileBits == 0 {
+		opts.TileBits = 2
+	}
+	if opts.TileBits < 1 {
+		return nil, fmt.Errorf("shiftsplit: tile bits %d", opts.TileBits)
+	}
+	ns := make([]int, len(opts.Shape))
+	for i, s := range opts.Shape {
+		if !bitutil.IsPow2(s) {
+			return nil, fmt.Errorf("shiftsplit: extent %d is not a power of two", s)
+		}
+		ns[i] = bitutil.Log2(s)
+	}
+	var tiling tile.Tiling
+	switch opts.Form {
+	case Standard:
+		tiling = tile.NewStandard(ns, opts.TileBits)
+	case NonStandard:
+		for _, s := range opts.Shape[1:] {
+			if s != opts.Shape[0] {
+				return nil, fmt.Errorf("shiftsplit: non-standard form requires a cubic shape, got %v", opts.Shape)
+			}
+		}
+		tiling = tile.NewNonStandard(ns[0], len(ns), opts.TileBits)
+	default:
+		return nil, fmt.Errorf("shiftsplit: unknown form %v", opts.Form)
+	}
+	var base storage.BlockStore
+	if opts.Path != "" {
+		fs, err := storage.NewFileStore(opts.Path, tiling.BlockSize())
+		if err != nil {
+			return nil, err
+		}
+		base = fs
+	} else {
+		base = storage.NewMemStore(tiling.BlockSize())
+	}
+	counting := storage.NewCounting(base)
+	var top storage.BlockStore = counting
+	var pool *storage.BufferPool
+	if opts.CacheBlocks > 0 {
+		pool = storage.NewBufferPool(counting, opts.CacheBlocks)
+		top = pool
+	}
+	st, err := tile.NewStore(top, tiling)
+	if err != nil {
+		return nil, err
+	}
+	out := &Store{opts: opts, tiling: tiling, counting: counting, pool: pool, store: st}
+	if err := out.saveMeta(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Shape returns the transformed domain extents.
+func (s *Store) Shape() []int { return append([]int(nil), s.opts.Shape...) }
+
+// Form returns the decomposition form.
+func (s *Store) Form() Form { return s.opts.Form }
+
+// BlockSize returns the number of coefficients per storage block.
+func (s *Store) BlockSize() int { return s.tiling.BlockSize() }
+
+// NumBlocks returns the number of blocks covering the domain.
+func (s *Store) NumBlocks() int { return s.tiling.NumBlocks() }
+
+// Stats returns the accumulated block I/O counters.
+func (s *Store) Stats() IOStats {
+	st := s.counting.Stats()
+	return IOStats{Reads: st.Reads, Writes: st.Writes}
+}
+
+// ResetStats zeroes the I/O counters.
+func (s *Store) ResetStats() { s.counting.Reset() }
+
+// Flush writes any cached dirty blocks through to the backing store.
+func (s *Store) Flush() error {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.Flush()
+}
+
+// Close flushes caches and releases the underlying storage.
+func (s *Store) Close() error { return s.store.Close() }
+
+// Materialize transforms a in memory and writes the complete tiled layout,
+// including the per-tile scaling coefficients that make single-block point
+// queries possible. Use TransformChunked instead when a does not fit the
+// I/O budget of an in-memory transform.
+func (s *Store) Materialize(a *Array) error {
+	hat := Transform(a, s.opts.Form)
+	var err error
+	switch s.tiling.(type) {
+	case *tile.Standard:
+		err = tile.MaterializeStandard(s.store, hat)
+	case *tile.NonStandard:
+		err = tile.MaterializeNonStandard(s.store, hat)
+	}
+	if err != nil {
+		return err
+	}
+	s.materialized = true
+	return s.saveMeta()
+}
+
+// TransformChunked runs the paper's I/O-efficient chunked transformation
+// (Result 1 for the standard form; Result 2, with z-ordered chunks and an
+// in-memory crest, for the non-standard form), using memory for one chunk
+// of edge 2^chunkBits per dimension.
+func (s *Store) TransformChunked(src *Array, chunkBits int) error {
+	var err error
+	switch s.opts.Form {
+	case Standard:
+		_, err = transform.ChunkedStandard(src, chunkBits, s.store)
+	case NonStandard:
+		_, err = transform.ChunkedNonStandard(src, chunkBits, s.store, transform.NonStdOptions{ZOrderCrest: true})
+	}
+	if err != nil {
+		return err
+	}
+	s.materialized = false // scaling slots are not maintained by the engines
+	return s.saveMeta()
+}
+
+// MergeBlock folds bHat (the transform of a block's contents, same form)
+// into the stored transform — the disk-resident SHIFT-SPLIT batch update.
+func (s *Store) MergeBlock(b Block, bHat *Array) error {
+	if err := b.validate(s.opts.Shape); err != nil {
+		return err
+	}
+	batch := tile.NewBatch(s.store)
+	var applyErr error
+	add := func(coords []int, delta float64) {
+		if applyErr != nil {
+			return
+		}
+		applyErr = batch.Add(coords, delta)
+	}
+	switch s.opts.Form {
+	case Standard:
+		coreEachEmbedStandard(s.opts.Shape, b, bHat, add)
+	case NonStandard:
+		if !b.isCubic() {
+			return fmt.Errorf("shiftsplit: non-standard merge needs a cubic block")
+		}
+		coreEachNonStandard(s.opts.Shape, b, bHat, add)
+	}
+	if applyErr != nil {
+		return applyErr
+	}
+	if err := batch.Flush(); err != nil {
+		return err
+	}
+	s.materialized = false
+	return s.saveMeta()
+}
+
+// ClearBlock zeroes the original data over a dyadic block entirely in the
+// wavelet domain: the block's transform is extracted (inverse SHIFT-SPLIT)
+// and its negation merged back — two block-local passes, no global
+// reconstruction.
+func (s *Store) ClearBlock(b Block) error {
+	bHat, _, err := s.ExtractBlock(b)
+	if err != nil {
+		return err
+	}
+	neg := Transform(bHat, s.opts.Form) // bHat holds data values; transform then negate
+	for i := range neg.Data() {
+		neg.Data()[i] = -neg.Data()[i]
+	}
+	return s.MergeBlock(b, neg)
+}
+
+// ExtractBlock reconstructs the original contents of a dyadic block from
+// the store via inverse SHIFT-SPLIT (Result 6), returning the values and
+// the number of blocks read.
+func (s *Store) ExtractBlock(b Block) (*Array, int, error) {
+	if err := b.validate(s.opts.Shape); err != nil {
+		return nil, 0, err
+	}
+	switch s.opts.Form {
+	case Standard:
+		return reconstruct.DyadicStandard(s.store, b.toRange())
+	case NonStandard:
+		if !b.isCubic() {
+			return nil, 0, fmt.Errorf("shiftsplit: non-standard extract needs a cubic block")
+		}
+		return reconstruct.DyadicNonStandard(s.store, b.Levels[0], b.Pos)
+	default:
+		return nil, 0, fmt.Errorf("shiftsplit: unknown form %v", s.opts.Form)
+	}
+}
+
+// ExtractBox reconstructs an arbitrary box by dyadic decomposition (the
+// non-standard form additionally splits pieces into cubes, §4.1).
+func (s *Store) ExtractBox(start, shape []int) (*Array, int, error) {
+	if s.opts.Form == NonStandard {
+		return reconstruct.BoxNonStandard(s.store, start, shape)
+	}
+	return reconstruct.Box(s.store, start, shape)
+}
+
+// Point reconstructs a single cell. On a materialized store this reads
+// exactly one block (the §3 payoff of the stored scaling coefficients);
+// otherwise it walks the root path.
+func (s *Store) Point(point ...int) (float64, int, error) {
+	if s.materialized {
+		if s.opts.Form == Standard {
+			return query.PointStandard(s.store, point)
+		}
+		return query.PointNonStandard(s.store, point)
+	}
+	if s.opts.Form == Standard {
+		return query.PointViaRootPath(s.store, s.opts.Shape, point)
+	}
+	// Non-standard root-path query: extract the 1-cell block.
+	b := CubeBlock(0, point...)
+	vals, io, err := s.ExtractBlock(b)
+	if err != nil {
+		return 0, io, err
+	}
+	origin := make([]int, len(point))
+	return vals.At(origin...), io, nil
+}
+
+// RangeSum evaluates the sum over [start, start+shape), returning the value
+// and the number of blocks read.
+func (s *Store) RangeSum(start, shape []int) (float64, int, error) {
+	if s.opts.Form == Standard {
+		return query.RangeSumStandard(s.store, s.opts.Shape, start, shape)
+	}
+	return query.RangeSumNonStandard(s.store, start, shape)
+}
+
+// ReadTransform reads the whole transform back into memory (mainly for
+// verification and small stores).
+func (s *Store) ReadTransform() (*Array, error) {
+	hat := ndarray.New(s.opts.Shape...)
+	reader := tile.NewReader(s.store)
+	var rerr error
+	hat.Each(func(coords []int, _ float64) {
+		if rerr != nil {
+			return
+		}
+		v, err := reader.Get(coords)
+		if err != nil {
+			rerr = err
+			return
+		}
+		hat.Set(v, coords...)
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	return hat, nil
+}
+
+// Points answers a batch of point queries, sharing one block cache across
+// the batch so that queries with overlapping root paths pay for their
+// common tiles once. It returns the values in input order and the total
+// number of distinct blocks read.
+func (s *Store) Points(points [][]int) ([]float64, int, error) {
+	if s.materialized && s.opts.Form == Standard {
+		// Single-tile queries: distinct leaf tiles dominate the cost.
+		out := make([]float64, len(points))
+		seen := make(map[int]struct{})
+		blocks := 0
+		for i, p := range points {
+			v, _, err := query.PointStandard(s.store, p)
+			if err != nil {
+				return nil, blocks, err
+			}
+			out[i] = v
+			// Count distinct leaf tiles for the I/O figure.
+			tiling := s.tiling.(*tile.Standard)
+			block := 0
+			for t := 0; t < tiling.Dims(); t++ {
+				oneD := tiling.Dim(t)
+				leafBlock := 0
+				if n := oneD.Levels(); n > 0 {
+					idx := 1<<uint(n-1) + p[t]/2 // the level-1 detail over p
+					leafBlock, _ = oneD.Locate1D(idx)
+				}
+				block = block*oneD.NumBlocks() + leafBlock
+			}
+			if _, dup := seen[block]; !dup {
+				seen[block] = struct{}{}
+				blocks++
+			}
+		}
+		return out, blocks, nil
+	}
+	if s.opts.Form == Standard {
+		return query.PointBatch(s.store, s.opts.Shape, points)
+	}
+	// Non-standard: share a reader across per-point quadtree walks.
+	out := make([]float64, len(points))
+	reader := tile.NewReader(s.store)
+	n := 0
+	for e := s.opts.Shape[0]; e > 1; e /= 2 {
+		n++
+	}
+	d := len(s.opts.Shape)
+	origin := make([]int, d)
+	coords := make([]int, d)
+	for i, p := range points {
+		u, err := reader.Get(origin)
+		if err != nil {
+			return nil, reader.BlocksRead(), err
+		}
+		for j := n; j >= 1; j-- {
+			base := 1 << uint(n-j)
+			for mask := 1; mask < 1<<uint(d); mask++ {
+				w := 1.0
+				for t := 0; t < d; t++ {
+					coords[t] = p[t] >> uint(j)
+					if mask>>uint(t)&1 == 1 {
+						coords[t] += base
+						if p[t]>>uint(j-1)&1 == 1 {
+							w = -w
+						}
+					}
+				}
+				v, err := reader.Get(coords)
+				if err != nil {
+					return nil, reader.BlocksRead(), err
+				}
+				u += w * v
+			}
+		}
+		out[i] = u
+	}
+	return out, reader.BlocksRead(), nil
+}

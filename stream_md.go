@@ -1,0 +1,136 @@
+package shiftsplit
+
+import (
+	"github.com/shiftsplit/shiftsplit/internal/stream"
+	"github.com/shiftsplit/shiftsplit/internal/synopsis"
+)
+
+type synopsisEntryMD = synopsis.Entry[stream.CoefMD]
+
+// MDStreamEntry is one retained coefficient of a multidimensional stream
+// synopsis. Cross identifies the spatial basis combination (row-major over
+// the cross-section for the standard form; the flat within-hypercube
+// coordinate for the non-standard form, with -1 marking time-tree
+// coefficients); Time carries the temporal identity.
+type MDStreamEntry struct {
+	Cross  int
+	Time   StreamCoef
+	Value  float64
+	Energy float64
+}
+
+// StandardStream maintains a best-K standard-form synopsis of a
+// d-dimensional stream growing along time (paper Result 4). Its crest
+// memory is O(N^(d-1) log T) — prohibitive unless the cross-section is
+// small, exactly as the paper warns; prefer NonStandardStream otherwise.
+type StandardStream struct {
+	inner *stream.Standard
+}
+
+// NewStandardStream creates a Result-4 maintainer for the given
+// cross-section shape (power-of-two extents), buffering 2^bufBits time
+// slices, with synopsis capacity k (0 = unbounded).
+func NewStandardStream(crossShape []int, bufBits, k int) *StandardStream {
+	return &StandardStream{inner: stream.NewStandard(crossShape, bufBits, k)}
+}
+
+// AddSlice consumes one time slice (shape = crossShape).
+func (s *StandardStream) AddSlice(slice *Array) error { return s.inner.AddSlice(slice) }
+
+// Finish flushes the crest; the stream must stop at a buffer boundary.
+func (s *StandardStream) Finish() error { return s.inner.Finish() }
+
+// CrestMemory returns the coefficients currently buffered outside the
+// synopsis (the R4 memory term).
+func (s *StandardStream) CrestMemory() int { return s.inner.CrestMemory() }
+
+// Entries returns the retained coefficients.
+func (s *StandardStream) Entries() []MDStreamEntry { return convertMD(s.inner.Synopsis().Entries()) }
+
+// PerItemCost returns crest updates and total operations per consumed cell.
+func (s *StandardStream) PerItemCost() (crest, total float64) {
+	c := s.inner.Costs()
+	return c.PerItemCrest(), c.PerItemTotal()
+}
+
+// NonStandardStream maintains a best-K non-standard synopsis of a
+// d-dimensional stream growing along time (paper Result 5): the stream is a
+// sequence of cubic hypercubes fed as z-ordered chunks, and the crest
+// memory is only O((2^d - 1) log(N/M) + log(T/N)).
+type NonStandardStream struct {
+	inner     *stream.NonStandard
+	chunkEdge int
+	side      int // chunks per hypercube edge
+}
+
+// NewNonStandardStream creates a Result-5 maintainer for hypercubes of edge
+// 2^n in d dimensions, fed by chunks of edge 2^m, with synopsis capacity k.
+func NewNonStandardStream(n, d, m, k int) *NonStandardStream {
+	return &NonStandardStream{
+		inner:     stream.NewNonStandard(n, d, m, k),
+		chunkEdge: 1 << uint(m),
+		side:      1 << uint(n-m),
+	}
+}
+
+// NextChunkPos returns the chunk position (in chunk units) expected next.
+func (s *NonStandardStream) NextChunkPos() []int { return s.inner.NextChunkPos() }
+
+// AddChunk consumes the next z-ordered chunk of the current hypercube.
+func (s *NonStandardStream) AddChunk(chunk *Array) error { return s.inner.AddChunk(chunk) }
+
+// AddHypercube feeds a whole hypercube in the maintainer's expected
+// z-ordered chunk sequence.
+func (s *NonStandardStream) AddHypercube(cube *Array) error {
+	d := cube.Dims()
+	chunks := 1
+	for i := 0; i < d; i++ {
+		chunks *= s.side
+	}
+	start := make([]int, d)
+	shape := make([]int, d)
+	for i := range shape {
+		shape[i] = s.chunkEdge
+	}
+	for c := 0; c < chunks; c++ {
+		pos := s.inner.NextChunkPos()
+		for i := range start {
+			start[i] = pos[i] * s.chunkEdge
+		}
+		if err := s.inner.AddChunk(cube.SubCopy(start, shape)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish flushes the time chain; the stream must stop at a hypercube
+// boundary.
+func (s *NonStandardStream) Finish() error { return s.inner.Finish() }
+
+// CrestMemory returns the R5 memory term.
+func (s *NonStandardStream) CrestMemory() int { return s.inner.CrestMemory() }
+
+// Entries returns the retained coefficients.
+func (s *NonStandardStream) Entries() []MDStreamEntry {
+	return convertMD(s.inner.Synopsis().Entries())
+}
+
+// PerItemCost returns crest updates and total operations per consumed cell.
+func (s *NonStandardStream) PerItemCost() (crest, total float64) {
+	c := s.inner.Costs()
+	return c.PerItemCrest(), c.PerItemTotal()
+}
+
+func convertMD(raw []synopsisEntryMD) []MDStreamEntry {
+	out := make([]MDStreamEntry, len(raw))
+	for i, e := range raw {
+		out[i] = MDStreamEntry{
+			Cross:  e.Key.Cross,
+			Time:   StreamCoef{Level: e.Key.Time.J, Pos: e.Key.Time.K, Avg: e.Key.Time.Avg},
+			Value:  e.Value,
+			Energy: e.Weight,
+		}
+	}
+	return out
+}

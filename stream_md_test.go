@@ -1,0 +1,77 @@
+package shiftsplit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStandardStreamFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	s := NewStandardStream([]int{4, 4}, 2, 0)
+	T := 16
+	for tm := 0; tm < T; tm++ {
+		sl := randArray(rng, 4, 4)
+		if err := s.AddSlice(sl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	entries := s.Entries()
+	if len(entries) != 4*4*T {
+		t.Errorf("finalized %d coefficients, want %d", len(entries), 4*4*T)
+	}
+	if s.CrestMemory() == 0 {
+		t.Error("no crest memory reported")
+	}
+	crest, total := s.PerItemCost()
+	if crest <= 0 || total <= 0 {
+		t.Error("costs not accumulated")
+	}
+}
+
+func TestNonStandardStreamFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	s := NewNonStandardStream(3, 2, 1, 0)
+	for h := 0; h < 4; h++ {
+		cube := randArray(rng, 8, 8)
+		if err := s.AddHypercube(cube); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	entries := s.Entries()
+	// 4 hypercubes x 63 details + 3 time details + 1 average.
+	if want := 4*63 + 3 + 1; len(entries) != want {
+		t.Errorf("finalized %d coefficients, want %d", len(entries), want)
+	}
+	// The R5 memory bound is independent of the cross-section.
+	if mem := s.CrestMemory(); mem > 32 {
+		t.Errorf("crest memory %d exceeds R5 scale", mem)
+	}
+}
+
+func TestStreamFormsMemoryGap(t *testing.T) {
+	// The facade must preserve the R4-vs-R5 memory separation.
+	rng := rand.New(rand.NewSource(72))
+	std := NewStandardStream([]int{8, 8}, 1, 16)
+	non := NewNonStandardStream(3, 3, 1, 16)
+	for h := 0; h < 2; h++ {
+		cube := randArray(rng, 8, 8, 8)
+		for tm := 0; tm < 8; tm++ {
+			sl := cube.SubCopy([]int{0, 0, tm}, []int{8, 8, 1})
+			if err := std.AddSlice(FromSlice(sl.Data(), 8, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := non.AddHypercube(cube); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if non.CrestMemory()*4 > std.CrestMemory() {
+		t.Errorf("R5 memory %d not clearly below R4 %d", non.CrestMemory(), std.CrestMemory())
+	}
+}

@@ -1,0 +1,109 @@
+package shiftsplit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLargeScaleEndToEnd runs the full pipeline at a scale closer to the
+// paper's (a quarter-million cells): chunked bulk load, materialization,
+// queries, updates, and extraction. Skipped in -short mode.
+func TestLargeScaleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test in -short mode")
+	}
+	rng := rand.New(rand.NewSource(90))
+	const n = 512 // 512x512 = 262144 cells
+	src := NewArray(n, n)
+	for i := range src.Data() {
+		src.Data()[i] = rng.NormFloat64()
+	}
+
+	st, err := CreateStore(StoreOptions{Shape: []int{n, n}, Form: Standard, TileBits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.TransformChunked(src, 5); err != nil { // 32x32 chunks
+		t.Fatal(err)
+	}
+
+	// Spot-check queries against the source.
+	for trial := 0; trial < 50; trial++ {
+		s := []int{rng.Intn(n), rng.Intn(n)}
+		sh := []int{1 + rng.Intn(n-s[0]), 1 + rng.Intn(n-s[1])}
+		got, _, err := st.RangeSum(s, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := src.SumRange(s, sh)
+		if diff := got - want; diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("box %v+%v: %g vs %g", s, sh, got, want)
+		}
+	}
+
+	// A large batched update.
+	delta := NewArray(64, 64)
+	for i := range delta.Data() {
+		delta.Data()[i] = rng.NormFloat64()
+	}
+	blk := CubeBlock(6, 3, 5)
+	if err := st.MergeBlock(blk, Transform(delta, Standard)); err != nil {
+		t.Fatal(err)
+	}
+	src.SubAdd(delta, blk.Start())
+
+	// Extraction after the update.
+	vals, io, err := st.ExtractBlock(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.EqualApprox(src.SubCopy(blk.Start(), blk.Shape()), 1e-6) {
+		t.Fatal("extraction after large update differs")
+	}
+	if io >= st.NumBlocks()/4 {
+		t.Errorf("extraction read %d of %d blocks", io, st.NumBlocks())
+	}
+}
+
+// TestLargeScaleNonStandard4D exercises a 4-d non-standard pipeline.
+func TestLargeScaleNonStandard4D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test in -short mode")
+	}
+	rng := rand.New(rand.NewSource(91))
+	const e = 16 // 16^4 = 65536 cells
+	src := NewArray(e, e, e, e)
+	for i := range src.Data() {
+		src.Data()[i] = rng.NormFloat64()
+	}
+	st, err := CreateStore(StoreOptions{Shape: []int{e, e, e, e}, Form: NonStandard, TileBits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.TransformChunked(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Reads != 0 {
+		t.Errorf("4-d crest load performed %d reads", st.Stats().Reads)
+	}
+	for trial := 0; trial < 20; trial++ {
+		p := []int{rng.Intn(e), rng.Intn(e), rng.Intn(e), rng.Intn(e)}
+		v, _, err := st.Point(p...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := v - src.At(p...); diff > 1e-7 || diff < -1e-7 {
+			t.Fatalf("point %v: %g vs %g", p, v, src.At(p...))
+		}
+	}
+	sum, _, err := st.RangeSum([]int{2, 0, 5, 1}, []int{9, 16, 4, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := src.SumRange([]int{2, 0, 5, 1}, []int{9, 16, 4, 12})
+	if diff := sum - want; diff > 1e-5 || diff < -1e-5 {
+		t.Fatalf("4-d range sum %g vs %g", sum, want)
+	}
+}
