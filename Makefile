@@ -1,0 +1,38 @@
+GO ?= go
+CRASH_SEED ?= 1
+
+.PHONY: all build test race vet fmt-check crash-campaign ci clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fail if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The crash campaigns kill maintenance batches at every physical write
+# index and require recovery to a checksum-clean pre- or post-batch state.
+# CRASH_SEED pins the tear/drop RNG for reproducible failures.
+crash-campaign:
+	SHIFTSPLIT_CRASH_SEED=$(CRASH_SEED) $(GO) test -v \
+		-run 'TestCrashCampaignDurable|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign' \
+		./internal/storage/ ./internal/appender/ .
+
+ci: fmt-check vet build race crash-campaign
+
+clean:
+	$(GO) clean ./...

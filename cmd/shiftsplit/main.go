@@ -49,6 +49,10 @@ func main() {
 		err = cmdApprox(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
+	case "fsck":
+		err = cmdFsck(os.Args[2:])
+	case "recover":
+		err = cmdRecover(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -74,6 +78,8 @@ commands:
   compress    build a best-K synopsis file from a store
   approx      answer queries from a synopsis file
   info        print a store's geometry and metadata
+  fsck        verify a durable store's checksums and journal (read-only)
+  recover     replay or discard an interrupted batch, then re-verify
 
 run 'shiftsplit <command> -h' for flags`)
 }
@@ -114,6 +120,7 @@ func cmdTransform(args []string) error {
 	chunk := fs.Int("chunk", 3, "chunk edge exponent m (memory holds 2^(m*d) cells)")
 	seed := fs.Int64("seed", 1, "dataset seed")
 	kind := fs.String("data", "dense", "synthetic dataset: dense | temperature (4-d) | precipitation (3-d) | sparse")
+	durable := fs.Bool("durable", false, "crash-safe store: checksummed blocks + write-ahead journal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,7 +146,7 @@ func cmdTransform(args []string) error {
 		return fmt.Errorf("unknown dataset %q", *kind)
 	}
 	st, err := shiftsplit.CreateStore(shiftsplit.StoreOptions{
-		Shape: shape, Form: form, TileBits: *tile, Path: *out,
+		Shape: shape, Form: form, TileBits: *tile, Path: *out, Durable: *durable,
 	})
 	if err != nil {
 		return err
@@ -366,6 +373,80 @@ func cmdApprox(args []string) error {
 	}
 }
 
+func printFsckReport(rep *shiftsplit.FsckReport) {
+	fmt.Printf("store:    %s\n", rep.Path)
+	fmt.Printf("blocks:   %d frames on disk, %d written, block size %d\n",
+		rep.Blocks, rep.Written, rep.BlockSize)
+	fmt.Printf("epoch:    %d\n", rep.MaxEpoch)
+	switch {
+	case !rep.JournalPresent:
+		fmt.Println("journal:  missing (clean shutdown)")
+	case rep.JournalErr != "":
+		fmt.Printf("journal:  UNRECOVERABLE: %s\n", rep.JournalErr)
+	case rep.JournalCommitted:
+		fmt.Printf("journal:  sealed batch of %d blocks (epoch %d) awaits replay — run 'shiftsplit recover'\n",
+			rep.JournalEntries, rep.JournalEpoch)
+	case rep.JournalEntries > 0:
+		fmt.Printf("journal:  unsealed batch of %d blocks (will be discarded on open)\n", rep.JournalEntries)
+	default:
+		fmt.Println("journal:  empty")
+	}
+	if len(rep.Corrupt) > 0 {
+		fmt.Printf("CORRUPT:  %d blocks failed checksum verification: %v\n", len(rep.Corrupt), rep.Corrupt)
+	}
+	if rep.Clean() {
+		fmt.Println("status:   clean")
+	} else {
+		fmt.Println("status:   NOT CLEAN")
+	}
+}
+
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	store := fs.String("store", "cube.wav", "store path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := shiftsplit.Fsck(*store)
+	if err != nil {
+		return err
+	}
+	printFsckReport(rep)
+	if !rep.Clean() {
+		return fmt.Errorf("%s is not clean", *store)
+	}
+	return nil
+}
+
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	store := fs.String("store", "cube.wav", "store path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := shiftsplit.OpenStore(*store)
+	if err != nil {
+		return err
+	}
+	if n, ok := st.Recovered(); ok {
+		fmt.Printf("rolled forward an interrupted batch of %d blocks\n", n)
+	} else {
+		fmt.Println("no interrupted batch found")
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	rep, err := shiftsplit.Fsck(*store)
+	if err != nil {
+		return err
+	}
+	printFsckReport(rep)
+	if !rep.Clean() {
+		return fmt.Errorf("%s is not clean after recovery", *store)
+	}
+	return nil
+}
+
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	store := fs.String("store", "cube.wav", "store path")
@@ -382,5 +463,6 @@ func cmdInfo(args []string) error {
 	fmt.Printf("shape:      %v\n", st.Shape())
 	fmt.Printf("blocks:     %d of %d coefficients (%d bytes each)\n",
 		st.NumBlocks(), st.BlockSize(), 8*st.BlockSize())
+	fmt.Printf("durable:    %v\n", st.Durable())
 	return nil
 }

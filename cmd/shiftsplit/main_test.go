@@ -146,3 +146,58 @@ func TestInfoCommand(t *testing.T) {
 		t.Error("missing store accepted")
 	}
 }
+
+func TestDurableTransformFsckRecover(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "d.wav")
+	if err := cmdTransform([]string{"-out", store, "-shape", "16x16", "-chunk", "2", "-durable"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(store + ".wal"); err != nil {
+		t.Fatalf("journal sidecar missing: %v", err)
+	}
+	if err := cmdFsck([]string{"-store", store}); err != nil {
+		t.Fatalf("fsck on a clean store: %v", err)
+	}
+	if err := cmdRecover([]string{"-store", store}); err != nil {
+		t.Fatalf("recover on a clean store: %v", err)
+	}
+	// Queries work the same on a durable store.
+	if err := cmdQuery([]string{"-store", store, "-point", "3,5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-store", store}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsckRejectsPlainStore(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "p.wav")
+	if err := cmdTransform([]string{"-out", store, "-shape", "16x16", "-chunk", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFsck([]string{"-store", store}); err == nil {
+		t.Error("fsck accepted a non-durable store")
+	}
+}
+
+func TestFsckFlagsTamperedStore(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "d.wav")
+	if err := cmdTransform([]string{"-out", store, "-shape", "16x16", "-chunk", "2", "-durable"}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the data file.
+	f, err := os.OpenFile(store, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xAB}, 200); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := cmdFsck([]string{"-store", store}); err == nil {
+		t.Error("fsck passed a tampered store")
+	}
+}

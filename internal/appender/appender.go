@@ -14,6 +14,7 @@ package appender
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/core"
@@ -25,6 +26,13 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/wavelet"
 )
 
+// Backing provides the block store for each of the appender's successive
+// domain generations (every expansion rebuilds the store, possibly with a
+// new block size). Returning a transactional store (storage.Durable) makes
+// each append and each expansion an atomic batch: the appender commits at
+// those boundaries.
+type Backing func(generation, blockSize int) (storage.BlockStore, error)
+
 // Appender maintains a growing dataset in the wavelet domain on tiled,
 // I/O-counted block storage.
 type Appender struct {
@@ -34,6 +42,8 @@ type Appender struct {
 	store       *tile.Store
 	counting    *storage.Counting
 	accumulated storage.Stats
+	backing     Backing
+	generation  int
 }
 
 // AppendStats reports the cost of one Append call.
@@ -44,17 +54,25 @@ type AppendStats struct {
 }
 
 // New creates an appender over an initially empty domain of the given
-// power-of-two shape, tiled with per-dimension block edge 2^b.
+// power-of-two shape, tiled with per-dimension block edge 2^b, backed by
+// in-memory storage.
 func New(shape []int, b int) (*Appender, error) {
+	return NewWithBacking(shape, b, nil)
+}
+
+// NewWithBacking is New with an explicit store provider; backing == nil
+// selects in-memory stores.
+func NewWithBacking(shape []int, b int, backing Backing) (*Appender, error) {
 	for _, s := range shape {
 		if !bitutil.IsPow2(s) {
 			return nil, fmt.Errorf("appender: extent %d is not a power of two", s)
 		}
 	}
 	a := &Appender{
-		b:     b,
-		shape: append([]int(nil), shape...),
-		used:  make([]int, len(shape)),
+		b:       b,
+		shape:   append([]int(nil), shape...),
+		used:    make([]int, len(shape)),
+		backing: backing,
 	}
 	if err := a.rebuildStore(); err != nil {
 		return nil, err
@@ -68,7 +86,17 @@ func (a *Appender) rebuildStore() error {
 		ns[i] = bitutil.Log2(s)
 	}
 	tiling := tile.NewStandard(ns, a.b)
-	a.counting = storage.NewCounting(storage.NewMemStore(tiling.BlockSize()))
+	var base storage.BlockStore
+	if a.backing != nil {
+		var err error
+		if base, err = a.backing(a.generation, tiling.BlockSize()); err != nil {
+			return err
+		}
+	} else {
+		base = storage.NewMemStore(tiling.BlockSize())
+	}
+	a.generation++
+	a.counting = storage.NewCounting(base)
 	st, err := tile.NewStore(a.counting, tiling)
 	if err != nil {
 		return err
@@ -173,6 +201,10 @@ func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
 			return st, err
 		}
 	}
+	// One append = one atomic batch on transactional backings.
+	if err := a.store.Commit(); err != nil {
+		return st, err
+	}
 	after := a.counting.Stats()
 	st.MergeIO = storage.Stats{Reads: after.Reads - mergeBefore.Reads, Writes: after.Writes - mergeBefore.Writes}
 	a.used[dim] += slab.Extent(dim)
@@ -260,10 +292,20 @@ func (a *Appender) expand(dim int) (storage.Stats, error) {
 			}
 		}
 	}
-	for blk, data := range pending {
-		if err := a.store.WriteTile(blk, data); err != nil {
+	blks := make([]int, 0, len(pending))
+	for blk := range pending {
+		blks = append(blks, blk)
+	}
+	sort.Ints(blks)
+	for _, blk := range blks {
+		if err := a.store.WriteTile(blk, pending[blk]); err != nil {
 			return storage.Stats{}, err
 		}
+	}
+	// The expanded transform is one atomic batch; only after it is durable
+	// may the previous generation be retired.
+	if err := a.store.Commit(); err != nil {
+		return storage.Stats{}, err
 	}
 	// Fold the old store's lifetime I/O into the running totals and report
 	// this expansion's own cost (old-store reads plus new-store writes).

@@ -1,0 +1,233 @@
+package appender
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/wavelet"
+)
+
+// durableMems is a Backing over in-memory durable stores: each generation
+// keeps its raw data/journal MemStores so a test can rebuild a Durable
+// over the same media after a simulated power cut.
+type durableMems struct {
+	data map[int]*storage.MemStore
+	wal  map[int]*storage.MemStore
+	plan *storage.CrashPlan
+}
+
+func newDurableMems() *durableMems {
+	return &durableMems{data: map[int]*storage.MemStore{}, wal: map[int]*storage.MemStore{}}
+}
+
+func (m *durableMems) backing(gen, blockSize int) (storage.BlockStore, error) {
+	m.data[gen] = storage.NewMemStore(blockSize + storage.ChecksumOverhead)
+	m.wal[gen] = storage.NewMemStore(blockSize + storage.JournalOverhead)
+	var data, wal storage.BlockStore = m.data[gen], m.wal[gen]
+	if m.plan != nil {
+		data = storage.NewCrashStore(data, m.plan)
+		wal = storage.NewCrashStore(wal, m.plan)
+	}
+	return storage.NewDurable(data, wal)
+}
+
+// reopen rebuilds a recovered Durable over generation gen's media (no
+// crash plan: power is back).
+func (m *durableMems) reopen(gen int) (*storage.Durable, error) {
+	return storage.NewDurable(m.data[gen], m.wal[gen])
+}
+
+func (m *durableMems) lastGen() int {
+	last := -1
+	for g := range m.data {
+		if g > last {
+			last = g
+		}
+	}
+	return last
+}
+
+func baseSlab() *ndarray.Array {
+	s := ndarray.New(4, 4)
+	s.Each(func(c []int, _ float64) { s.Set(float64(4*c[0]+c[1]+1), c...) })
+	return s
+}
+
+func secondSlab() *ndarray.Array {
+	s := ndarray.New(4, 4)
+	s.Each(func(c []int, _ float64) { s.Set(float64(10*c[0]+c[1]), c...) })
+	return s
+}
+
+// transformIn embeds base (and optionally slab2 at column offset 4) in a
+// domain of the given shape and returns its standard transform.
+func transformIn(shape []int, withSecond bool) *ndarray.Array {
+	full := ndarray.New(shape...)
+	full.SubPaste(baseSlab(), []int{0, 0})
+	if withSecond {
+		full.SubPaste(secondSlab(), []int{0, 4})
+	}
+	return wavelet.TransformStandard(full)
+}
+
+// matchesTransform checks the durable store, tiled for the given domain
+// shape, coefficient-for-coefficient against hat.
+func matchesTransform(t *testing.T, d *storage.Durable, shape []int, hat *ndarray.Array) bool {
+	t.Helper()
+	a, err := NewWithBacking(shape, 1, func(gen, blockSize int) (storage.BlockStore, error) {
+		if d.BlockSize() != blockSize {
+			return nil, errors.New("tiling mismatch")
+		}
+		return d, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := true
+	hat.Each(func(c []int, want float64) {
+		if !ok {
+			return
+		}
+		got, err := a.Store().Get(c)
+		if err != nil || !approx(got, want) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func isEmptyDurable(t *testing.T, d *storage.Durable, maxBlock int) bool {
+	t.Helper()
+	buf := make([]float64, d.BlockSize())
+	for id := 0; id <= maxBlock; id++ {
+		if err := d.ReadBlock(id, buf); err != nil {
+			t.Fatalf("read block %d: %v", id, err)
+		}
+		for _, v := range buf {
+			if v != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAppenderOnDurableBacking(t *testing.T) {
+	mems := newDurableMems()
+	a, err := NewWithBacking([]int{4, 4}, 1, mems.backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Append(1, baseSlab()); err != nil {
+		t.Fatal(err)
+	}
+	// Growing along dim 1 forces an expansion (an atomic batch on a new
+	// generation) followed by a merge batch.
+	st, err := a.Append(1, secondSlab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expansions != 1 {
+		t.Fatalf("expansions = %d, want 1", st.Expansions)
+	}
+	got, err := a.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ndarray.New(4, 8)
+	want.SubPaste(baseSlab(), []int{0, 0})
+	want.SubPaste(secondSlab(), []int{0, 4})
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("reconstruction off by %g", got.MaxAbsDiff(want))
+	}
+}
+
+// TestAppenderCrashDuringAppendIsAtomic crashes the expanding append at
+// every physical mutation index, recovers the surviving media, and checks
+// the dataset is in exactly one of the legal states: the new generation is
+// empty with the pre-append transform intact in the old generation (crash
+// before the expansion batch sealed), the new generation holds the
+// expanded pre-append transform (crash before the merge batch sealed), or
+// it holds the full post-append transform. Never a hybrid.
+func TestAppenderCrashDuringAppendIsAtomic(t *testing.T) {
+	buildBase := func(mems *durableMems) *Appender {
+		a, err := NewWithBacking([]int{4, 4}, 1, mems.backing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Append(1, baseSlab()); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	pre44 := transformIn([]int{4, 4}, false)
+	pre48 := transformIn([]int{4, 8}, false)
+	post48 := transformIn([]int{4, 8}, true)
+
+	// Dry run: count the physical mutations of the expanding append.
+	dryMems := newDurableMems()
+	dryMems.plan = storage.NewCrashPlan(1)
+	aDry := buildBase(dryMems)
+	preOps := dryMems.plan.Ops()
+	if _, err := aDry.Append(1, secondSlab()); err != nil {
+		t.Fatal(err)
+	}
+	totalOps := dryMems.plan.Ops() - preOps
+	if totalOps < 4 {
+		t.Fatalf("append took only %d mutations", totalOps)
+	}
+
+	var oldSeen, expandedSeen, postSeen int
+	for w := int64(1); w <= totalOps; w++ {
+		mems := newDurableMems()
+		mems.plan = storage.NewCrashPlan(1000 + w)
+		a := buildBase(mems)
+		mems.plan.ArmAt(mems.plan.Ops() + w)
+		_, err := a.Append(1, secondSlab())
+		if w < totalOps && !errors.Is(err, storage.ErrCrashed) {
+			t.Fatalf("trial %d: expected crash, got %v", w, err)
+		}
+		gen := mems.lastGen()
+		d, err := mems.reopen(gen)
+		if err != nil {
+			t.Fatalf("trial %d: recover gen %d: %v", w, gen, err)
+		}
+		switch {
+		case gen > 0 && isEmptyDurable(t, d, 16):
+			// Expansion batch never sealed: the previous generation must
+			// still hold the untouched pre-append transform.
+			d0, err := mems.reopen(0)
+			if err != nil {
+				t.Fatalf("trial %d: recover gen 0: %v", w, err)
+			}
+			if !matchesTransform(t, d0, []int{4, 4}, pre44) {
+				t.Fatalf("trial %d: old generation damaged", w)
+			}
+			d0.Close()
+			oldSeen++
+		case matchesTransform(t, d, []int{4, 8}, pre48):
+			expandedSeen++
+		case matchesTransform(t, d, []int{4, 8}, post48):
+			postSeen++
+		default:
+			t.Fatalf("trial %d: hybrid transform after recovery (gen %d)", w, gen)
+		}
+		d.Close()
+	}
+	t.Logf("append campaign: %d trials, old=%d expanded=%d post=%d",
+		totalOps, oldSeen, expandedSeen, postSeen)
+	if oldSeen+expandedSeen == 0 || postSeen == 0 {
+		t.Fatalf("campaign did not exercise both sides (old=%d expanded=%d post=%d)",
+			oldSeen, expandedSeen, postSeen)
+	}
+}

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBufferPoolEvictionFailureKeepsFrame: when the dirty-eviction
+// write-back fails, the victim frame must stay cached and dirty — the
+// pool must not drop the only copy of the data — and the triggering
+// operation must not land a half-inserted frame in the LRU.
+func TestBufferPoolEvictionFailureKeepsFrame(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	pool := NewBufferPool(f, 1)
+	if err := pool.WriteBlock(0, []float64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	f.FailWriteAfter(1)
+	if err := pool.ReadBlock(1, make([]float64, 2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("eviction error = %v", err)
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("pool holds %d frames after failed eviction, want 1", pool.Len())
+	}
+	// The dirty block is still readable from the cache...
+	buf := make([]float64, 2)
+	if err := pool.ReadBlock(0, buf); err != nil || buf[0] != 7 {
+		t.Fatalf("victim lost: %v, %v", buf, err)
+	}
+	// ...and once the fault clears, the pool works again end to end.
+	f.FailWriteAfter(0)
+	if err := pool.ReadBlock(1, buf); err != nil {
+		t.Fatalf("retry after disarm: %v", err)
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The inner store must now hold block 0's data.
+	inner := make([]float64, 2)
+	if err := f.ReadBlock(0, inner); err != nil || inner[1] != 8 {
+		t.Fatalf("inner store after recovery = %v, %v", inner, err)
+	}
+}
+
+// TestBufferPoolFlushPropagatesAndStaysUsable: Flush surfaces the first
+// write-back error, keeps the failed frame dirty, and a later Flush
+// completes once the fault is gone.
+func TestBufferPoolFlushPropagatesAndStaysUsable(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	pool := NewBufferPool(f, 4)
+	for id := 0; id < 3; id++ {
+		if err := pool.WriteBlock(id, []float64{float64(id), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.FailWriteAfter(1)
+	if err := pool.Flush(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("flush error = %v", err)
+	}
+	f.FailWriteAfter(0)
+	if err := pool.Flush(); err != nil {
+		t.Fatalf("second flush: %v", err)
+	}
+	buf := make([]float64, 2)
+	for id := 0; id < 3; id++ {
+		if err := f.ReadBlock(id, buf); err != nil || buf[0] != float64(id) {
+			t.Fatalf("inner block %d = %v, %v", id, buf, err)
+		}
+	}
+}
+
+// TestBufferPoolCloseErrorIsRetryable: a Close that fails mid-flush
+// leaves the pool open so the caller can retry; a successful Close is
+// idempotent.
+func TestBufferPoolCloseErrorIsRetryable(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	pool := NewBufferPool(f, 2)
+	if err := pool.WriteBlock(0, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	f.FailWriteAfter(1)
+	if err := pool.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("close error = %v", err)
+	}
+	// Still open: the dirty frame survived, so a retry can flush it.
+	f.FailWriteAfter(0)
+	if err := pool.Close(); err != nil {
+		t.Fatalf("retried close: %v", err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	// After close, operations are rejected rather than corrupting state.
+	if err := pool.WriteBlock(1, []float64{1, 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close = %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+)
+
+// ChecksumOverhead is the number of trailing coefficient slots a Checksummed
+// wrapper claims from its inner store for the frame footer (CRC64 + epoch
+// stamp). A Checksummed over an inner store of P slots exposes P-2 logical
+// slots per block.
+const ChecksumOverhead = 2
+
+// ErrChecksum marks a block whose frame failed verification: a torn write,
+// bit rot, or a write that never completed. Readers must treat the block
+// contents as unusable.
+var ErrChecksum = errors.New("storage: block checksum mismatch")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksummed frames every block of an inner store with a CRC64 and an
+// epoch stamp so that torn writes and bit rot are detected on read instead
+// of being silently folded into the transform. Unwritten blocks (all-zero
+// frames) still read as zeros, preserving the lazily allocated medium the
+// engines assume.
+//
+// Frame layout within an inner block of P = BlockSize()+2 slots:
+//
+//	[0, P-2)  payload coefficients
+//	P-2       CRC64/ECMA over payload bytes + stamp bytes
+//	P-1       stamp = epoch<<1 | 1 (always odd, so a written frame is
+//	          never all-zero)
+//
+// Meta slots hold raw uint64 bit patterns reinterpreted as float64; they
+// are round-tripped with math.Float64bits and never used arithmetically.
+type Checksummed struct {
+	inner BlockStore
+	epoch uint64
+	frame []float64
+	bytes []byte // payload bytes + stamp bytes, the CRC input
+}
+
+// NewChecksummed wraps inner, spending its last two slots on the frame
+// footer.
+func NewChecksummed(inner BlockStore) (*Checksummed, error) {
+	n := inner.BlockSize()
+	if n <= ChecksumOverhead {
+		return nil, fmt.Errorf("storage: checksummed store needs inner block size > %d, got %d", ChecksumOverhead, n)
+	}
+	return &Checksummed{
+		inner: inner,
+		frame: make([]float64, n),
+		bytes: make([]byte, 8*(n-1)),
+	}, nil
+}
+
+// BlockSize returns the logical (payload) block size.
+func (c *Checksummed) BlockSize() int { return c.inner.BlockSize() - ChecksumOverhead }
+
+// SetEpoch sets the epoch stamped into subsequently written frames. The
+// Durable layer bumps it once per committed batch, which lets fsck report
+// which batch last touched each block.
+func (c *Checksummed) SetEpoch(e uint64) { c.epoch = e }
+
+// Epoch returns the current write epoch.
+func (c *Checksummed) Epoch() uint64 { return c.epoch }
+
+func (c *Checksummed) checksum(payload []float64, stamp uint64) uint64 {
+	for i, v := range payload {
+		binary.LittleEndian.PutUint64(c.bytes[8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint64(c.bytes[8*len(payload):], stamp)
+	return crc64.Checksum(c.bytes[:8*(len(payload)+1)], crcTable)
+}
+
+// WriteBlock frames data with a CRC and the current epoch and writes it.
+func (c *Checksummed) WriteBlock(id int, data []float64) error {
+	if err := checkBlockArgs(c, id, data); err != nil {
+		return err
+	}
+	p := c.BlockSize()
+	copy(c.frame[:p], data)
+	stamp := c.epoch<<1 | 1
+	crc := c.checksum(data, stamp)
+	c.frame[p] = math.Float64frombits(crc)
+	c.frame[p+1] = math.Float64frombits(stamp)
+	return c.inner.WriteBlock(id, c.frame)
+}
+
+// verify classifies the frame currently in c.frame. written reports whether
+// the frame holds a stored block; a nil error with written=false means the
+// block was never written (reads as zeros).
+func (c *Checksummed) verify(id int) (epoch uint64, written bool, err error) {
+	p := c.BlockSize()
+	stamp := math.Float64bits(c.frame[p+1])
+	crcStored := math.Float64bits(c.frame[p])
+	if stamp == 0 && crcStored == 0 {
+		allZero := true
+		for _, v := range c.frame[:p] {
+			if math.Float64bits(v) != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return 0, false, nil
+		}
+		return 0, true, fmt.Errorf("storage: block %d: unstamped payload (torn write): %w", id, ErrChecksum)
+	}
+	if stamp&1 != 1 {
+		return 0, true, fmt.Errorf("storage: block %d: invalid stamp %#x: %w", id, stamp, ErrChecksum)
+	}
+	if crc := c.checksum(c.frame[:p], stamp); crc != crcStored {
+		return 0, true, fmt.Errorf("storage: block %d: crc %#x, stored %#x: %w", id, crc, crcStored, ErrChecksum)
+	}
+	return stamp >> 1, true, nil
+}
+
+// ReadBlock reads and verifies block id. Unwritten blocks yield zeros;
+// corrupt frames yield an error wrapping ErrChecksum.
+func (c *Checksummed) ReadBlock(id int, buf []float64) error {
+	if err := checkBlockArgs(c, id, buf); err != nil {
+		return err
+	}
+	if err := c.inner.ReadBlock(id, c.frame); err != nil {
+		return err
+	}
+	_, written, err := c.verify(id)
+	if err != nil {
+		return err
+	}
+	if !written {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, c.frame[:c.BlockSize()])
+	return nil
+}
+
+// ReadMeta verifies block id without copying its payload, reporting the
+// epoch it was written under and whether it was ever written. It is the
+// primitive fsck scans with.
+func (c *Checksummed) ReadMeta(id int) (epoch uint64, written bool, err error) {
+	if id < 0 {
+		return 0, false, fmt.Errorf("storage: negative block id %d", id)
+	}
+	if err := c.inner.ReadBlock(id, c.frame); err != nil {
+		return 0, false, err
+	}
+	return c.verify(id)
+}
+
+// Sync flushes the inner store.
+func (c *Checksummed) Sync() error { return SyncIfAble(c.inner) }
+
+// Truncate forwards to the inner store.
+func (c *Checksummed) Truncate() error { return TruncateIfAble(c.inner) }
+
+// Close closes the inner store.
+func (c *Checksummed) Close() error { return c.inner.Close() }

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestChecksummedRoundTrip(t *testing.T) {
+	inner := NewMemStore(8 + ChecksumOverhead)
+	c, err := NewChecksummed(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BlockSize() != 8 {
+		t.Fatalf("logical block size = %d, want 8", c.BlockSize())
+	}
+	c.SetEpoch(7)
+	data := []float64{1, -2.5, 0, 3e300, math.Inf(1), 5, 6, 7}
+	if err := c.WriteBlock(3, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 8)
+	if err := c.ReadBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if buf[i] != data[i] {
+			t.Fatalf("slot %d = %g, want %g", i, buf[i], data[i])
+		}
+	}
+	epoch, written, err := c.ReadMeta(3)
+	if err != nil || !written || epoch != 7 {
+		t.Fatalf("ReadMeta = (%d, %v, %v), want (7, true, nil)", epoch, written, err)
+	}
+}
+
+func TestChecksummedUnwrittenReadsZero(t *testing.T) {
+	c, err := NewChecksummed(NewMemStore(4 + ChecksumOverhead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []float64{9, 9, 9, 9}
+	if err := c.ReadBlock(12, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("slot %d = %g, want 0", i, v)
+		}
+	}
+	if _, written, err := c.ReadMeta(12); written || err != nil {
+		t.Fatalf("unwritten block reported written=%v err=%v", written, err)
+	}
+}
+
+func TestChecksummedDetectsCorruption(t *testing.T) {
+	inner := NewMemStore(4 + ChecksumOverhead)
+	c, err := NewChecksummed(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBlock(0, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload coefficient behind the wrapper's back.
+	raw := make([]float64, inner.BlockSize())
+	if err := inner.ReadBlock(0, raw); err != nil {
+		t.Fatal(err)
+	}
+	raw[1] = 2.0000001
+	if err := inner.WriteBlock(0, raw); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 4)
+	if err := c.ReadBlock(0, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("bit rot not detected: err = %v", err)
+	}
+	if _, written, err := c.ReadMeta(0); !written || !errors.Is(err, ErrChecksum) {
+		t.Fatalf("ReadMeta on corrupt block = (written=%v, %v)", written, err)
+	}
+}
+
+func TestChecksummedDetectsTornWrite(t *testing.T) {
+	// A torn write leaves new payload in a prefix with a zeroed footer.
+	inner := NewMemStore(4 + ChecksumOverhead)
+	c, err := NewChecksummed(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]float64, inner.BlockSize())
+	torn[0] = 42 // payload made it, footer did not
+	if err := inner.WriteBlock(5, torn); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 4)
+	if err := c.ReadBlock(5, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("torn write not detected: err = %v", err)
+	}
+}
+
+func TestChecksummedOnFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chk.dat")
+	fs, err := NewFileStore(path, 6+ChecksumOverhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecksummed(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetEpoch(3)
+	want := []float64{1, 2, 3, 4, 5, 6}
+	if err := c.WriteBlock(2, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := OpenFileStore(path, 6+ChecksumOverhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewChecksummed(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got := make([]float64, 6)
+	if err := c2.ReadBlock(2, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if epoch, written, err := c2.ReadMeta(2); err != nil || !written || epoch != 3 {
+		t.Fatalf("reopened meta = (%d, %v, %v)", epoch, written, err)
+	}
+	// Interleaved unwritten block still reads as zeros.
+	if err := c2.ReadBlock(1, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("unwritten slot %d = %g", i, v)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// ErrCrashed is returned by every operation on a CrashStore after its plan
+// has fired: the simulated machine lost power and the process is dead.
+var ErrCrashed = errors.New("storage: simulated power failure")
+
+// CrashPlan schedules a simulated power cut at the n-th physical mutation
+// (write, sync, or truncate) across every CrashStore sharing the plan. A
+// crash campaign arms one plan per trial and sweeps the index over the
+// whole range a maintenance batch produces.
+type CrashPlan struct {
+	rng     *rand.Rand
+	failAt  int64
+	ops     int64
+	crashed bool
+}
+
+// NewCrashPlan creates a disarmed plan; the seed drives the tear/drop
+// choices made at the crash point.
+func NewCrashPlan(seed int64) *CrashPlan {
+	return &CrashPlan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// ArmAt schedules the power cut at the n-th mutation from the start of
+// counting (1-based); n <= 0 disarms.
+func (p *CrashPlan) ArmAt(n int64) { p.failAt = n }
+
+// Ops returns how many mutations have been counted so far; a disarmed dry
+// run uses it to size the campaign sweep.
+func (p *CrashPlan) Ops() int64 { return p.ops }
+
+// Crashed reports whether the power cut has fired.
+func (p *CrashPlan) Crashed() bool { return p.crashed }
+
+// step counts one mutation and reports whether the power cut fires on it.
+func (p *CrashPlan) step() bool {
+	if p.crashed {
+		return false
+	}
+	p.ops++
+	if p.failAt > 0 && p.ops == p.failAt {
+		p.crashed = true
+		return true
+	}
+	return false
+}
+
+// CrashStore wraps the durable medium under a store stack and simulates a
+// power cut at an arbitrary mutation. It models a volatile write cache the
+// way a real OS does: WriteBlock lands in memory and reaches the medium
+// only on Sync. At the crash point the in-flight write is dropped, torn
+// (only a prefix of its coefficients reaches the medium), or fully
+// persisted — chosen by the plan's seeded RNG — every unsynced write is
+// lost, and all subsequent operations fail with ErrCrashed.
+//
+// Wrap the data and journal FileStores of one Durable in two CrashStores
+// sharing a plan to exercise the full commit protocol.
+type CrashStore struct {
+	inner BlockStore
+	plan  *CrashPlan
+	cache map[int][]float64 // written but not yet synced
+}
+
+// NewCrashStore wraps inner under plan.
+func NewCrashStore(inner BlockStore, plan *CrashPlan) *CrashStore {
+	return &CrashStore{inner: inner, plan: plan, cache: make(map[int][]float64)}
+}
+
+// BlockSize returns the wrapped block size.
+func (c *CrashStore) BlockSize() int { return c.inner.BlockSize() }
+
+// ReadBlock reads through the volatile cache.
+func (c *CrashStore) ReadBlock(id int, buf []float64) error {
+	if c.plan.crashed {
+		return ErrCrashed
+	}
+	if data, ok := c.cache[id]; ok {
+		copy(buf, data)
+		return nil
+	}
+	return c.inner.ReadBlock(id, buf)
+}
+
+// persistTorn writes a block to the medium with only a random-length
+// prefix of the new coefficients; the suffix keeps the medium's old
+// contents, modeling a write interrupted mid-sector.
+func (c *CrashStore) persistTorn(id int, data []float64) {
+	old := make([]float64, c.inner.BlockSize())
+	_ = c.inner.ReadBlock(id, old)     // best effort: the machine is dying anyway
+	keep := c.plan.rng.Intn(len(data)) // 0..len-1 new coefficients persist
+	copy(old[:keep], data[:keep])
+	_ = c.inner.WriteBlock(id, old)
+}
+
+// WriteBlock caches the block, or fires the power cut.
+func (c *CrashStore) WriteBlock(id int, data []float64) error {
+	if c.plan.crashed {
+		return ErrCrashed
+	}
+	if c.plan.step() {
+		switch c.plan.rng.Intn(3) {
+		case 0: // dropped entirely
+		case 1: // torn
+			c.persistTorn(id, data)
+		case 2: // made it to the medium intact
+			_ = c.inner.WriteBlock(id, data)
+		}
+		c.cache = make(map[int][]float64) // unsynced writes are gone
+		return ErrCrashed
+	}
+	dst, ok := c.cache[id]
+	if !ok {
+		dst = make([]float64, len(data))
+		c.cache[id] = dst
+	}
+	copy(dst, data)
+	return nil
+}
+
+// Sync flushes the volatile cache to the medium, or fires the power cut
+// mid-fsync, persisting a random subset of the cached writes.
+func (c *CrashStore) Sync() error {
+	if c.plan.crashed {
+		return ErrCrashed
+	}
+	ids := make([]int, 0, len(c.cache))
+	for id := range c.cache {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if c.plan.step() {
+		for _, id := range ids {
+			switch c.plan.rng.Intn(3) {
+			case 0: // lost
+			case 1:
+				c.persistTorn(id, c.cache[id])
+			case 2:
+				_ = c.inner.WriteBlock(id, c.cache[id])
+			}
+		}
+		c.cache = make(map[int][]float64)
+		return ErrCrashed
+	}
+	for _, id := range ids {
+		if err := c.inner.WriteBlock(id, c.cache[id]); err != nil {
+			return err
+		}
+	}
+	c.cache = make(map[int][]float64)
+	return SyncIfAble(c.inner)
+}
+
+// Truncate discards the cache and truncates the medium. The truncation
+// itself is atomic (a metadata operation on journaling filesystems): at
+// the crash point it either happened or it did not.
+func (c *CrashStore) Truncate() error {
+	if c.plan.crashed {
+		return ErrCrashed
+	}
+	if c.plan.step() {
+		if c.plan.rng.Intn(2) == 0 {
+			c.cache = make(map[int][]float64)
+			_ = TruncateIfAble(c.inner)
+		}
+		c.cache = make(map[int][]float64)
+		return ErrCrashed
+	}
+	c.cache = make(map[int][]float64)
+	return TruncateIfAble(c.inner)
+}
+
+// Close closes the medium. A graceful close flushes the cache first; after
+// a crash the cache is already gone.
+func (c *CrashStore) Close() error {
+	if !c.plan.crashed {
+		for id, data := range c.cache {
+			if err := c.inner.WriteBlock(id, data); err != nil {
+				return err
+			}
+		}
+		c.cache = nil
+	}
+	return c.inner.Close()
+}

@@ -1,0 +1,342 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Durable layers crash safety over a pair of block stores: a checksummed
+// data store and a write-ahead block journal. Writes are staged in memory
+// and become visible on the medium only through Commit, which runs the
+// journal protocol:
+//
+//	journal post-images → fsync → commit record → fsync →
+//	apply to data store → fsync → truncate journal → fsync
+//
+// A crash at any point leaves the store recoverable: opening it replays a
+// sealed batch (roll forward to the post-batch state) or discards an
+// unsealed one (the data store still holds the pre-batch state). Reads see
+// staged writes immediately, so the engines above are oblivious to the
+// staging.
+//
+// Durable is not safe for concurrent use; wrap it in Locked if needed.
+type Durable struct {
+	data      *Checksummed
+	journal   *Journal
+	pending   map[int][]float64
+	epoch     uint64
+	recovered int // blocks replayed by the last recovery, -1 if none
+	closed    bool
+}
+
+// NewDurable builds a durable store over raw data and journal block
+// stores and runs recovery. For a logical block size L, data must hold
+// blocks of L+ChecksumOverhead slots and journal blocks of
+// L+JournalOverhead slots; the journal store must support Truncate.
+// Both stores are owned and closed by the Durable.
+func NewDurable(data, journal BlockStore) (*Durable, error) {
+	logical := data.BlockSize() - ChecksumOverhead
+	chk, err := NewChecksummed(data)
+	if err != nil {
+		return nil, err
+	}
+	j, err := NewJournal(journal, logical)
+	if err != nil {
+		return nil, err
+	}
+	d := &Durable{data: chk, journal: j, pending: make(map[int][]float64), recovered: -1}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WalPath returns the journal sidecar path for a durable store at path.
+func WalPath(path string) string { return path + ".wal" }
+
+func wrapPlan(bs BlockStore, plan *CrashPlan) BlockStore {
+	if plan == nil {
+		return bs
+	}
+	return NewCrashStore(bs, plan)
+}
+
+// CreateDurable creates (truncating) a file-backed durable store at path,
+// with its journal at WalPath(path). plan, when non-nil, routes all
+// physical writes through a CrashStore for power-cut testing.
+func CreateDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error) {
+	dataFS, err := NewFileStore(path, blockSize+ChecksumOverhead)
+	if err != nil {
+		return nil, err
+	}
+	walFS, err := NewFileStore(WalPath(path), blockSize+JournalOverhead)
+	if err != nil {
+		dataFS.Close()
+		return nil, err
+	}
+	d, err := NewDurable(wrapPlan(dataFS, plan), wrapPlan(walFS, plan))
+	if err != nil {
+		dataFS.Close()
+		walFS.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenDurable opens an existing file-backed durable store, replaying or
+// discarding any interrupted batch left in its journal. A missing journal
+// sidecar (e.g. deleted after a clean shutdown) is recreated empty.
+func OpenDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error) {
+	dataFS, err := OpenFileStore(path, blockSize+ChecksumOverhead)
+	if err != nil {
+		return nil, err
+	}
+	walFS, err := OpenFileStore(WalPath(path), blockSize+JournalOverhead)
+	if errors.Is(err, os.ErrNotExist) {
+		walFS, err = NewFileStore(WalPath(path), blockSize+JournalOverhead)
+	}
+	if err != nil {
+		dataFS.Close()
+		return nil, err
+	}
+	d, err := NewDurable(wrapPlan(dataFS, plan), wrapPlan(walFS, plan))
+	if err != nil {
+		dataFS.Close()
+		walFS.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// recover replays a sealed journal batch into the data store, or discards
+// an unsealed one.
+func (d *Durable) recover() error {
+	batch, err := d.journal.Redo()
+	if err != nil {
+		return err
+	}
+	if !batch.Committed {
+		if batch.Entries > 0 {
+			// Unsealed batch: the data store was never touched; drop it.
+			if err := d.journal.Reset(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	d.data.SetEpoch(batch.Epoch)
+	for i, id := range batch.IDs {
+		if err := d.data.WriteBlock(id, batch.Blocks[i]); err != nil {
+			return err
+		}
+	}
+	if err := d.data.Sync(); err != nil {
+		return err
+	}
+	if err := d.journal.Reset(); err != nil {
+		return err
+	}
+	d.epoch = batch.Epoch
+	d.recovered = len(batch.IDs)
+	return nil
+}
+
+// Recovered reports how many blocks the last open replayed from the
+// journal; ok is false when no sealed batch was found.
+func (d *Durable) Recovered() (blocks int, ok bool) {
+	if d.recovered < 0 {
+		return 0, false
+	}
+	return d.recovered, true
+}
+
+// BlockSize returns the logical block size.
+func (d *Durable) BlockSize() int { return d.data.BlockSize() }
+
+// Epoch returns the epoch of the last committed batch.
+func (d *Durable) Epoch() uint64 { return d.epoch }
+
+// Pending returns the number of staged (uncommitted) blocks.
+func (d *Durable) Pending() int { return len(d.pending) }
+
+// ReadBlock reads through the staging overlay: staged writes are visible
+// immediately, everything else comes (checksum-verified) from the data
+// store.
+func (d *Durable) ReadBlock(id int, buf []float64) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkBlockArgs(d, id, buf); err != nil {
+		return err
+	}
+	if data, ok := d.pending[id]; ok {
+		copy(buf, data)
+		return nil
+	}
+	return d.data.ReadBlock(id, buf)
+}
+
+// WriteBlock stages a block; it reaches the medium on the next Commit.
+func (d *Durable) WriteBlock(id int, data []float64) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkBlockArgs(d, id, data); err != nil {
+		return err
+	}
+	dst, ok := d.pending[id]
+	if !ok {
+		dst = make([]float64, len(data))
+		d.pending[id] = dst
+	}
+	copy(dst, data)
+	return nil
+}
+
+// Commit makes all staged writes durable as one atomic batch. On error the
+// staged writes remain pending (a transient storage error can be retried);
+// after a simulated power cut every subsequent operation fails.
+func (d *Durable) Commit() error {
+	if d.closed {
+		return ErrClosed
+	}
+	if len(d.pending) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(d.pending))
+	for id := range d.pending {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	blocks := make([][]float64, len(ids))
+	for i, id := range ids {
+		blocks[i] = d.pending[id]
+	}
+	epoch := d.epoch + 1
+	if err := d.journal.LogBatch(epoch, ids, blocks); err != nil {
+		return fmt.Errorf("storage: journal batch: %w", err)
+	}
+	d.data.SetEpoch(epoch)
+	for i, id := range ids {
+		if err := d.data.WriteBlock(id, blocks[i]); err != nil {
+			return fmt.Errorf("storage: apply block %d: %w", id, err)
+		}
+	}
+	if err := d.data.Sync(); err != nil {
+		return fmt.Errorf("storage: sync data: %w", err)
+	}
+	if err := d.journal.Reset(); err != nil {
+		return fmt.Errorf("storage: retire journal: %w", err)
+	}
+	d.epoch = epoch
+	d.pending = make(map[int][]float64)
+	return nil
+}
+
+// Rollback discards all staged writes.
+func (d *Durable) Rollback() {
+	d.pending = make(map[int][]float64)
+}
+
+// Sync commits: for a transactional store the only meaningful durability
+// point is a batch boundary.
+func (d *Durable) Sync() error { return d.Commit() }
+
+// Close commits staged writes and closes both underlying stores. The
+// stores are closed even when the final commit fails (e.g. after a
+// simulated crash); the first error is returned.
+func (d *Durable) Close() error {
+	if d.closed {
+		return nil
+	}
+	err := d.Commit()
+	d.closed = true
+	if cerr := d.data.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := d.journal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// FsckReport is the result of checking a durable store's on-disk state.
+type FsckReport struct {
+	Path      string
+	BlockSize int   // logical coefficients per block
+	Blocks    int   // physical frames present in the data file
+	Written   int   // frames holding a stored block
+	Corrupt   []int // block ids failing checksum verification
+	MaxEpoch  uint64
+
+	JournalPresent   bool
+	JournalEntries   int
+	JournalCommitted bool // a sealed batch awaits replay (open the store to recover)
+	JournalEpoch     uint64
+	JournalErr       string // non-empty when the journal is unrecoverable
+}
+
+// Clean reports whether the store needs no attention: every frame verifies
+// and no batch is pending in the journal.
+func (r *FsckReport) Clean() bool {
+	return len(r.Corrupt) == 0 && !r.JournalCommitted && r.JournalErr == ""
+}
+
+// NeedsRecovery reports whether opening the store would replay a batch.
+func (r *FsckReport) NeedsRecovery() bool { return r.JournalCommitted }
+
+// Fsck verifies a file-backed durable store without modifying it: every
+// block frame is checksum-checked and the journal is inspected for an
+// interrupted batch.
+func Fsck(path string, blockSize int) (*FsckReport, error) {
+	rep := &FsckReport{Path: path, BlockSize: blockSize}
+	dataFS, err := OpenFileStore(path, blockSize+ChecksumOverhead)
+	if err != nil {
+		return nil, err
+	}
+	defer dataFS.Close()
+	chk, err := NewChecksummed(dataFS)
+	if err != nil {
+		return nil, err
+	}
+	n, err := dataFS.NumBlocks()
+	if err != nil {
+		return nil, err
+	}
+	rep.Blocks = n
+	for id := 0; id < n; id++ {
+		epoch, written, err := chk.ReadMeta(id)
+		switch {
+		case err != nil:
+			rep.Corrupt = append(rep.Corrupt, id)
+		case written:
+			rep.Written++
+			if epoch > rep.MaxEpoch {
+				rep.MaxEpoch = epoch
+			}
+		}
+	}
+	walFS, err := OpenFileStore(WalPath(path), blockSize+JournalOverhead)
+	if errors.Is(err, os.ErrNotExist) {
+		return rep, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer walFS.Close()
+	rep.JournalPresent = true
+	j, err := NewJournal(walFS, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	st := j.Inspect()
+	rep.JournalEntries = st.Entries
+	rep.JournalCommitted = st.Committed
+	rep.JournalEpoch = st.Epoch
+	if st.Err != nil {
+		rep.JournalErr = st.Err.Error()
+	}
+	return rep, nil
+}

@@ -1,54 +1,148 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Faulty wraps a BlockStore and fails operations on command. It exists for
 // failure-injection tests: every engine in this repository must surface
 // storage errors rather than panic or silently corrupt state.
+//
+// Three trigger modes compose (an operation fails if any mode fires):
+//
+//   - one-shot: FailReadAfter/FailWriteAfter make the n-th subsequent
+//     operation and every later one fail — a device that dies and stays
+//     dead;
+//   - every-Nth: FailEveryNthRead/FailEveryNthWrite fail one operation in
+//     every N — deterministic sustained flakiness;
+//   - probabilistic: FailReadsWithProbability/FailWritesWithProbability
+//     fail each operation with probability p under a seeded RNG — random
+//     sustained flakiness for stress tests.
 type Faulty struct {
 	inner BlockStore
 	// FailReadAfter / FailWriteAfter make the n-th subsequent read/write
 	// fail (1 = the next one). Zero disables the trigger.
 	failReadAfter  int64
 	failWriteAfter int64
+	everyNthRead   int64
+	everyNthWrite  int64
+	pRead          float64
+	pWrite         float64
+	rng            *rand.Rand
 	reads          int64
 	writes         int64
+	injected       int64
 }
 
 // ErrInjected is the error returned by triggered failures.
 var ErrInjected = fmt.Errorf("storage: injected fault")
 
-// NewFaulty wraps inner; use FailReadAfter/FailWriteAfter to arm it.
+// NewFaulty wraps inner; arm it with the Fail* methods.
 func NewFaulty(inner BlockStore) *Faulty {
 	return &Faulty{inner: inner}
 }
 
-// FailReadAfter arms the read trigger: the n-th read from now fails.
-func (f *Faulty) FailReadAfter(n int64) { f.failReadAfter = f.reads + n }
+// FailReadAfter arms the one-shot read trigger: the n-th read from now
+// (and every read after it) fails. Zero disarms.
+func (f *Faulty) FailReadAfter(n int64) {
+	if n == 0 {
+		f.failReadAfter = 0
+		return
+	}
+	f.failReadAfter = f.reads + n
+}
 
-// FailWriteAfter arms the write trigger: the n-th write from now fails.
-func (f *Faulty) FailWriteAfter(n int64) { f.failWriteAfter = f.writes + n }
+// FailWriteAfter arms the one-shot write trigger: the n-th write from now
+// (and every write after it) fails. Zero disarms.
+func (f *Faulty) FailWriteAfter(n int64) {
+	if n == 0 {
+		f.failWriteAfter = 0
+		return
+	}
+	f.failWriteAfter = f.writes + n
+}
+
+// FailEveryNthRead fails one read in every n (n <= 0 disarms).
+func (f *Faulty) FailEveryNthRead(n int64) {
+	if n <= 0 {
+		n = 0
+	}
+	f.everyNthRead = n
+}
+
+// FailEveryNthWrite fails one write in every n (n <= 0 disarms).
+func (f *Faulty) FailEveryNthWrite(n int64) {
+	if n <= 0 {
+		n = 0
+	}
+	f.everyNthWrite = n
+}
+
+func (f *Faulty) seedRNG(seed int64) {
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// FailReadsWithProbability fails each read with probability p, drawn from
+// an RNG seeded on the first probabilistic call (p <= 0 disarms).
+func (f *Faulty) FailReadsWithProbability(p float64, seed int64) {
+	if p > 0 {
+		f.seedRNG(seed)
+	}
+	f.pRead = p
+}
+
+// FailWritesWithProbability fails each write with probability p, drawn
+// from an RNG seeded on the first probabilistic call (p <= 0 disarms).
+func (f *Faulty) FailWritesWithProbability(p float64, seed int64) {
+	if p > 0 {
+		f.seedRNG(seed)
+	}
+	f.pWrite = p
+}
+
+// InjectedFaults returns how many operations have been failed so far.
+func (f *Faulty) InjectedFaults() int64 { return f.injected }
 
 // BlockSize returns the wrapped block size.
 func (f *Faulty) BlockSize() int { return f.inner.BlockSize() }
 
-// ReadBlock fails if the read trigger fires, else delegates.
+// ReadBlock fails if any read trigger fires, else delegates.
 func (f *Faulty) ReadBlock(id int, buf []float64) error {
 	f.reads++
-	if f.failReadAfter != 0 && f.reads >= f.failReadAfter {
+	fail := f.failReadAfter != 0 && f.reads >= f.failReadAfter
+	fail = fail || (f.everyNthRead > 0 && f.reads%f.everyNthRead == 0)
+	fail = fail || (f.pRead > 0 && f.rng.Float64() < f.pRead)
+	if fail {
+		f.injected++
 		return fmt.Errorf("read block %d: %w", id, ErrInjected)
 	}
 	return f.inner.ReadBlock(id, buf)
 }
 
-// WriteBlock fails if the write trigger fires, else delegates.
+// WriteBlock fails if any write trigger fires, else delegates.
 func (f *Faulty) WriteBlock(id int, data []float64) error {
 	f.writes++
-	if f.failWriteAfter != 0 && f.writes >= f.failWriteAfter {
+	fail := f.failWriteAfter != 0 && f.writes >= f.failWriteAfter
+	fail = fail || (f.everyNthWrite > 0 && f.writes%f.everyNthWrite == 0)
+	fail = fail || (f.pWrite > 0 && f.rng.Float64() < f.pWrite)
+	if fail {
+		f.injected++
 		return fmt.Errorf("write block %d: %w", id, ErrInjected)
 	}
 	return f.inner.WriteBlock(id, data)
 }
+
+// Sync delegates (faults target block transfers, not barriers).
+func (f *Faulty) Sync() error { return SyncIfAble(f.inner) }
+
+// Truncate delegates.
+func (f *Faulty) Truncate() error { return TruncateIfAble(f.inner) }
+
+// Commit delegates.
+func (f *Faulty) Commit() error { return CommitIfAble(f.inner) }
 
 // Close delegates.
 func (f *Faulty) Close() error { return f.inner.Close() }

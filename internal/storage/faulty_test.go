@@ -45,6 +45,66 @@ func TestFaultyWritesDoNotTriggerReads(t *testing.T) {
 	}
 }
 
+func TestFaultyDisarm(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	f.FailReadAfter(1)
+	f.FailReadAfter(0) // disarm before it fires
+	if err := f.ReadBlock(0, make([]float64, 2)); err != nil {
+		t.Fatalf("disarmed read failed: %v", err)
+	}
+}
+
+func TestFaultyEveryNth(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	f.FailEveryNthWrite(3)
+	var failed []int
+	for i := 1; i <= 9; i++ {
+		if err := f.WriteBlock(0, []float64{1, 2}); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 3 || failed[0] != 3 || failed[1] != 6 || failed[2] != 9 {
+		t.Fatalf("failed writes = %v, want [3 6 9]", failed)
+	}
+	if f.InjectedFaults() != 3 {
+		t.Fatalf("InjectedFaults = %d", f.InjectedFaults())
+	}
+	f.FailEveryNthWrite(0)
+	for i := 0; i < 6; i++ {
+		if err := f.WriteBlock(0, []float64{1, 2}); err != nil {
+			t.Fatalf("disarmed write %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestFaultyProbabilisticIsSeededAndBounded(t *testing.T) {
+	run := func(seed int64) (failures int64) {
+		f := NewFaulty(NewMemStore(2))
+		f.FailReadsWithProbability(0.3, seed)
+		buf := make([]float64, 2)
+		for i := 0; i < 1000; i++ {
+			if err := f.ReadBlock(0, buf); err != nil && !errors.Is(err, ErrInjected) {
+				t.Fatalf("read %d: %v", i, err)
+			}
+		}
+		return f.InjectedFaults()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d faults", a, b)
+	}
+	// p=0.3 over 1000 draws: anywhere near 300 is fine, zero or all is not.
+	if a < 200 || a > 400 {
+		t.Fatalf("fault count %d implausible for p=0.3", a)
+	}
+	if c := run(43); c == a {
+		t.Logf("seeds 42 and 43 coincided at %d faults (possible but unlikely)", a)
+	}
+}
+
 func TestBufferPoolPropagatesInjectedFaults(t *testing.T) {
 	f := NewFaulty(NewMemStore(2))
 	pool := NewBufferPool(f, 1)

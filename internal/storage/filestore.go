@@ -97,6 +97,34 @@ func (s *FileStore) Sync() error {
 	return s.f.Sync()
 }
 
+// Truncate discards every block by truncating the file to zero length;
+// subsequent reads see zeros. On journaling filesystems this metadata
+// operation is atomic, which is why the block journal uses it as its
+// "batch retired" marker.
+func (s *FileStore) Truncate() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: truncate: %w", err)
+	}
+	return nil
+}
+
+// NumBlocks returns how many block extents the file currently holds
+// (partial trailing extents count as one).
+func (s *FileStore) NumBlocks() (int, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	fi, err := s.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	bb := int64(len(s.buf))
+	return int((fi.Size() + bb - 1) / bb), nil
+}
+
 // Close closes the underlying file.
 func (s *FileStore) Close() error {
 	if s.closed {

@@ -35,6 +35,27 @@ func (l *Locked) WriteBlock(id int, data []float64) error {
 	return l.inner.WriteBlock(id, data)
 }
 
+// Sync delegates under the lock.
+func (l *Locked) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return SyncIfAble(l.inner)
+}
+
+// Truncate delegates under the lock.
+func (l *Locked) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return TruncateIfAble(l.inner)
+}
+
+// Commit delegates under the lock.
+func (l *Locked) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return CommitIfAble(l.inner)
+}
+
 // Close delegates under the lock.
 func (l *Locked) Close() error {
 	l.mu.Lock()

@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// IsTransient classifies a storage error: transient faults (flaky media,
+// injected ErrInjected-style failures) are worth retrying; structural
+// errors (closed store, checksum mismatch, simulated power loss, bad
+// arguments) are permanent and must surface immediately.
+func IsTransient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrChecksum),
+		errors.Is(err, ErrCrashed), errors.Is(err, ErrJournalCorrupt):
+		return false
+	case errors.Is(err, ErrInjected):
+		return true
+	default:
+		return false
+	}
+}
+
+// RetryOptions configures a Retry wrapper. The zero value selects the
+// defaults noted on each field.
+type RetryOptions struct {
+	// MaxAttempts is the total tries per operation (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms); it
+	// doubles per retry up to MaxDelay (default 50ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Classify reports whether an error is transient (default IsTransient).
+	Classify func(error) bool
+	// Sleep is the delay function (default time.Sleep; tests inject a
+	// recorder).
+	Sleep func(time.Duration)
+}
+
+// Retry wraps a BlockStore and retries transient failures with bounded
+// exponential backoff, so sustained-but-recoverable flakiness (a congested
+// device, an injected fault campaign) does not abort a maintenance batch,
+// while permanent errors still fail fast.
+type Retry struct {
+	inner   BlockStore
+	opts    RetryOptions
+	retries int64
+	giveUps int64
+}
+
+// NewRetry wraps inner with the given policy.
+func NewRetry(inner BlockStore, opts RetryOptions) *Retry {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 50 * time.Millisecond
+	}
+	if opts.Classify == nil {
+		opts.Classify = IsTransient
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &Retry{inner: inner, opts: opts}
+}
+
+// Retries returns how many retries have been performed.
+func (r *Retry) Retries() int64 { return r.retries }
+
+// GiveUps returns how many operations exhausted their attempts.
+func (r *Retry) GiveUps() int64 { return r.giveUps }
+
+func (r *Retry) do(op func() error) error {
+	delay := r.opts.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || !r.opts.Classify(err) {
+			return err
+		}
+		if attempt >= r.opts.MaxAttempts {
+			r.giveUps++
+			return fmt.Errorf("storage: gave up after %d attempts: %w", attempt, err)
+		}
+		r.retries++
+		r.opts.Sleep(delay)
+		if delay *= 2; delay > r.opts.MaxDelay {
+			delay = r.opts.MaxDelay
+		}
+	}
+}
+
+// BlockSize returns the wrapped block size.
+func (r *Retry) BlockSize() int { return r.inner.BlockSize() }
+
+// ReadBlock retries transient read failures.
+func (r *Retry) ReadBlock(id int, buf []float64) error {
+	return r.do(func() error { return r.inner.ReadBlock(id, buf) })
+}
+
+// WriteBlock retries transient write failures.
+func (r *Retry) WriteBlock(id int, data []float64) error {
+	return r.do(func() error { return r.inner.WriteBlock(id, data) })
+}
+
+// Sync retries transient sync failures.
+func (r *Retry) Sync() error {
+	return r.do(func() error { return SyncIfAble(r.inner) })
+}
+
+// Truncate forwards to the wrapped store.
+func (r *Retry) Truncate() error { return TruncateIfAble(r.inner) }
+
+// Commit forwards a durability point to the wrapped store.
+func (r *Retry) Commit() error { return CommitIfAble(r.inner) }
+
+// Close closes the wrapped store (no retry: close errors are terminal).
+func (r *Retry) Close() error { return r.inner.Close() }

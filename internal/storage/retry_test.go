@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fastRetry returns options with a recorded no-op sleep so tests run
+// instantly while still observing the backoff schedule.
+func fastRetry(maxAttempts int) (RetryOptions, *[]time.Duration) {
+	var slept []time.Duration
+	opts := RetryOptions{
+		MaxAttempts: maxAttempts,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	return opts, &slept
+}
+
+func TestRetryRecoversFromEveryNthFault(t *testing.T) {
+	f := NewFaulty(NewMemStore(3))
+	f.FailEveryNthWrite(2) // every second write fails
+	opts, _ := fastRetry(4)
+	r := NewRetry(f, opts)
+	for id := 0; id < 10; id++ {
+		if err := r.WriteBlock(id, []float64{1, 2, 3}); err != nil {
+			t.Fatalf("write %d through flaky store: %v", id, err)
+		}
+	}
+	if r.Retries() == 0 {
+		t.Fatal("no faults were injected — test is vacuous")
+	}
+	if r.GiveUps() != 0 {
+		t.Fatalf("gave up %d times", r.GiveUps())
+	}
+	buf := make([]float64, 3)
+	f.FailEveryNthRead(2)
+	for id := 0; id < 10; id++ {
+		if err := r.ReadBlock(id, buf); err != nil {
+			t.Fatalf("read %d: %v", id, err)
+		}
+		if buf[2] != 3 {
+			t.Fatalf("block %d = %v", id, buf)
+		}
+	}
+}
+
+func TestRetryGivesUpOnSustainedFault(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	f.FailWriteAfter(1) // dead and stays dead
+	opts, slept := fastRetry(3)
+	r := NewRetry(f, opts)
+	err := r.WriteBlock(0, []float64{1, 2})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if r.GiveUps() != 1 || r.Retries() != 2 {
+		t.Fatalf("giveUps=%d retries=%d, want 1 and 2", r.GiveUps(), r.Retries())
+	}
+	// Backoff doubled: 1ms then 2ms.
+	if len(*slept) != 2 || (*slept)[0] != time.Millisecond || (*slept)[1] != 2*time.Millisecond {
+		t.Fatalf("backoff schedule = %v", *slept)
+	}
+}
+
+func TestRetryFailsFastOnPermanentError(t *testing.T) {
+	ms := NewMemStore(2)
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opts, slept := fastRetry(4)
+	r := NewRetry(ms, opts)
+	if err := r.ReadBlock(0, make([]float64, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if len(*slept) != 0 || r.Retries() != 0 {
+		t.Fatalf("retried a permanent error: slept=%v retries=%d", *slept, r.Retries())
+	}
+}
+
+func TestRetryBackoffCapped(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	f.FailWriteAfter(1)
+	var slept []time.Duration
+	r := NewRetry(f, RetryOptions{
+		MaxAttempts: 8,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err := r.WriteBlock(0, []float64{1, 2}); err == nil {
+		t.Fatal("expected give-up")
+	}
+	want := []time.Duration{1, 2, 4, 4, 4, 4, 4}
+	for i, w := range want {
+		if slept[i] != w*time.Millisecond {
+			t.Fatalf("sleep %d = %v, want %vms (full: %v)", i, slept[i], w, slept)
+		}
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrInjected, true},
+		{ErrClosed, false},
+		{ErrChecksum, false},
+		{ErrCrashed, false},
+		{ErrJournalCorrupt, false},
+		{errors.New("mystery"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -30,6 +30,51 @@ type BlockStore interface {
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("storage: store is closed")
 
+// Syncer is implemented by stores that can flush buffered writes to stable
+// media (FileStore, and wrappers that forward to one).
+type Syncer interface {
+	Sync() error
+}
+
+// SyncIfAble syncs bs when it supports it and is a no-op otherwise.
+func SyncIfAble(bs BlockStore) error {
+	if s, ok := bs.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Truncater is implemented by stores that can discard all blocks at once.
+// The block journal relies on it: truncation is the atomic "batch applied"
+// marker, mirroring how real filesystems make WAL resets atomic.
+type Truncater interface {
+	Truncate() error
+}
+
+// TruncateIfAble truncates bs, or reports an error when it cannot.
+func TruncateIfAble(bs BlockStore) error {
+	if t, ok := bs.(Truncater); ok {
+		return t.Truncate()
+	}
+	return fmt.Errorf("storage: %T does not support Truncate", bs)
+}
+
+// Committer is implemented by transactional stores (Durable) whose writes
+// are staged until Commit makes them atomic and durable.
+type Committer interface {
+	Commit() error
+}
+
+// CommitIfAble commits bs when it is transactional and is a no-op
+// otherwise, so engines can request durability points without knowing how
+// their store stack is composed.
+func CommitIfAble(bs BlockStore) error {
+	if c, ok := bs.(Committer); ok {
+		return c.Commit()
+	}
+	return nil
+}
+
 func checkBlockArgs(bs BlockStore, id int, buf []float64) error {
 	if id < 0 {
 		return fmt.Errorf("storage: negative block id %d", id)
@@ -96,6 +141,15 @@ func (s *MemStore) WriteBlock(id int, data []float64) error {
 // Len returns the number of materialized blocks.
 func (s *MemStore) Len() int { return len(s.blocks) }
 
+// Truncate discards every block; subsequent reads see zeros.
+func (s *MemStore) Truncate() error {
+	if s.closed {
+		return ErrClosed
+	}
+	s.blocks = make(map[int][]float64)
+	return nil
+}
+
 // Close implements BlockStore.
 func (s *MemStore) Close() error {
 	s.closed = true
@@ -142,6 +196,16 @@ func (c *Counting) WriteBlock(id int, data []float64) error {
 
 // Close delegates to the wrapped store.
 func (c *Counting) Close() error { return c.inner.Close() }
+
+// Sync forwards to the wrapped store without counting (syncs move no
+// blocks).
+func (c *Counting) Sync() error { return SyncIfAble(c.inner) }
+
+// Truncate forwards to the wrapped store.
+func (c *Counting) Truncate() error { return TruncateIfAble(c.inner) }
+
+// Commit forwards a durability point to the wrapped store.
+func (c *Counting) Commit() error { return CommitIfAble(c.inner) }
 
 // Stats returns the counters accumulated so far.
 func (c *Counting) Stats() Stats { return c.stats }

@@ -1,0 +1,237 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+)
+
+// JournalOverhead is the number of trailing slots a journal record spends
+// on its footer (block id, aux, epoch stamp, CRC64). A journal over blocks
+// of P slots carries payloads of P-4 coefficients.
+const JournalOverhead = 4
+
+// ErrJournalCorrupt marks a journal whose committed batch cannot be
+// replayed: the commit record is present but one of its entries fails
+// verification. This cannot happen under a single crash (entries are
+// fsynced before the commit record is written); it indicates media-level
+// corruption and requires manual intervention.
+var ErrJournalCorrupt = errors.New("storage: journal corrupt")
+
+const (
+	journalKindData   = 1 // record carries the post-image of one block
+	journalKindCommit = 2 // record seals the batch; aux = entry count
+)
+
+// Journal is a write-ahead block journal: before a batch of block
+// post-images is applied to the main store, the batch is appended here and
+// fsynced, then sealed with a commit record and fsynced again. Recovery
+// (Redo) replays a sealed batch and discards an unsealed one, which is what
+// makes a SHIFT-SPLIT maintenance batch atomic: a crash leaves either the
+// pre-batch or the post-batch transform, never a hybrid.
+//
+// Record layout within a journal block of P = payload+4 slots:
+//
+//	[0, P-4)  block post-image (zero for commit records)
+//	P-4       target block id (uint64 bits)
+//	P-3       aux: entry index for data records, entry count for commit
+//	P-2       stamp = epoch<<2 | kind (always non-zero)
+//	P-1       CRC64/ECMA over all preceding slots' bytes
+//
+// The journal holds at most one batch; Reset truncates it after the batch
+// has been applied and the main store fsynced.
+type Journal struct {
+	bs      BlockStore
+	payload int
+	frame   []float64
+	bytes   []byte
+}
+
+// NewJournal binds a journal to its backing store; bs must hold blocks of
+// payload+JournalOverhead slots and support Truncate.
+func NewJournal(bs BlockStore, payload int) (*Journal, error) {
+	if payload <= 0 {
+		return nil, fmt.Errorf("storage: journal payload %d", payload)
+	}
+	if bs.BlockSize() != payload+JournalOverhead {
+		return nil, fmt.Errorf("storage: journal store block size %d, want %d", bs.BlockSize(), payload+JournalOverhead)
+	}
+	p := bs.BlockSize()
+	return &Journal{
+		bs:      bs,
+		payload: payload,
+		frame:   make([]float64, p),
+		bytes:   make([]byte, 8*(p-1)),
+	}, nil
+}
+
+func (j *Journal) recordCRC() uint64 {
+	for i, v := range j.frame[:len(j.frame)-1] {
+		binary.LittleEndian.PutUint64(j.bytes[8*i:], math.Float64bits(v))
+	}
+	return crc64.Checksum(j.bytes, crcTable)
+}
+
+func (j *Journal) writeRecord(at int, kind int, epoch uint64, id int, aux uint64, data []float64) error {
+	p := j.payload
+	for i := range j.frame[:p] {
+		j.frame[i] = 0
+	}
+	copy(j.frame[:p], data)
+	j.frame[p] = math.Float64frombits(uint64(id))
+	j.frame[p+1] = math.Float64frombits(aux)
+	j.frame[p+2] = math.Float64frombits(epoch<<2 | uint64(kind))
+	j.frame[p+3] = math.Float64frombits(j.recordCRC())
+	return j.bs.WriteBlock(at, j.frame)
+}
+
+// readRecord reads and classifies the record at position at. written=false
+// means the slot is virgin (all zero). A non-virgin record that fails its
+// CRC returns kind 0 with written=true.
+func (j *Journal) readRecord(at int) (kind int, epoch uint64, id int, aux uint64, data []float64, written bool, err error) {
+	if err := j.bs.ReadBlock(at, j.frame); err != nil {
+		return 0, 0, 0, 0, nil, false, err
+	}
+	p := j.payload
+	stamp := math.Float64bits(j.frame[p+2])
+	crcStored := math.Float64bits(j.frame[p+3])
+	if stamp == 0 && crcStored == 0 {
+		allZero := true
+		for _, v := range j.frame {
+			if math.Float64bits(v) != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return 0, 0, 0, 0, nil, false, nil
+		}
+		return 0, 0, 0, 0, nil, true, nil // torn record
+	}
+	if crc := j.recordCRC(); crc != crcStored {
+		return 0, 0, 0, 0, nil, true, nil // torn record
+	}
+	kind = int(stamp & 3)
+	if kind != journalKindData && kind != journalKindCommit {
+		return 0, 0, 0, 0, nil, true, nil
+	}
+	epoch = stamp >> 2
+	id = int(math.Float64bits(j.frame[p]))
+	aux = math.Float64bits(j.frame[p+1])
+	data = append([]float64(nil), j.frame[:p]...)
+	return kind, epoch, id, aux, data, true, nil
+}
+
+// LogBatch makes the batch durable: every post-image is appended and
+// fsynced, then the commit record is written and fsynced. Once LogBatch
+// returns nil the batch survives any crash.
+func (j *Journal) LogBatch(epoch uint64, ids []int, blocks [][]float64) error {
+	if len(ids) != len(blocks) {
+		return fmt.Errorf("storage: journal batch has %d ids, %d blocks", len(ids), len(blocks))
+	}
+	for i, id := range ids {
+		if id < 0 {
+			return fmt.Errorf("storage: journal batch: negative block id %d", id)
+		}
+		if len(blocks[i]) != j.payload {
+			return fmt.Errorf("storage: journal batch: block %d has %d slots, want %d", id, len(blocks[i]), j.payload)
+		}
+		if err := j.writeRecord(i, journalKindData, epoch, id, uint64(i), blocks[i]); err != nil {
+			return err
+		}
+	}
+	if err := SyncIfAble(j.bs); err != nil {
+		return err
+	}
+	if err := j.writeRecord(len(ids), journalKindCommit, epoch, 0, uint64(len(ids)), nil); err != nil {
+		return err
+	}
+	return SyncIfAble(j.bs)
+}
+
+// RedoBatch is the result of scanning the journal on open.
+type RedoBatch struct {
+	Epoch     uint64
+	IDs       []int
+	Blocks    [][]float64
+	Committed bool // a sealed batch is present and must be replayed
+	Entries   int  // data records seen (including discarded unsealed ones)
+}
+
+// Redo scans the journal. If a sealed batch is present it is returned with
+// Committed=true and the caller must replay it; an unsealed batch (crash
+// before the commit record was durable) is reported with Committed=false
+// and must be discarded — the main store was never touched.
+func (j *Journal) Redo() (RedoBatch, error) {
+	var out RedoBatch
+	torn := false
+	for at := 0; ; at++ {
+		kind, epoch, id, aux, data, written, err := j.readRecord(at)
+		if err != nil {
+			return out, err
+		}
+		if !written {
+			// Virgin slot before any commit record: the batch was never
+			// sealed; discard it.
+			out.IDs, out.Blocks = nil, nil
+			return out, nil
+		}
+		if kind == 0 {
+			// Torn record: keep scanning — if a commit record follows, the
+			// journal is unrecoverable (entries must be durable before the
+			// commit is written); if only virgin slots follow, this is the
+			// torn tail of an unsealed batch and is discarded.
+			torn = true
+			continue
+		}
+		if kind == journalKindCommit {
+			if torn || aux != uint64(len(out.IDs)) || (len(out.IDs) > 0 && epoch != out.Epoch) {
+				return out, fmt.Errorf("storage: commit record for epoch %d with %d readable entries (want %d, torn=%v): %w",
+					epoch, len(out.IDs), aux, torn, ErrJournalCorrupt)
+			}
+			out.Epoch = epoch
+			out.Committed = true
+			return out, nil
+		}
+		// Data record.
+		if len(out.IDs) == 0 {
+			out.Epoch = epoch
+		}
+		if torn || epoch != out.Epoch || aux != uint64(len(out.IDs)) {
+			// Out-of-sequence or mixed-epoch data: treat like a torn tail.
+			torn = true
+			continue
+		}
+		out.IDs = append(out.IDs, id)
+		out.Blocks = append(out.Blocks, data)
+		out.Entries++
+	}
+}
+
+// Reset retires the current batch by truncating the journal (atomic on the
+// backing store) and syncing.
+func (j *Journal) Reset() error {
+	if err := TruncateIfAble(j.bs); err != nil {
+		return err
+	}
+	return SyncIfAble(j.bs)
+}
+
+// JournalState summarizes the journal for fsck without replaying it.
+type JournalState struct {
+	Entries   int
+	Committed bool
+	Epoch     uint64
+	Err       error // non-nil when the journal is unrecoverable
+}
+
+// Inspect scans the journal non-destructively.
+func (j *Journal) Inspect() JournalState {
+	batch, err := j.Redo()
+	return JournalState{Entries: batch.Entries, Committed: batch.Committed, Epoch: batch.Epoch, Err: err}
+}
+
+// Close closes the backing store.
+func (j *Journal) Close() error { return j.bs.Close() }

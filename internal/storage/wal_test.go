@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestJournal(t *testing.T, payload int) (*Journal, *MemStore) {
+	t.Helper()
+	bs := NewMemStore(payload + JournalOverhead)
+	j, err := NewJournal(bs, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, bs
+}
+
+func TestJournalLogAndRedo(t *testing.T) {
+	j, _ := newTestJournal(t, 4)
+	ids := []int{2, 7, 1}
+	blocks := [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}}
+	if err := j.LogBatch(9, ids, blocks); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := j.Redo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch.Committed || batch.Epoch != 9 || len(batch.IDs) != 3 {
+		t.Fatalf("Redo = %+v", batch)
+	}
+	for i := range ids {
+		if batch.IDs[i] != ids[i] {
+			t.Fatalf("id %d = %d, want %d", i, batch.IDs[i], ids[i])
+		}
+		for k := range blocks[i] {
+			if batch.Blocks[i][k] != blocks[i][k] {
+				t.Fatalf("block %d slot %d = %g", i, k, batch.Blocks[i][k])
+			}
+		}
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	batch, err = j.Redo()
+	if err != nil || batch.Committed || batch.Entries != 0 {
+		t.Fatalf("after Reset: %+v, %v", batch, err)
+	}
+}
+
+func TestJournalUnsealedBatchDiscarded(t *testing.T) {
+	j, bs := newTestJournal(t, 3)
+	// Write two entries by hand, no commit record: a crash before the seal.
+	if err := j.writeRecord(0, journalKindData, 4, 10, 0, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.writeRecord(1, journalKindData, 4, 11, 1, []float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := j.Redo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Committed {
+		t.Fatal("unsealed batch reported committed")
+	}
+	if batch.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", batch.Entries)
+	}
+	_ = bs
+}
+
+func TestJournalTornCommitDiscarded(t *testing.T) {
+	j, bs := newTestJournal(t, 3)
+	if err := j.writeRecord(0, journalKindData, 4, 10, 0, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn commit record: garbage that fails its CRC.
+	garbage := make([]float64, bs.BlockSize())
+	for i := range garbage {
+		garbage[i] = float64(i) + 0.5
+	}
+	if err := bs.WriteBlock(1, garbage); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := j.Redo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Committed {
+		t.Fatal("torn commit record accepted")
+	}
+}
+
+func TestJournalCorruptEntryUnderCommitIsFatal(t *testing.T) {
+	j, bs := newTestJournal(t, 3)
+	if err := j.LogBatch(5, []int{1, 2}, [][]float64{{1, 1, 1}, {2, 2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Rot the first entry while the commit record stands: unrecoverable.
+	garbage := make([]float64, bs.BlockSize())
+	garbage[0] = 3.25
+	if err := bs.WriteBlock(0, garbage); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Redo(); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("err = %v, want ErrJournalCorrupt", err)
+	}
+	st := j.Inspect()
+	if st.Err == nil {
+		t.Fatal("Inspect did not surface the corruption")
+	}
+}
+
+func TestJournalEmptyIsClean(t *testing.T) {
+	j, _ := newTestJournal(t, 2)
+	batch, err := j.Redo()
+	if err != nil || batch.Committed || batch.Entries != 0 {
+		t.Fatalf("empty journal: %+v, %v", batch, err)
+	}
+	st := j.Inspect()
+	if st.Committed || st.Entries != 0 || st.Err != nil {
+		t.Fatalf("Inspect = %+v", st)
+	}
+}
+
+func TestJournalEmptyBatchSealed(t *testing.T) {
+	j, _ := newTestJournal(t, 2)
+	if err := j.LogBatch(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := j.Redo()
+	if err != nil || !batch.Committed || len(batch.IDs) != 0 {
+		t.Fatalf("empty sealed batch: %+v, %v", batch, err)
+	}
+}

@@ -1,6 +1,10 @@
 package tile
 
-import "github.com/shiftsplit/shiftsplit/internal/ndarray"
+import (
+	"sort"
+
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
 
 // Batch accumulates coefficient updates against a tiled store and applies
 // them with one read and one write per touched block. The chunked
@@ -57,10 +61,17 @@ func (b *Batch) Set(coords []int, v float64) error {
 // Touched returns the number of distinct blocks in the batch so far.
 func (b *Batch) Touched() int { return len(b.blocks) }
 
-// Flush writes every touched block back and resets the batch.
+// Flush writes every touched block back in ascending id order (so the
+// physical write sequence is deterministic, which crash-recovery tests
+// rely on) and resets the batch.
 func (b *Batch) Flush() error {
-	for id, data := range b.blocks {
-		if err := b.store.WriteTile(id, data); err != nil {
+	ids := make([]int, 0, len(b.blocks))
+	for id := range b.blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := b.store.WriteTile(id, b.blocks[id]); err != nil {
 			return err
 		}
 	}
@@ -158,9 +169,16 @@ func (w *OnceWriter) Pending() int { return len(w.pending) }
 func (w *OnceWriter) MaxWrites() int { return len(w.written) }
 
 // Flush writes any incomplete blocks (normally only blocks whose unset
-// slots are reserved scaling slots). All-zero blocks are dropped.
+// slots are reserved scaling slots) in ascending id order. All-zero blocks
+// are dropped.
 func (w *OnceWriter) Flush() error {
-	for id, ob := range w.pending {
+	ids := make([]int, 0, len(w.pending))
+	for id := range w.pending {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ob := w.pending[id]
 		delete(w.pending, id)
 		if ob.data == nil {
 			continue

@@ -17,10 +17,14 @@ type storeMeta struct {
 	Form         string `json:"form"`
 	TileBits     int    `json:"tile_bits"`
 	Materialized bool   `json:"materialized"`
+	Durable      bool   `json:"durable,omitempty"`
 }
 
 func metaPath(path string) string { return path + ".meta.json" }
 
+// saveMeta writes the sidecar atomically: the JSON is written to a
+// temporary file, fsynced, and renamed over the old sidecar, so a crash
+// mid-save leaves either the old or the new metadata — never a torn file.
 func (s *Store) saveMeta() error {
 	if s.opts.Path == "" {
 		return nil
@@ -30,25 +34,59 @@ func (s *Store) saveMeta() error {
 		Form:         s.opts.Form.String(),
 		TileBits:     s.opts.TileBits,
 		Materialized: s.materialized,
+		Durable:      s.opts.Durable,
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(metaPath(s.opts.Path), data, 0o644)
+	return writeFileAtomic(metaPath(s.opts.Path), data, 0o644)
 }
 
-// OpenStore reopens a file-backed store previously created with CreateStore
-// (its metadata sidecar must be present).
-func OpenStore(path string) (*Store, error) {
+// writeFileAtomic replaces path with data via a fsynced temporary file and
+// an atomic rename.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readMeta loads and validates the sidecar of a file-backed store.
+func readMeta(path string) (storeMeta, error) {
+	var m storeMeta
 	data, err := os.ReadFile(metaPath(path))
 	if err != nil {
-		return nil, fmt.Errorf("shiftsplit: read store metadata: %w", err)
+		return m, fmt.Errorf("shiftsplit: read store metadata: %w", err)
 	}
-	var m storeMeta
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("shiftsplit: parse store metadata: %w", err)
+		return m, fmt.Errorf("shiftsplit: parse store metadata: %w", err)
 	}
+	return m, nil
+}
+
+// tilingForMeta rebuilds the tiling a sidecar describes.
+func tilingForMeta(m storeMeta) (tile.Tiling, Form, error) {
 	var form Form
 	switch m.Form {
 	case Standard.String():
@@ -56,27 +94,54 @@ func OpenStore(path string) (*Store, error) {
 	case NonStandard.String():
 		form = NonStandard
 	default:
-		return nil, fmt.Errorf("shiftsplit: unknown form %q in metadata", m.Form)
+		return nil, 0, fmt.Errorf("shiftsplit: unknown form %q in metadata", m.Form)
 	}
-	opts := StoreOptions{Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path}
-	ns := make([]int, len(opts.Shape))
-	for i, e := range opts.Shape {
+	ns := make([]int, len(m.Shape))
+	for i, e := range m.Shape {
 		if !bitutil.IsPow2(e) {
-			return nil, fmt.Errorf("shiftsplit: bad extent %d in metadata", e)
+			return nil, 0, fmt.Errorf("shiftsplit: bad extent %d in metadata", e)
 		}
 		ns[i] = bitutil.Log2(e)
 	}
-	var tiling tile.Tiling
-	if form == Standard {
-		tiling = tile.NewStandard(ns, opts.TileBits)
-	} else {
-		tiling = tile.NewNonStandard(ns[0], len(ns), opts.TileBits)
+	if len(ns) == 0 {
+		return nil, 0, fmt.Errorf("shiftsplit: empty shape in metadata")
 	}
-	fs, err := storage.OpenFileStore(path, tiling.BlockSize())
+	if form == Standard {
+		return tile.NewStandard(ns, m.TileBits), form, nil
+	}
+	return tile.NewNonStandard(ns[0], len(ns), m.TileBits), form, nil
+}
+
+// OpenStore reopens a file-backed store previously created with CreateStore
+// (its metadata sidecar must be present). Opening a durable store replays
+// or discards any maintenance batch that was interrupted by a crash; use
+// Recovered to learn whether a roll-forward happened.
+func OpenStore(path string) (*Store, error) {
+	m, err := readMeta(path)
 	if err != nil {
 		return nil, err
 	}
-	counting := storage.NewCounting(fs)
+	tiling, form, err := tilingForMeta(m)
+	if err != nil {
+		return nil, err
+	}
+	opts := StoreOptions{Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable}
+	var base storage.BlockStore
+	var durable *storage.Durable
+	if m.Durable {
+		d, err := newDurableBase(path, tiling.BlockSize(), nil, false)
+		if err != nil {
+			return nil, err
+		}
+		base, durable = d, d
+	} else {
+		fs, err := storage.OpenFileStore(path, tiling.BlockSize())
+		if err != nil {
+			return nil, err
+		}
+		base = fs
+	}
+	counting := storage.NewCounting(base)
 	st, err := tile.NewStore(counting, tiling)
 	if err != nil {
 		return nil, err
@@ -85,11 +150,18 @@ func OpenStore(path string) (*Store, error) {
 		opts:         opts,
 		tiling:       tiling,
 		counting:     counting,
+		durable:      durable,
 		store:        st,
 		materialized: m.Materialized,
 	}, nil
 }
 
-// Sync persists metadata (form, shape, materialization state) for
-// file-backed stores; in-memory stores ignore it.
-func (s *Store) Sync() error { return s.saveMeta() }
+// Sync commits any buffered block writes and persists metadata (form,
+// shape, materialization state) for file-backed stores; in-memory
+// non-durable stores ignore it.
+func (s *Store) Sync() error {
+	if err := s.commit(); err != nil {
+		return err
+	}
+	return s.saveMeta()
+}

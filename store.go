@@ -40,6 +40,21 @@ type StoreOptions struct {
 	// "available memory" knob of the paper's query scenarios. Stats then
 	// reports only the I/O that misses the cache.
 	CacheBlocks int
+	// Durable layers crash safety under the store: every block is framed
+	// with a CRC64 + epoch so torn writes and bit rot are detected on read,
+	// and every maintenance operation (Materialize, TransformChunked,
+	// MergeBlock, ClearBlock) is applied atomically through a write-ahead
+	// block journal — a crash leaves either the pre- or the post-operation
+	// transform, never a hybrid, and OpenStore rolls interrupted batches
+	// forward or discards them. File-backed durable stores use a different
+	// on-disk layout (framed blocks plus a ".wal" sidecar) and are not
+	// interchangeable with non-durable files.
+	Durable bool
+	// FaultPlan, when non-nil, routes the physical writes of a durable
+	// store through a storage.CrashStore governed by the plan — the
+	// power-cut testing facility behind the crash campaign. It is ignored
+	// unless Durable is set, and is not persisted in store metadata.
+	FaultPlan *storage.CrashPlan
 }
 
 // Store is a wavelet transform resident on tiled block storage, with every
@@ -54,6 +69,7 @@ type Store struct {
 	tiling       tile.Tiling
 	counting     *storage.Counting
 	pool         *storage.BufferPool
+	durable      *storage.Durable
 	store        *tile.Store
 	materialized bool
 }
@@ -92,13 +108,21 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 		return nil, fmt.Errorf("shiftsplit: unknown form %v", opts.Form)
 	}
 	var base storage.BlockStore
-	if opts.Path != "" {
+	var durable *storage.Durable
+	switch {
+	case opts.Durable:
+		d, err := newDurableBase(opts.Path, tiling.BlockSize(), opts.FaultPlan, true)
+		if err != nil {
+			return nil, err
+		}
+		base, durable = d, d
+	case opts.Path != "":
 		fs, err := storage.NewFileStore(opts.Path, tiling.BlockSize())
 		if err != nil {
 			return nil, err
 		}
 		base = fs
-	} else {
+	default:
 		base = storage.NewMemStore(tiling.BlockSize())
 	}
 	counting := storage.NewCounting(base)
@@ -112,11 +136,33 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Store{opts: opts, tiling: tiling, counting: counting, pool: pool, store: st}
+	out := &Store{opts: opts, tiling: tiling, counting: counting, pool: pool, durable: durable, store: st}
 	if err := out.saveMeta(); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// newDurableBase builds the transactional block store for a durable Store:
+// file-backed (with a ".wal" journal sidecar) when path is non-empty,
+// in-memory otherwise.
+func newDurableBase(path string, blockSize int, plan *storage.CrashPlan, create bool) (*storage.Durable, error) {
+	if path == "" {
+		data := storage.NewMemStore(blockSize + storage.ChecksumOverhead)
+		wal := storage.NewMemStore(blockSize + storage.JournalOverhead)
+		return storage.NewDurable(wrapFaultPlan(data, plan), wrapFaultPlan(wal, plan))
+	}
+	if create {
+		return storage.CreateDurable(path, blockSize, plan)
+	}
+	return storage.OpenDurable(path, blockSize, plan)
+}
+
+func wrapFaultPlan(bs storage.BlockStore, plan *storage.CrashPlan) storage.BlockStore {
+	if plan == nil {
+		return bs
+	}
+	return storage.NewCrashStore(bs, plan)
 }
 
 // Shape returns the transformed domain extents.
@@ -140,12 +186,37 @@ func (s *Store) Stats() IOStats {
 // ResetStats zeroes the I/O counters.
 func (s *Store) ResetStats() { s.counting.Reset() }
 
-// Flush writes any cached dirty blocks through to the backing store.
-func (s *Store) Flush() error {
-	if s.pool == nil {
+// Flush writes any cached dirty blocks through to the backing store; on a
+// durable store it additionally commits them as one atomic batch.
+func (s *Store) Flush() error { return s.commit() }
+
+// Durable reports whether the store runs on the crash-safe storage layer.
+func (s *Store) Durable() bool { return s.durable != nil }
+
+// Recovered reports how many blocks were rolled forward from the journal
+// when the store was opened; ok is false if no interrupted batch was found.
+func (s *Store) Recovered() (blocks int, ok bool) {
+	if s.durable == nil {
+		return 0, false
+	}
+	return s.durable.Recovered()
+}
+
+// commit flushes the buffer pool and seals a durable batch. On non-durable
+// stores it degenerates to a pool flush.
+func (s *Store) commit() error { return s.store.Commit() }
+
+// demote conservatively clears the materialized flag in the metadata
+// sidecar before a maintenance batch touches block storage. Ordering
+// matters for crash safety: "materialized" may only be claimed after the
+// blocks that justify it are durable, so it is dropped first and
+// re-asserted (by Materialize) only after a successful commit.
+func (s *Store) demote() error {
+	if !s.materialized {
 		return nil
 	}
-	return s.pool.Flush()
+	s.materialized = false
+	return s.saveMeta()
 }
 
 // Close flushes caches and releases the underlying storage.
@@ -156,6 +227,9 @@ func (s *Store) Close() error { return s.store.Close() }
 // queries possible. Use TransformChunked instead when a does not fit the
 // I/O budget of an in-memory transform.
 func (s *Store) Materialize(a *Array) error {
+	if err := s.demote(); err != nil {
+		return err
+	}
 	hat := Transform(a, s.opts.Form)
 	var err error
 	switch s.tiling.(type) {
@@ -167,6 +241,9 @@ func (s *Store) Materialize(a *Array) error {
 	if err != nil {
 		return err
 	}
+	if err := s.commit(); err != nil {
+		return err
+	}
 	s.materialized = true
 	return s.saveMeta()
 }
@@ -176,6 +253,9 @@ func (s *Store) Materialize(a *Array) error {
 // in-memory crest, for the non-standard form), using memory for one chunk
 // of edge 2^chunkBits per dimension.
 func (s *Store) TransformChunked(src *Array, chunkBits int) error {
+	if err := s.demote(); err != nil { // scaling slots are not maintained by the engines
+		return err
+	}
 	var err error
 	switch s.opts.Form {
 	case Standard:
@@ -186,7 +266,9 @@ func (s *Store) TransformChunked(src *Array, chunkBits int) error {
 	if err != nil {
 		return err
 	}
-	s.materialized = false // scaling slots are not maintained by the engines
+	if err := s.commit(); err != nil {
+		return err
+	}
 	return s.saveMeta()
 }
 
@@ -194,6 +276,9 @@ func (s *Store) TransformChunked(src *Array, chunkBits int) error {
 // into the stored transform — the disk-resident SHIFT-SPLIT batch update.
 func (s *Store) MergeBlock(b Block, bHat *Array) error {
 	if err := b.validate(s.opts.Shape); err != nil {
+		return err
+	}
+	if err := s.demote(); err != nil {
 		return err
 	}
 	batch := tile.NewBatch(s.store)
@@ -219,8 +304,7 @@ func (s *Store) MergeBlock(b Block, bHat *Array) error {
 	if err := batch.Flush(); err != nil {
 		return err
 	}
-	s.materialized = false
-	return s.saveMeta()
+	return s.commit()
 }
 
 // ClearBlock zeroes the original data over a dyadic block entirely in the

@@ -1,0 +1,246 @@
+package shiftsplit
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+func crashSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("SHIFTSPLIT_CRASH_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SHIFTSPLIT_CRASH_SEED %q: %v", s, err)
+		}
+		return n
+	}
+	return 1
+}
+
+// equalExact compares two transforms coefficient-for-coefficient, no
+// tolerance: recovery must reproduce the committed state bit-for-bit.
+func equalExact(a, b *Array) bool {
+	da, db := a.Data(), b.Data()
+	if len(da) != len(db) {
+		return false
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDurableStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randArray(rng, 16, 16)
+	path := filepath.Join(t.TempDir(), "cube.wav")
+	st, err := CreateStore(StoreOptions{Shape: []int{16, 16}, Form: Standard, Path: path, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Durable() {
+		t.Fatal("store does not report durable")
+	}
+	if err := st.TransformChunked(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	hat, err := st.ReadTransform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if !st2.Durable() {
+		t.Fatal("reopened store lost durability")
+	}
+	if _, recovered := st2.Recovered(); recovered {
+		t.Fatal("clean reopen reported a recovery")
+	}
+	hat2, err := st2.ReadTransform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalExact(hat, hat2) {
+		t.Fatal("transform changed across close/reopen")
+	}
+	p := []int{3, 14}
+	v, _, err := st2.Point(p...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := v - src.At(p...); d > 1e-8 || d < -1e-8 {
+		t.Fatalf("point %v = %g, want %g", p, v, src.At(p...))
+	}
+	rep, err := Fsck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck not clean: %+v", rep)
+	}
+}
+
+func TestFsckRejectsNonDurableStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.wav")
+	st, err := CreateStore(StoreOptions{Shape: []int{8, 8}, Form: Standard, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fsck(path); err == nil {
+		t.Fatal("fsck accepted a non-durable store")
+	}
+}
+
+func TestSaveMetaLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cube.wav")
+	st, err := CreateStore(StoreOptions{Shape: []int{8, 8}, Form: Standard, Path: path, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %q after atomic meta writes", e.Name())
+		}
+	}
+}
+
+// TestStoreCrashCampaign is the acceptance criterion for the crash-safe
+// storage layer: kill a SHIFT-SPLIT maintenance batch (MergeBlock) at
+// every physical write index on a file-backed durable store, reopen with
+// OpenStore, and require the recovered transform to equal — coefficient
+// for coefficient — either the pre-merge or the post-merge transform,
+// with fsck reporting a clean store.
+func TestStoreCrashCampaign(t *testing.T) {
+	seed := crashSeed(t)
+	rng := rand.New(rand.NewSource(21))
+	src := randArray(rng, 8, 8)
+	delta := randArray(rng, 4, 4)
+	blk := CubeBlock(2, 1, 1) // the 4x4 block at (4,4)
+	deltaHat := Transform(delta, Standard)
+
+	// Reference states from an identical in-memory pipeline: recovery must
+	// reproduce one of these exactly.
+	ref, err := CreateStore(StoreOptions{Shape: []int{8, 8}, Form: Standard, TileBits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.TransformChunked(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	preHat, err := ref.ReadTransform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.MergeBlock(blk, deltaHat); err != nil {
+		t.Fatal(err)
+	}
+	postHat, err := ref.ReadTransform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+
+	dir := t.TempDir()
+	build := func(name string, plan *storage.CrashPlan) (*Store, string) {
+		path := filepath.Join(dir, name)
+		st, err := CreateStore(StoreOptions{
+			Shape: []int{8, 8}, Form: Standard, TileBits: 1,
+			Path: path, Durable: true, FaultPlan: plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.TransformChunked(src, 2); err != nil {
+			t.Fatalf("setup transform: %v", err)
+		}
+		return st, path
+	}
+
+	// Dry run: how many physical mutations does the merge take?
+	dryPlan := storage.NewCrashPlan(seed)
+	dry, _ := build("dry.wav", dryPlan)
+	preOps := dryPlan.Ops()
+	if err := dry.MergeBlock(blk, deltaHat); err != nil {
+		t.Fatal(err)
+	}
+	totalOps := dryPlan.Ops() - preOps
+	if err := dry.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if totalOps < 8 {
+		t.Fatalf("merge took only %d mutations — campaign is vacuous", totalOps)
+	}
+	t.Logf("merge batch = %d physical mutations", totalOps)
+
+	preSeen, postSeen := 0, 0
+	for w := int64(1); w <= totalOps; w++ {
+		plan := storage.NewCrashPlan(seed + 100*w)
+		st, path := build("t"+strconv.FormatInt(w, 10)+".wav", plan)
+		plan.ArmAt(plan.Ops() + w)
+		err := st.MergeBlock(blk, deltaHat)
+		if w < totalOps && !errors.Is(err, storage.ErrCrashed) {
+			t.Fatalf("trial %d: expected simulated power cut, got %v", w, err)
+		}
+		_ = st.Close() // dead machine; errors expected
+
+		st2, err := OpenStore(path)
+		if err != nil {
+			t.Fatalf("trial %d: reopen after crash: %v", w, err)
+		}
+		got, err := st2.ReadTransform()
+		if err != nil {
+			t.Fatalf("trial %d: read recovered transform: %v", w, err)
+		}
+		switch {
+		case equalExact(got, preHat):
+			preSeen++
+		case equalExact(got, postHat):
+			postSeen++
+		default:
+			t.Fatalf("trial %d: recovered transform is neither pre- nor post-merge", w)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatalf("trial %d: close recovered store: %v", w, err)
+		}
+		rep, err := Fsck(path)
+		if err != nil {
+			t.Fatalf("trial %d: fsck: %v", w, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("trial %d: fsck not clean: %+v", w, rep)
+		}
+	}
+	t.Logf("campaign: %d trials, %d recovered pre-merge, %d post-merge", totalOps, preSeen, postSeen)
+	if preSeen == 0 || postSeen == 0 {
+		t.Fatalf("campaign never exercised both outcomes (pre=%d post=%d)", preSeen, postSeen)
+	}
+}
