@@ -13,6 +13,8 @@
 //	shiftsplit stream -n 65536 -k 64 -buf 4
 //	shiftsplit compress -store cube.wav -k 128 -out cube.syn
 //	shiftsplit approx -syn cube.syn -point 5,7
+//	shiftsplit serve -store cube.wav -addr :8080 -cache 256
+//	shiftsplit bench-serve -clients 8 -duration 3s
 package main
 
 import (
@@ -47,6 +49,10 @@ func main() {
 		err = cmdCompress(os.Args[2:])
 	case "approx":
 		err = cmdApprox(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "bench-serve":
+		err = cmdBenchServe(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "fsck":
@@ -77,6 +83,8 @@ commands:
   stream      demo: best-K stream synopsis maintenance (Result 3)
   compress    build a best-K synopsis file from a store
   approx      answer queries from a synopsis file
+  serve       expose a store over the HTTP/JSON query API
+  bench-serve load-test the serving path, report qps and cache hit rate
   info        print a store's geometry and metadata
   fsck        verify a durable store's checksums and journal (read-only)
   recover     replay or discard an interrupted batch, then re-verify

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/server"
+)
+
+// cmdServe exposes a materialized store over the HTTP/JSON query API and
+// runs until SIGINT/SIGTERM, then drains in-flight queries.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	store := fs.String("store", "cube.wav", "store path")
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheBlocks := fs.Int("cache", 256, "serve cache capacity in blocks (0 disables)")
+	cacheShards := fs.Int("shards", 0, "cache shard count (0 picks a default)")
+	maxConc := fs.Int("max-concurrent", 64, "queries executing at once before shedding 429s")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-query deadline")
+	drain := fs.Duration("drain", 15*time.Second, "shutdown drain deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := shiftsplit.OpenServing(*store, *cacheBlocks, *cacheShards)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	srv := server.New(st, server.Config{
+		Addr:          *addr,
+		MaxConcurrent: *maxConc,
+		QueryTimeout:  *timeout,
+		DrainTimeout:  *drain,
+		Log:           log.New(os.Stderr, "serve: ", log.LstdFlags),
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.ListenAndServe(ctx)
+}
+
+// cmdBenchServe is the load generator: it spins up an in-process server on a
+// loopback port, fires mixed queries from many goroutines for a fixed
+// duration, and reports throughput plus the cache hit rate.
+func cmdBenchServe(args []string) error {
+	fs := flag.NewFlagSet("bench-serve", flag.ExitOnError)
+	store := fs.String("store", "", "store path (empty builds a temporary 64x64 store)")
+	cacheBlocks := fs.Int("cache", 256, "serve cache capacity in blocks (0 disables)")
+	cacheShards := fs.Int("shards", 0, "cache shard count (0 picks a default)")
+	clients := fs.Int("clients", 8, "concurrent client goroutines")
+	dur := fs.Duration("duration", 3*time.Second, "measurement duration")
+	rangeFrac := fs.Int("range-pct", 30, "percent of queries that are range sums (rest are points)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *store
+	if path == "" {
+		tmp, err := buildBenchStore()
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		path = tmp + "/bench.wav"
+	}
+	st, err := shiftsplit.OpenServing(path, *cacheBlocks, *cacheShards)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	shape := st.Shape()
+	srv := server.New(st, server.Config{MaxConcurrent: *clients * 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	var total, failed atomic.Int64
+	stopAt := time.Now().Add(*dur)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			client := &http.Client{}
+			rng := uint64(seed)*2654435761 + 12345
+			next := func(n int) int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int((rng >> 33) % uint64(n))
+			}
+			for time.Now().Before(stopAt) {
+				var url string
+				var body []byte
+				if next(100) < *rangeFrac {
+					start := make([]int, len(shape))
+					extent := make([]int, len(shape))
+					for i, n := range shape {
+						start[i] = next(n / 2)
+						extent[i] = 1 + next(n/2)
+					}
+					url = base + "/v1/rangesum"
+					body, _ = json.Marshal(map[string]any{"start": start, "extent": extent})
+				} else {
+					p := make([]int, len(shape))
+					for i, n := range shape {
+						p[i] = next(n)
+					}
+					url = base + "/v1/point"
+					body, _ = json.Marshal(map[string]any{"point": p})
+				}
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+				total.Add(1)
+			}
+		}(c + 1)
+	}
+	wg.Wait()
+	elapsed := *dur
+	cancel()
+	if err := <-done; err != nil {
+		return err
+	}
+	n := total.Load()
+	fmt.Printf("bench-serve: %d queries in %s from %d clients\n", n, elapsed, *clients)
+	fmt.Printf("throughput:  %.0f queries/sec (%d failed)\n",
+		float64(n)/elapsed.Seconds(), failed.Load())
+	io := st.Stats()
+	fmt.Printf("device I/O:  %d block reads\n", io.Reads)
+	if cs, ok := st.CacheStats(); ok {
+		fmt.Printf("cache:       %.1f%% hit rate (%d hits, %d misses, %d loads, %d evictions)\n",
+			100*cs.HitRate, cs.Hits, cs.Misses, cs.Loads, cs.Evictions)
+	} else {
+		fmt.Println("cache:       disabled")
+	}
+	return nil
+}
+
+func buildBenchStore() (dir string, err error) {
+	dir, err = os.MkdirTemp("", "shiftsplit-bench")
+	if err != nil {
+		return "", err
+	}
+	defer func() {
+		if err != nil {
+			os.RemoveAll(dir)
+		}
+	}()
+	st, err := shiftsplit.CreateStore(shiftsplit.StoreOptions{
+		Shape: []int{64, 64}, Form: shiftsplit.Standard, TileBits: 2, Path: dir + "/bench.wav",
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := st.TransformChunked(dataset.Dense([]int{64, 64}, 7), 3); err != nil {
+		st.Close()
+		return "", err
+	}
+	if err := st.Sync(); err != nil {
+		st.Close()
+		return "", err
+	}
+	return dir, st.Close()
+}

@@ -1,6 +1,7 @@
 package shiftsplit
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/shiftsplit/shiftsplit/internal/query"
@@ -72,5 +73,19 @@ type ProgressiveStep = query.ProgressiveStep
 // coefficients first), returning the running estimates with cumulative I/O;
 // the final step is exact. Standard form only.
 func (s *Store) ProgressiveRangeSum(start, shape []int) ([]ProgressiveStep, error) {
+	if s.opts.Form != Standard {
+		return nil, fmt.Errorf("shiftsplit: progressive queries need a standard-form store")
+	}
 	return query.ProgressiveRangeSum(s.store, s.opts.Shape, start, shape)
+}
+
+// ProgressiveRangeSumFunc is the streaming form of ProgressiveRangeSum: fn
+// receives every refinement step as soon as it is computed, so a server can
+// flush partial answers while later coefficients are still being read. A
+// non-nil error from fn aborts the walk and is returned unchanged.
+func (s *Store) ProgressiveRangeSumFunc(start, shape []int, fn func(ProgressiveStep) error) error {
+	if s.opts.Form != Standard {
+		return fmt.Errorf("shiftsplit: progressive queries need a standard-form store")
+	}
+	return query.ProgressiveRangeSumFunc(s.store, s.opts.Shape, start, shape, fn)
 }

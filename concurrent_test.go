@@ -1,0 +1,192 @@
+package shiftsplit
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+)
+
+// materializeServing builds a standard-form store on disk and reopens it
+// through the concurrent serving path (cacheBlocks == 0 disables the cache).
+func materializeServing(t testing.TB, shape []int, cacheBlocks, shards int) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stress.wav")
+	st, err := CreateStore(StoreOptions{Shape: shape, Form: Standard, TileBits: 2, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Materialize(dataset.Dense(shape, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	serving, err := OpenServing(path, cacheBlocks, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { serving.Close() })
+	return serving
+}
+
+// TestConcurrentQueryStress hammers one store with mixed point, range-sum,
+// progressive, and batch queries from many goroutines, with and without the
+// serve cache, checking every answer against a single-threaded oracle. Run
+// with -race this is the proof obligation for the parallel read path.
+func TestConcurrentQueryStress(t *testing.T) {
+	shape := []int{64, 64}
+	src := dataset.Dense(shape, 11)
+	for _, tc := range []struct {
+		name          string
+		cache, shards int
+	}{
+		{"NoCache", 0, 0},
+		{"Cache", 64, 4}, // smaller than the 256-block store, so eviction churns
+		{"CacheOneShard", 16, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := materializeServing(t, shape, tc.cache, tc.shards)
+			const goroutines = 16
+			iters := 60
+			if testing.Short() {
+				iters = 15
+			}
+			var wg sync.WaitGroup
+			errc := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						switch rng.Intn(4) {
+						case 0: // point query
+							p := []int{rng.Intn(shape[0]), rng.Intn(shape[1])}
+							got, _, err := st.Point(p...)
+							if err != nil {
+								errc <- err
+								return
+							}
+							want := src.At(p...)
+							if math.Abs(got-want) > 1e-6 {
+								t.Errorf("point %v = %v, want %v", p, got, want)
+							}
+						case 1: // range sum
+							s := []int{rng.Intn(shape[0]), rng.Intn(shape[1])}
+							sh := []int{1 + rng.Intn(shape[0]-s[0]), 1 + rng.Intn(shape[1]-s[1])}
+							got, _, err := st.RangeSum(s, sh)
+							if err != nil {
+								errc <- err
+								return
+							}
+							want := src.SumRange(s, sh)
+							if math.Abs(got-want) > 1e-4 {
+								t.Errorf("sum[%v +%v] = %v, want %v", s, sh, got, want)
+							}
+						case 2: // progressive: final step must be exact
+							s := []int{rng.Intn(shape[0] / 2), rng.Intn(shape[1] / 2)}
+							sh := []int{1 + rng.Intn(shape[0]/2), 1 + rng.Intn(shape[1]/2)}
+							var final ProgressiveStep
+							err := st.ProgressiveRangeSumFunc(s, sh, func(step ProgressiveStep) error {
+								final = step
+								return nil
+							})
+							if err != nil {
+								errc <- err
+								return
+							}
+							want := src.SumRange(s, sh)
+							if math.Abs(final.Estimate-want) > 1e-4 {
+								t.Errorf("progressive[%v +%v] = %v, want %v", s, sh, final.Estimate, want)
+							}
+						case 3: // batched points
+							pts := make([][]int, 4)
+							for j := range pts {
+								pts[j] = []int{rng.Intn(shape[0]), rng.Intn(shape[1])}
+							}
+							vals, _, err := st.Points(pts)
+							if err != nil {
+								errc <- err
+								return
+							}
+							for j, v := range vals {
+								if want := src.At(pts[j]...); math.Abs(v-want) > 1e-6 {
+									t.Errorf("points[%d] %v = %v, want %v", j, pts[j], v, want)
+								}
+							}
+						}
+					}
+				}(int64(g + 1))
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+			if tc.cache > 0 {
+				cs, ok := st.CacheStats()
+				if !ok {
+					t.Fatal("cache stats unavailable on a cached store")
+				}
+				if cs.Hits == 0 {
+					t.Error("stress run produced zero cache hits")
+				}
+				if cs.Resident > int64(tc.cache) {
+					t.Errorf("resident %d exceeds capacity %d", cs.Resident, tc.cache)
+				}
+				t.Logf("cache: %.1f%% hit rate, %d loads, %d evictions",
+					100*cs.HitRate, cs.Loads, cs.Evictions)
+			}
+		})
+	}
+}
+
+// TestConcurrentInvalidation interleaves queriers with cache invalidation —
+// the serving-side analogue of a maintenance cycle — and checks answers stay
+// correct throughout.
+func TestConcurrentInvalidation(t *testing.T) {
+	shape := []int{32, 32}
+	src := dataset.Dense(shape, 11)
+	st := materializeServing(t, shape, 32, 4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	invDone := make(chan struct{})
+	go func() {
+		defer close(invDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st.InvalidateCache()
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				p := []int{rng.Intn(shape[0]), rng.Intn(shape[1])}
+				got, _, err := st.Point(p...)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := src.At(p...); math.Abs(got-want) > 1e-6 {
+					t.Errorf("point %v = %v, want %v", p, got, want)
+					return
+				}
+			}
+		}(int64(g + 100))
+	}
+	wg.Wait()
+	// The queriers are done; stop the invalidator and wait it out.
+	close(stop)
+	<-invDone
+}

@@ -1,0 +1,256 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+// slowStore delays every read so that concurrent misses pile up, and counts
+// the reads that reach it.
+type slowStore struct {
+	storage.BlockStore
+	delay time.Duration
+	reads atomic.Int64
+}
+
+func (s *slowStore) ReadBlock(id int, buf []float64) error {
+	s.reads.Add(1)
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.BlockStore.ReadBlock(id, buf)
+}
+
+func fill(t *testing.T, bs storage.BlockStore, blocks int) {
+	t.Helper()
+	buf := make([]float64, bs.BlockSize())
+	for id := 0; id < blocks; id++ {
+		for i := range buf {
+			buf[i] = float64(id*1000 + i)
+		}
+		if err := bs.WriteBlock(id, buf); err != nil {
+			t.Fatalf("fill block %d: %v", id, err)
+		}
+	}
+}
+
+func TestReadCachesBlocks(t *testing.T) {
+	mem := storage.NewMemStore(4)
+	fill(t, mem, 8)
+	counting := storage.NewCounting(mem)
+	c, err := New(counting, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 4)
+	for pass := 0; pass < 3; pass++ {
+		for id := 0; id < 8; id++ {
+			if err := c.ReadBlock(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf[1] != float64(id*1000+1) {
+				t.Fatalf("block %d pass %d: got %v", id, pass, buf)
+			}
+		}
+	}
+	if got := counting.Stats().Reads; got != 8 {
+		t.Errorf("inner reads = %d, want 8 (one load per block)", got)
+	}
+	st := c.Stats()
+	if st.Hits != 16 || st.Misses != 8 || st.Loads != 8 {
+		t.Errorf("stats = %+v, want 16 hits / 8 misses / 8 loads", st)
+	}
+	if st.HitRate() < 0.66 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
+	mem := storage.NewMemStore(4)
+	fill(t, mem, 1)
+	slow := &slowStore{BlockStore: mem, delay: 20 * time.Millisecond}
+	c, err := New(slow, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const g = 32
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	vals := make([]float64, g)
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]float64, 4)
+			errs[i] = c.ReadBlock(0, buf)
+			vals[i] = buf[2]
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < g; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if vals[i] != 2 {
+			t.Fatalf("goroutine %d read %v, want 2", i, vals[i])
+		}
+	}
+	if got := slow.reads.Load(); got != 1 {
+		t.Errorf("inner reads = %d, want 1 (singleflight)", got)
+	}
+	st := c.Stats()
+	if st.Loads != 1 {
+		t.Errorf("loads = %d, want 1", st.Loads)
+	}
+	if st.Misses != g {
+		t.Errorf("misses = %d, want %d", st.Misses, g)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("inflight = %d after quiesce", st.Inflight)
+	}
+}
+
+func TestEvictionBoundsResidency(t *testing.T) {
+	mem := storage.NewMemStore(2)
+	fill(t, mem, 64)
+	c, err := New(mem, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 2)
+	for id := 0; id < 64; id++ {
+		if err := c.ReadBlock(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > 8 {
+		t.Errorf("resident = %d, capacity 8", n)
+	}
+	if st := c.Stats(); st.Evictions < 56 {
+		t.Errorf("evictions = %d, want >= 56", st.Evictions)
+	}
+}
+
+func TestWriteThroughInvalidates(t *testing.T) {
+	mem := storage.NewMemStore(2)
+	fill(t, mem, 2)
+	c, err := New(mem, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 2)
+	if err := c.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBlock(1, []float64{7, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 || buf[1] != 9 {
+		t.Errorf("read after write = %v, want [7 9]", buf)
+	}
+	// The store itself must have the new data (write-through, not
+	// write-back).
+	if err := mem.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Errorf("inner store missed the write: %v", buf)
+	}
+}
+
+func TestStaleLoadIsNotInstalledAfterWrite(t *testing.T) {
+	mem := storage.NewMemStore(1)
+	fill(t, mem, 1)
+	release := make(chan struct{})
+	gate := &gatedStore{BlockStore: mem, release: release}
+	gate.entered.Add(1)
+	c, err := New(gate, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan float64)
+	go func() {
+		buf := make([]float64, 1)
+		if err := c.ReadBlock(0, buf); err != nil {
+			t.Error(err)
+		}
+		done <- buf[0]
+	}()
+	gate.entered.Wait() // the load has read the old value and is parked
+	if err := c.WriteBlock(0, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	<-done
+	// Whatever the in-flight load returned, the cache must not serve the
+	// pre-write value now.
+	buf := make([]float64, 1)
+	if err := c.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Errorf("read after write = %v, want 42 (stale load installed)", buf[0])
+	}
+}
+
+// gatedStore performs the inner read, then parks until released, modeling a
+// load that completes after a concurrent write.
+type gatedStore struct {
+	storage.BlockStore
+	entered sync.WaitGroup
+	once    sync.Once
+	release chan struct{}
+}
+
+func (g *gatedStore) ReadBlock(id int, buf []float64) error {
+	err := g.BlockStore.ReadBlock(id, buf)
+	first := false
+	g.once.Do(func() { first = true })
+	if first {
+		g.entered.Done()
+		<-g.release
+	}
+	return err
+}
+
+func TestConcurrentMixedAccessRace(t *testing.T) {
+	mem := storage.NewMemStore(4)
+	fill(t, mem, 32)
+	c, err := New(mem, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]float64, 4)
+			for i := 0; i < 500; i++ {
+				id := (g*7 + i*13) % 32
+				if g == 0 && i%50 == 0 {
+					if err := c.WriteBlock(id, []float64{1, 2, 3, 4}); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if err := c.ReadBlock(id, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Inflight != 0 {
+		t.Errorf("inflight = %d after quiesce", st.Inflight)
+	}
+}

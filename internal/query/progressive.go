@@ -24,6 +24,23 @@ type ProgressiveStep struct {
 // progressive query answering mode the paper's introduction cites as a
 // driving application of wavelet-transformed storage.
 func ProgressiveRangeSum(st *tile.Store, arrShape, start, shape []int) ([]ProgressiveStep, error) {
+	var steps []ProgressiveStep
+	err := ProgressiveRangeSumFunc(st, arrShape, start, shape, func(s ProgressiveStep) error {
+		steps = append(steps, s)
+		return nil
+	})
+	return steps, err
+}
+
+// ProgressiveRangeSumFunc is the streaming form of ProgressiveRangeSum: fn
+// is invoked for every refinement step as soon as it is computed, so a
+// server can flush partial answers to a client while later coefficients are
+// still being read. A non-nil error from fn aborts the walk and is returned
+// unchanged.
+func ProgressiveRangeSumFunc(st *tile.Store, arrShape, start, shape []int, fn func(ProgressiveStep) error) error {
+	if err := ValidateBox(arrShape, start, shape); err != nil {
+		return err
+	}
 	coefs := wavelet.RangeSumCoefsStandard(arrShape, start, shape)
 	// Coarse-to-fine: sort by support volume descending, then by absolute
 	// weight descending so the big contributors land early.
@@ -50,21 +67,23 @@ func ProgressiveRangeSum(st *tile.Store, arrShape, start, shape []int) ([]Progre
 		return wi > wj
 	})
 	reader := tile.NewReader(st)
-	steps := make([]ProgressiveStep, 0, len(coefs))
 	sum := 0.0
 	for i, c := range coefs {
 		v, err := reader.Get(c.Coords)
 		if err != nil {
-			return steps, err
+			return err
 		}
 		sum += c.Weight * v
-		steps = append(steps, ProgressiveStep{
+		step := ProgressiveStep{
 			Estimate:     sum,
 			Coefficients: i + 1,
 			Blocks:       reader.BlocksRead(),
-		})
+		}
+		if err := fn(step); err != nil {
+			return err
+		}
 	}
-	return steps, nil
+	return nil
 }
 
 // ApproximateRangeSum evaluates a box aggregate against a best-K compressed

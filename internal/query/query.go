@@ -25,8 +25,9 @@ func PointStandard(st *tile.Store, point []int) (float64, int, error) {
 		return 0, 0, fmt.Errorf("query: PointStandard needs a *Standard tiling, got %T", st.Tiling())
 	}
 	d := tiling.Dims()
-	if len(point) != d {
-		return 0, 0, fmt.Errorf("query: point %v for %d dims", point, d)
+	arrShape, _ := domainShape(st)
+	if err := ValidatePoint(arrShape, point); err != nil {
+		return 0, 0, err
 	}
 	// Per-dimension: the leaf tile and the weighted slots inside it.
 	type sel struct {
@@ -40,9 +41,6 @@ func PointStandard(st *tile.Store, point []int) (float64, int, error) {
 		oneD := tiling.Dim(t)
 		n := oneD.Levels()
 		p := point[t]
-		if p < 0 || p >= 1<<uint(n) {
-			return 0, 0, fmt.Errorf("query: point %v out of bounds", point)
-		}
 		var leafBlock int
 		var sels []sel
 		if n == 0 {
@@ -106,8 +104,9 @@ func PointNonStandard(st *tile.Store, point []int) (float64, int, error) {
 	}
 	n, rootPos := tiling.RootOf(0)
 	d := len(rootPos)
-	if len(point) != d {
-		return 0, 0, fmt.Errorf("query: point %v for %d dims", point, d)
+	arrShape, _ := domainShape(st)
+	if err := ValidatePoint(arrShape, point); err != nil {
+		return 0, 0, err
 	}
 	if n == 0 {
 		data, err := st.ReadTile(0)
@@ -157,6 +156,9 @@ func PointNonStandard(st *tile.Store, point []int) (float64, int, error) {
 // count is the number of distinct blocks read, which is what the tiling
 // ablation compares.
 func PointViaRootPath(st *tile.Store, shape, point []int) (float64, int, error) {
+	if err := ValidatePoint(shape, point); err != nil {
+		return 0, 0, err
+	}
 	reader := tile.NewReader(st)
 	sum := 0.0
 	for _, c := range wavelet.PointPathStandard(shape, point) {
@@ -173,6 +175,9 @@ func PointViaRootPath(st *tile.Store, shape, point []int) (float64, int, error) 
 // combining the Lemma-2 coefficient set through the store, returning the
 // sum and the number of distinct blocks read.
 func RangeSumStandard(st *tile.Store, arrShape, start, shape []int) (float64, int, error) {
+	if err := ValidateBox(arrShape, start, shape); err != nil {
+		return 0, 0, err
+	}
 	reader := tile.NewReader(st)
 	sum := 0.0
 	for _, c := range wavelet.RangeSumCoefsStandard(arrShape, start, shape) {
@@ -195,6 +200,10 @@ func RangeSumNonStandard(st *tile.Store, start, shape []int) (float64, int, erro
 	}
 	n, rootPos := tiling.RootOf(0)
 	d := len(rootPos)
+	arrShape, _ := domainShape(st)
+	if err := ValidateBox(arrShape, start, shape); err != nil {
+		return 0, 0, err
+	}
 	reader := tile.NewReader(st)
 	end := make([]int, d)
 	for i := range start {
@@ -283,6 +292,9 @@ func PointBatch(st *tile.Store, shape []int, points [][]int) ([]float64, int, er
 	reader := tile.NewReader(st)
 	out := make([]float64, len(points))
 	for i, p := range points {
+		if err := ValidatePoint(shape, p); err != nil {
+			return nil, reader.BlocksRead(), err
+		}
 		sum := 0.0
 		for _, c := range wavelet.PointPathStandard(shape, p) {
 			v, err := reader.Get(c.Coords)

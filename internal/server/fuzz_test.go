@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+)
+
+// fuzzHandler builds one shared 16x16 server for the whole fuzz run; the
+// store is immutable, so reuse across inputs is safe and keeps iterations
+// fast. The temp directory leaks for the process lifetime, which is fine
+// for a test binary.
+var fuzzHandler = sync.OnceValue(func() http.Handler {
+	dir, err := os.MkdirTemp("", "shiftsplit-fuzz")
+	if err != nil {
+		panic(err)
+	}
+	path := filepath.Join(dir, "fuzz.wav")
+	shape := []int{16, 16}
+	st, err := shiftsplit.CreateStore(shiftsplit.StoreOptions{
+		Shape: shape, Form: shiftsplit.Standard, TileBits: 2, Path: path,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := st.Materialize(dataset.Dense(shape, 7)); err != nil {
+		panic(err)
+	}
+	if err := st.Close(); err != nil {
+		panic(err)
+	}
+	serving, err := shiftsplit.OpenServing(path, 32, 4)
+	if err != nil {
+		panic(err)
+	}
+	return New(serving, Config{}).Handler()
+})
+
+// FuzzRequestDecoding throws arbitrary bodies at every query endpoint and
+// asserts the invariants the issue demands: no input may panic (recoverJSON
+// would surface a panic as a 500, which the fuzz treats as a failure) and
+// every non-2xx answer is a well-formed JSON error object.
+func FuzzRequestDecoding(f *testing.F) {
+	seeds := []string{
+		`{"point":[5,7]}`,
+		`{"point":[]}`,
+		`{"point":[-1,-1]}`,
+		`{"point":[99999999999,0]}`,
+		`{"point":[9223372036854775807,9223372036854775807]}`,
+		`{"start":[0,0],"extent":[8,8]}`,
+		`{"start":[0,0],"extent":[-8,8]}`,
+		`{"start":[-4,-4],"extent":[4,4]}`,
+		`{"start":[9223372036854775800,0],"extent":[100,4]}`,
+		`{"start":[0],"extent":[4]}`,
+		`{"dim":0,"index":3}`,
+		`{"dim":-1}`,
+		`{"dim":100000,"start":-5,"length":0}`,
+		`{`,
+		``,
+		`null`,
+		`[]`,
+		`42`,
+		`"point"`,
+		`{"point":[5,7]}{"point":[5,7]}`,
+		`{"point":[5,7],"extra":"field"}`,
+		`{"point":"not-an-array"}`,
+		`{"point":[1.5,2.5]}`,
+		`{"start":[0,0],"extent":[8,8],"every":-3}`,
+		strings.Repeat(`{"point":[`, 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	paths := []string{
+		"/v1/point", "/v1/rangesum", "/v1/progressive",
+		"/v1/olap/rollup", "/v1/olap/slice", "/v1/olap/dice",
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		h := fuzzHandler()
+		for _, p := range paths {
+			req := httptest.NewRequest("POST", p, strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			resp := rec.Result()
+			if resp.StatusCode == http.StatusInternalServerError {
+				t.Fatalf("%s: input %q produced 500: %s", p, body, rec.Body.String())
+			}
+			if resp.StatusCode >= 300 {
+				var er errorResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+					t.Fatalf("%s: input %q: status %d with malformed error body %q",
+						p, body, resp.StatusCode, rec.Body.String())
+				}
+			}
+			if p == "/v1/progressive" && resp.StatusCode == http.StatusOK {
+				// Streamed success: every line must be valid JSON.
+				for _, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+					var step progressiveStep
+					if err := json.Unmarshal([]byte(line), &step); err != nil {
+						t.Fatalf("progressive stream line %q not JSON: %v", line, err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzStructuredRange drives the range endpoints with structured (but
+// unconstrained) integers so the fuzzer explores the validation lattice
+// rather than JSON syntax: in-bounds boxes must succeed, everything else
+// must be a clean 400.
+func FuzzStructuredRange(f *testing.F) {
+	f.Add(0, 0, 8, 8)
+	f.Add(-1, 0, 4, 4)
+	f.Add(0, 0, 0, 0)
+	f.Add(15, 15, 1, 1)
+	f.Add(1<<62, 1, 1<<62, 1)
+	f.Add(8, 8, -8, -8)
+	f.Fuzz(func(t *testing.T, s0, s1, e0, e1 int) {
+		h := fuzzHandler()
+		body, _ := json.Marshal(rangeRequest{Start: []int{s0, s1}, Extent: []int{e0, e1}})
+		for _, p := range []string{"/v1/rangesum", "/v1/progressive"} {
+			req := httptest.NewRequest("POST", p, strings.NewReader(string(body)))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code == http.StatusInternalServerError {
+				t.Fatalf("%s: start=[%d,%d] extent=[%d,%d] produced 500: %s",
+					p, s0, s1, e0, e1, rec.Body.String())
+			}
+			inBounds := s0 >= 0 && s1 >= 0 && e0 > 0 && e1 > 0 &&
+				s0 <= 16-e0 && s1 <= 16-e1
+			if inBounds && rec.Code != http.StatusOK {
+				t.Fatalf("%s: valid box start=[%d,%d] extent=[%d,%d] rejected: %d %s",
+					p, s0, s1, e0, e1, rec.Code, rec.Body.String())
+			}
+			if !inBounds && rec.Code != http.StatusBadRequest {
+				t.Fatalf("%s: invalid box start=[%d,%d] extent=[%d,%d] got %d, want 400",
+					p, s0, s1, e0, e1, rec.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"path"
+	"time"
+
+	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/query"
+)
+
+type pointRequest struct {
+	Point []int `json:"point"`
+}
+
+type pointResponse struct {
+	Point      []int   `json:"point"`
+	Value      float64 `json:"value"`
+	BlocksRead int     `json:"blocks_read"`
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var req pointRequest
+	if err := decode(r, &req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := query.ValidatePoint(s.st.Shape(), req.Point); err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, blocks, err := s.st.Point(req.Point...)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, pointResponse{Point: req.Point, Value: v, BlocksRead: blocks})
+}
+
+type rangeRequest struct {
+	Start  []int `json:"start"`
+	Extent []int `json:"extent"`
+}
+
+type rangeResponse struct {
+	Start      []int   `json:"start"`
+	Extent     []int   `json:"extent"`
+	Sum        float64 `json:"sum"`
+	BlocksRead int     `json:"blocks_read"`
+}
+
+func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
+	var req rangeRequest
+	if err := decode(r, &req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := query.ValidateBox(s.st.Shape(), req.Start, req.Extent); err != nil {
+		s.fail(w, err)
+		return
+	}
+	sum, blocks, err := s.st.RangeSum(req.Start, req.Extent)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, rangeResponse{Start: req.Start, Extent: req.Extent, Sum: sum, BlocksRead: blocks})
+}
+
+type progressiveRequest struct {
+	Start  []int `json:"start"`
+	Extent []int `json:"extent"`
+	// Every emits one refinement line per this many coefficients (default
+	// 1); the exact final answer is always emitted.
+	Every int `json:"every"`
+}
+
+type progressiveStep struct {
+	Estimate     float64 `json:"estimate"`
+	Coefficients int     `json:"coefficients"`
+	BlocksRead   int     `json:"blocks_read"`
+	Final        bool    `json:"final,omitempty"`
+}
+
+// handleProgressive streams refinement steps as NDJSON: the client sees a
+// coarse estimate after the first block read and successive refinements as
+// further coefficients arrive — the paper's progressive query answering
+// mode, on the wire.
+func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
+	var req progressiveRequest
+	if err := decode(r, &req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.st.Form() != shiftsplit.Standard {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "progressive queries need a standard-form store")
+		return
+	}
+	if err := query.ValidateBox(s.st.Shape(), req.Start, req.Extent); err != nil {
+		s.fail(w, err)
+		return
+	}
+	every := req.Every
+	if every < 1 {
+		every = 1
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // Encode appends the NDJSON newline
+	ctx := r.Context()
+	var last progressiveStep
+	have := false
+	err := s.st.ProgressiveRangeSumFunc(req.Start, req.Extent, func(st shiftsplit.ProgressiveStep) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = progressiveStep{Estimate: st.Estimate, Coefficients: st.Coefficients, BlocksRead: st.Blocks}
+		have = true
+		if st.Coefficients%every == 0 {
+			if err := enc.Encode(last); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// The stream is already committed; all we can do is stop. The
+		// missing final line tells the client the answer is incomplete.
+		s.failed.Add(1)
+		return
+	}
+	if have {
+		last.Final = true
+		enc.Encode(last)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	s.served.Add(1)
+}
+
+type olapRequest struct {
+	Dim    int `json:"dim"`
+	Index  int `json:"index,omitempty"`
+	Start  int `json:"start,omitempty"`
+	Length int `json:"length,omitempty"`
+}
+
+type olapResponse struct {
+	Op     string    `json:"op"`
+	Dim    int       `json:"dim"`
+	Shape  []int     `json:"shape"`
+	Values []float64 `json:"values"`
+}
+
+// olapTransform lazily loads the whole transform into memory once; the
+// OLAP operators then run in the wavelet domain without touching disk.
+func (s *Server) olapTransform() (*shiftsplit.Array, error) {
+	s.olapOnce.Do(func() {
+		s.olapHat, s.olapErr = s.st.ReadTransform()
+	})
+	return s.olapHat, s.olapErr
+}
+
+func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
+	op := path.Base(r.URL.Path)
+	var req olapRequest
+	if err := decode(r, &req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.st.Form() != shiftsplit.Standard {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "OLAP operators need a standard-form store")
+		return
+	}
+	shape := s.st.Shape()
+	if len(shape) < 2 {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "OLAP operators need at least 2 dimensions")
+		return
+	}
+	if req.Dim < 0 || req.Dim >= len(shape) {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "dim out of range")
+		return
+	}
+	hat, err := s.olapTransform()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var out *shiftsplit.Array
+	switch op {
+	case "rollup":
+		out = shiftsplit.Rollup(hat, req.Dim)
+	case "slice":
+		if req.Index < 0 || req.Index >= shape[req.Dim] {
+			s.failed.Add(1)
+			writeError(w, http.StatusBadRequest, "slice index out of range")
+			return
+		}
+		out = shiftsplit.SliceAt(hat, req.Dim, req.Index)
+	case "dice":
+		diced, err := shiftsplit.DiceDyadic(hat, req.Dim, req.Start, req.Length)
+		if err != nil {
+			s.failed.Add(1)
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		out = diced
+	default:
+		s.failed.Add(1)
+		writeError(w, http.StatusNotFound, "unknown OLAP operator")
+		return
+	}
+	if out.Size() > s.cfg.MaxResultCells {
+		s.failed.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, "result cube too large for one response")
+		return
+	}
+	// The operators return the transform of the result cube; clients want
+	// data values, so invert before responding.
+	data := shiftsplit.Inverse(out, shiftsplit.Standard)
+	s.served.Add(1)
+	writeJSON(w, olapResponse{Op: op, Dim: req.Dim, Shape: data.Shape(), Values: data.Data()})
+}
+
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, healthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()})
+}
+
+type statsResponse struct {
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Queries       queryStats             `json:"queries"`
+	Store         storeStats             `json:"store"`
+	Cache         *shiftsplit.CacheStats `json:"cache,omitempty"`
+}
+
+type queryStats struct {
+	Served   int64 `json:"served"`
+	Failed   int64 `json:"failed"`
+	Rejected int64 `json:"rejected"`
+	Inflight int64 `json:"inflight"`
+}
+
+type storeStats struct {
+	Shape     []int  `json:"shape"`
+	Form      string `json:"form"`
+	Blocks    int    `json:"blocks"`
+	BlockSize int    `json:"block_size"`
+	Reads     int64  `json:"reads"`
+	Writes    int64  `json:"writes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	io := s.st.Stats()
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries: queryStats{
+			Served:   s.served.Load(),
+			Failed:   s.failed.Load(),
+			Rejected: s.rejected.Load(),
+			Inflight: s.inflight.Load(),
+		},
+		Store: storeStats{
+			Shape:     s.st.Shape(),
+			Form:      s.st.Form().String(),
+			Blocks:    s.st.NumBlocks(),
+			BlockSize: s.st.BlockSize(),
+			Reads:     io.Reads,
+			Writes:    io.Writes,
+		},
+	}
+	if cs, ok := s.st.CacheStats(); ok {
+		resp.Cache = &cs
+	}
+	writeJSON(w, resp)
+}

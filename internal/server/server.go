@@ -1,0 +1,241 @@
+// Package server exposes a materialized SHIFT-SPLIT store over an
+// HTTP/JSON API — the query-serving subsystem on top of the library's
+// parallel read path. One Server multiplexes any number of concurrent
+// clients onto one shared store:
+//
+//	POST /v1/point         {"point":[5,7]}
+//	POST /v1/rangesum      {"start":[0,0],"extent":[8,8]}
+//	POST /v1/progressive   {"start":[0,0],"extent":[8,8],"every":4}   (NDJSON stream)
+//	POST /v1/olap/rollup   {"dim":1}
+//	POST /v1/olap/slice    {"dim":1,"index":3}
+//	POST /v1/olap/dice     {"dim":1,"start":4,"length":4}
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//
+// Request handling is bounded two ways: a semaphore caps the number of
+// queries executing at once (excess requests get 429 so load sheds at the
+// edge instead of queueing without bound), and every query runs under a
+// per-request deadline. Shutdown drains in-flight queries before closing.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/query"
+)
+
+// Config bounds and addresses a Server. Zero values pick sensible defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// MaxConcurrent caps the queries executing at once; excess requests are
+	// rejected with 429 (default 64).
+	MaxConcurrent int
+	// QueryTimeout is the per-request deadline (default 10s).
+	QueryTimeout time.Duration
+	// DrainTimeout bounds how long shutdown waits for in-flight queries
+	// (default 15s).
+	DrainTimeout time.Duration
+	// MaxResultCells caps the number of cells an OLAP result may carry in
+	// one response (default 65536); larger results get 413.
+	MaxResultCells int
+	// MaxBodyBytes caps the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Log receives serving lifecycle messages; nil discards them.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.MaxResultCells <= 0 {
+		c.MaxResultCells = 1 << 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server serves queries against one store. Create with New.
+type Server struct {
+	st    *shiftsplit.Store
+	cfg   Config
+	start time.Time
+	sem   chan struct{}
+
+	inflight atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+
+	olapOnce sync.Once
+	olapHat  *shiftsplit.Array
+	olapErr  error
+
+	handler http.Handler
+}
+
+// New builds a Server over st. The store must outlive the server; the
+// caller keeps ownership and closes it after shutdown.
+func New(st *shiftsplit.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		st:    st,
+		cfg:   cfg,
+		start: time.Now(),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/point", s.limited(s.handlePoint))
+	mux.HandleFunc("POST /v1/rangesum", s.limited(s.handleRangeSum))
+	mux.HandleFunc("POST /v1/progressive", s.limited(s.handleProgressive))
+	mux.HandleFunc("POST /v1/olap/rollup", s.limited(s.handleOLAP))
+	mux.HandleFunc("POST /v1/olap/slice", s.limited(s.handleOLAP))
+	mux.HandleFunc("POST /v1/olap/dice", s.limited(s.handleOLAP))
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.handler = recoverJSON(mux)
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ListenAndServe serves on cfg.Addr until ctx is canceled (e.g. by
+// SIGTERM), then drains in-flight queries for up to DrainTimeout before
+// returning. A nil return means a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (tests use a
+// 127.0.0.1:0 listener to get a free port).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.logf("serving on %s (max %d concurrent queries, %s timeout)",
+		ln.Addr(), s.cfg.MaxConcurrent, s.cfg.QueryTimeout)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.logf("shutdown requested, draining %d in-flight queries", s.inflight.Load())
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		if err != nil {
+			return fmt.Errorf("server: drain incomplete: %w", err)
+		}
+		s.logf("drained cleanly after serving %d queries", s.served.Load())
+		return nil
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// limited is the admission-control middleware: bounded concurrency with
+// load shedding, a per-request deadline, and failure accounting.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity")
+			return
+		}
+		defer func() { <-s.sem }()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		defer cancel()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// recoverJSON converts any residual panic into a 500 JSON error so one bad
+// request can never take down the serving process.
+func recoverJSON(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decode strictly parses a JSON request body into dst: unknown fields,
+// trailing garbage, and oversized bodies are all errors.
+func decode(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return errors.New("bad request body: trailing data")
+	}
+	return nil
+}
+
+// fail classifies a query error: malformed queries are the client's fault
+// (400), anything else is the store's (500).
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.failed.Add(1)
+	if errors.Is(err, query.ErrInvalid) {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}

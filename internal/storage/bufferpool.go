@@ -3,13 +3,19 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // BufferPool is an LRU write-back cache of blocks in front of a BlockStore.
 // It models the paper's limited main memory: a pool of capacity C holds C
 // blocks; accessing a cached block costs no I/O on the underlying store,
 // while a miss reads (and, for dirty evictions, writes) through.
+//
+// A mutex serializes every operation, so a BufferPool is safe for
+// concurrent use (and, because all inner-store traffic happens under the
+// lock, it also serializes access to the wrapped store).
 type BufferPool struct {
+	mu       sync.Mutex
 	inner    BlockStore
 	capacity int
 	lru      *list.List // front = most recently used; values are *frame
@@ -78,6 +84,8 @@ func (p *BufferPool) evictIfFull() error {
 
 // ReadBlock implements BlockStore through the cache.
 func (p *BufferPool) ReadBlock(id int, buf []float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
 	}
@@ -95,6 +103,8 @@ func (p *BufferPool) ReadBlock(id int, buf []float64) error {
 // WriteBlock implements BlockStore through the cache (write-back: the
 // underlying store sees the block only on eviction or Flush).
 func (p *BufferPool) WriteBlock(id int, data []float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
 	}
@@ -113,6 +123,12 @@ func (p *BufferPool) WriteBlock(id int, data []float64) error {
 
 // Flush writes all dirty blocks through without evicting them.
 func (p *BufferPool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *BufferPool) flushLocked() error {
 	if p.closed {
 		return ErrClosed
 	}
@@ -132,7 +148,9 @@ func (p *BufferPool) Flush() error {
 // wrapped store, so a transactional store under the pool seals everything
 // the pool was holding into the batch.
 func (p *BufferPool) Commit() error {
-	if err := p.Flush(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushLocked(); err != nil {
 		return err
 	}
 	return CommitIfAble(p.inner)
@@ -140,6 +158,8 @@ func (p *BufferPool) Commit() error {
 
 // HitRate returns hits, misses, and the hit fraction (0 when unused).
 func (p *BufferPool) HitRate() (hits, misses int64, rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	total := p.hits + p.misses
 	if total == 0 {
 		return p.hits, p.misses, 0
@@ -148,14 +168,20 @@ func (p *BufferPool) HitRate() (hits, misses int64, rate float64) {
 }
 
 // Len returns the number of cached blocks.
-func (p *BufferPool) Len() int { return p.lru.Len() }
+func (p *BufferPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
 
 // Close flushes dirty blocks and closes the underlying store.
 func (p *BufferPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}
-	if err := p.Flush(); err != nil {
+	if err := p.flushLocked(); err != nil {
 		return err
 	}
 	p.closed = true

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // FileStore is a BlockStore backed by a real file, one block per
@@ -13,11 +15,24 @@ import (
 // "accurate implementations of the operations on real disks with real disk
 // blocks" (§6); FileStore is that code path, while the counted MemStore is
 // used where only deterministic I/O counts matter.
+//
+// ReadBlock and WriteBlock use positional file I/O (pread/pwrite) with
+// per-call scratch buffers, so a FileStore is safe for concurrent use.
 type FileStore struct {
 	f         *os.File
 	blockSize int
-	buf       []byte
-	closed    bool
+	scratch   sync.Pool // *[]byte of 8*blockSize bytes
+	closed    atomic.Bool
+}
+
+func (s *FileStore) frameBytes() int { return 8 * s.blockSize }
+
+func (s *FileStore) getScratch() *[]byte {
+	if b, ok := s.scratch.Get().(*[]byte); ok {
+		return b
+	}
+	b := make([]byte, s.frameBytes())
+	return &b
 }
 
 // NewFileStore creates (truncating) a file-backed store at path.
@@ -29,7 +44,7 @@ func NewFileStore(path string, blockSize int) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	return &FileStore{f: f, blockSize: blockSize, buf: make([]byte, 8*blockSize)}, nil
+	return &FileStore{f: f, blockSize: blockSize}, nil
 }
 
 // OpenFileStore opens an existing file-backed store at path.
@@ -41,7 +56,7 @@ func OpenFileStore(path string, blockSize int) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	return &FileStore{f: f, blockSize: blockSize, buf: make([]byte, 8*blockSize)}, nil
+	return &FileStore{f: f, blockSize: blockSize}, nil
 }
 
 // BlockSize returns the number of coefficients per block.
@@ -50,22 +65,25 @@ func (s *FileStore) BlockSize() int { return s.blockSize }
 // ReadBlock reads block id; extents beyond the current file size read as
 // zeros, modeling a lazily allocated device.
 func (s *FileStore) ReadBlock(id int, buf []float64) error {
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if err := checkBlockArgs(s, id, buf); err != nil {
 		return err
 	}
-	off := int64(id) * int64(len(s.buf))
-	n, err := s.f.ReadAt(s.buf, off)
+	bp := s.getScratch()
+	defer s.scratch.Put(bp)
+	b := *bp
+	off := int64(id) * int64(len(b))
+	n, err := s.f.ReadAt(b, off)
 	if err != nil && err != io.EOF {
 		return fmt.Errorf("storage: read block %d: %w", id, err)
 	}
-	for i := n; i < len(s.buf); i++ {
-		s.buf[i] = 0
+	for i := n; i < len(b); i++ {
+		b[i] = 0
 	}
 	for i := range buf {
-		bits := binary.LittleEndian.Uint64(s.buf[8*i:])
+		bits := binary.LittleEndian.Uint64(b[8*i:])
 		buf[i] = math.Float64frombits(bits)
 	}
 	return nil
@@ -73,17 +91,20 @@ func (s *FileStore) ReadBlock(id int, buf []float64) error {
 
 // WriteBlock writes block id at its offset, growing the file as needed.
 func (s *FileStore) WriteBlock(id int, data []float64) error {
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if err := checkBlockArgs(s, id, data); err != nil {
 		return err
 	}
+	bp := s.getScratch()
+	defer s.scratch.Put(bp)
+	b := *bp
 	for i, v := range data {
-		binary.LittleEndian.PutUint64(s.buf[8*i:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
 	}
-	off := int64(id) * int64(len(s.buf))
-	if _, err := s.f.WriteAt(s.buf, off); err != nil {
+	off := int64(id) * int64(len(b))
+	if _, err := s.f.WriteAt(b, off); err != nil {
 		return fmt.Errorf("storage: write block %d: %w", id, err)
 	}
 	return nil
@@ -91,7 +112,7 @@ func (s *FileStore) WriteBlock(id int, data []float64) error {
 
 // Sync flushes the file to stable storage.
 func (s *FileStore) Sync() error {
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	return s.f.Sync()
@@ -102,7 +123,7 @@ func (s *FileStore) Sync() error {
 // operation is atomic, which is why the block journal uses it as its
 // "batch retired" marker.
 func (s *FileStore) Truncate() error {
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if err := s.f.Truncate(0); err != nil {
@@ -114,22 +135,21 @@ func (s *FileStore) Truncate() error {
 // NumBlocks returns how many block extents the file currently holds
 // (partial trailing extents count as one).
 func (s *FileStore) NumBlocks() (int, error) {
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
 	fi, err := s.f.Stat()
 	if err != nil {
 		return 0, err
 	}
-	bb := int64(len(s.buf))
+	bb := int64(s.frameBytes())
 	return int((fi.Size() + bb - 1) / bb), nil
 }
 
 // Close closes the underlying file.
 func (s *FileStore) Close() error {
-	if s.closed {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
 	return s.f.Close()
 }

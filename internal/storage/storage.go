@@ -12,6 +12,8 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // BlockStore is a device storing equally sized blocks of float64
@@ -85,9 +87,10 @@ func checkBlockArgs(bs BlockStore, id int, buf []float64) error {
 	return nil
 }
 
-// MemStore is an in-memory BlockStore.
+// MemStore is an in-memory BlockStore. It is safe for concurrent use.
 type MemStore struct {
 	blockSize int
+	mu        sync.RWMutex
 	blocks    map[int][]float64
 	closed    bool
 }
@@ -105,11 +108,13 @@ func (s *MemStore) BlockSize() int { return s.blockSize }
 
 // ReadBlock implements BlockStore; unwritten blocks read as zeros.
 func (s *MemStore) ReadBlock(id int, buf []float64) error {
-	if s.closed {
-		return ErrClosed
-	}
 	if err := checkBlockArgs(s, id, buf); err != nil {
 		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
 	}
 	if b, ok := s.blocks[id]; ok {
 		copy(buf, b)
@@ -123,11 +128,13 @@ func (s *MemStore) ReadBlock(id int, buf []float64) error {
 
 // WriteBlock implements BlockStore.
 func (s *MemStore) WriteBlock(id int, data []float64) error {
-	if s.closed {
-		return ErrClosed
-	}
 	if err := checkBlockArgs(s, id, data); err != nil {
 		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
 	}
 	b, ok := s.blocks[id]
 	if !ok {
@@ -139,10 +146,16 @@ func (s *MemStore) WriteBlock(id int, data []float64) error {
 }
 
 // Len returns the number of materialized blocks.
-func (s *MemStore) Len() int { return len(s.blocks) }
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
 
 // Truncate discards every block; subsequent reads see zeros.
 func (s *MemStore) Truncate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -152,6 +165,8 @@ func (s *MemStore) Truncate() error {
 
 // Close implements BlockStore.
 func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.closed = true
 	s.blocks = nil
 	return nil
@@ -168,10 +183,12 @@ func (s Stats) Total() int64 { return s.Reads + s.Writes }
 
 // Counting wraps a BlockStore and counts every read and write that reaches
 // the underlying store. This is the measurement instrument behind every
-// figure in EXPERIMENTS.md.
+// figure in EXPERIMENTS.md. The counters are updated atomically, so Counting
+// adds no synchronization requirements beyond the wrapped store's own.
 type Counting struct {
-	inner BlockStore
-	stats Stats
+	inner  BlockStore
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // NewCounting wraps inner with an I/O counter.
@@ -184,13 +201,13 @@ func (c *Counting) BlockSize() int { return c.inner.BlockSize() }
 
 // ReadBlock counts one read and delegates.
 func (c *Counting) ReadBlock(id int, buf []float64) error {
-	c.stats.Reads++
+	c.reads.Add(1)
 	return c.inner.ReadBlock(id, buf)
 }
 
 // WriteBlock counts one write and delegates.
 func (c *Counting) WriteBlock(id int, data []float64) error {
-	c.stats.Writes++
+	c.writes.Add(1)
 	return c.inner.WriteBlock(id, data)
 }
 
@@ -208,7 +225,12 @@ func (c *Counting) Truncate() error { return TruncateIfAble(c.inner) }
 func (c *Counting) Commit() error { return CommitIfAble(c.inner) }
 
 // Stats returns the counters accumulated so far.
-func (c *Counting) Stats() Stats { return c.stats }
+func (c *Counting) Stats() Stats {
+	return Stats{Reads: c.reads.Load(), Writes: c.writes.Load()}
+}
 
 // Reset zeroes the counters.
-func (c *Counting) Reset() { c.stats = Stats{} }
+func (c *Counting) Reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+}

@@ -2,6 +2,7 @@ package tile
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
@@ -11,10 +12,18 @@ import (
 // reads and writes, so wrapping the underlying store with storage.Counting
 // (and optionally a storage.BufferPool to model available memory) measures
 // exactly the block I/O the paper's figures report.
+//
+// The read path (Get, ReadTile, Tiling) uses per-call scratch buffers and is
+// safe for concurrent use provided the underlying BlockStore is; the
+// serving layer relies on this. Read-modify-write mutations (Set, Add) are
+// serialized against each other by an internal mutex, but concurrent
+// mutation of the same coefficients from multiple writers still needs
+// external coordination, as do WriteTile, Commit, and Close.
 type Store struct {
 	bs     storage.BlockStore
 	tiling Tiling
-	buf    []float64
+	mu     sync.Mutex // serializes read-modify-write block updates
+	bufs   sync.Pool  // *[]float64 scratch blocks
 }
 
 // NewStore binds a tiling to a block store. The store's block size must
@@ -23,7 +32,15 @@ func NewStore(bs storage.BlockStore, tiling Tiling) (*Store, error) {
 	if bs.BlockSize() != tiling.BlockSize() {
 		return nil, fmt.Errorf("tile: block size mismatch: store %d, tiling %d", bs.BlockSize(), tiling.BlockSize())
 	}
-	return &Store{bs: bs, tiling: tiling, buf: make([]float64, bs.BlockSize())}, nil
+	return &Store{bs: bs, tiling: tiling}, nil
+}
+
+func (s *Store) getBuf() *[]float64 {
+	if b, ok := s.bufs.Get().(*[]float64); ok {
+		return b
+	}
+	b := make([]float64, s.bs.BlockSize())
+	return &b
 }
 
 // Tiling returns the tiling in use.
@@ -35,30 +52,40 @@ func (s *Store) Blocks() storage.BlockStore { return s.bs }
 // Get reads one coefficient.
 func (s *Store) Get(coords []int) (float64, error) {
 	block, slot := s.tiling.Locate(coords)
-	if err := s.bs.ReadBlock(block, s.buf); err != nil {
+	bp := s.getBuf()
+	defer s.bufs.Put(bp)
+	if err := s.bs.ReadBlock(block, *bp); err != nil {
 		return 0, err
 	}
-	return s.buf[slot], nil
+	return (*bp)[slot], nil
 }
 
 // Set writes one coefficient (read-modify-write of its block).
 func (s *Store) Set(coords []int, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	block, slot := s.tiling.Locate(coords)
-	if err := s.bs.ReadBlock(block, s.buf); err != nil {
+	bp := s.getBuf()
+	defer s.bufs.Put(bp)
+	if err := s.bs.ReadBlock(block, *bp); err != nil {
 		return err
 	}
-	s.buf[slot] = v
-	return s.bs.WriteBlock(block, s.buf)
+	(*bp)[slot] = v
+	return s.bs.WriteBlock(block, *bp)
 }
 
 // Add accumulates a delta into one coefficient (read-modify-write).
 func (s *Store) Add(coords []int, delta float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	block, slot := s.tiling.Locate(coords)
-	if err := s.bs.ReadBlock(block, s.buf); err != nil {
+	bp := s.getBuf()
+	defer s.bufs.Put(bp)
+	if err := s.bs.ReadBlock(block, *bp); err != nil {
 		return err
 	}
-	s.buf[slot] += delta
-	return s.bs.WriteBlock(block, s.buf)
+	(*bp)[slot] += delta
+	return s.bs.WriteBlock(block, *bp)
 }
 
 // ReadTile returns a copy of one whole block.

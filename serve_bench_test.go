@@ -1,0 +1,152 @@
+package shiftsplit
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// The serving benchmarks measure query throughput through the concurrent
+// read path: cold cache vs warm cache, one goroutine vs GOMAXPROCS.
+// BENCH_serve.json records a baseline run.
+
+func benchServingStore(b *testing.B, cacheBlocks int) *Store {
+	b.Helper()
+	return materializeServing(b, []int{64, 64}, cacheBlocks, 0)
+}
+
+func benchPoints(shape []int, n int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]int, n)
+	for i := range pts {
+		pts[i] = []int{rng.Intn(shape[0]), rng.Intn(shape[1])}
+	}
+	return pts
+}
+
+func BenchmarkServePointNoCache(b *testing.B) {
+	st := benchServingStore(b, 0)
+	pts := benchPoints(st.Shape(), 1024, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Point(pts[i%len(pts)]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServePointColdCache(b *testing.B) {
+	st := benchServingStore(b, 256)
+	pts := benchPoints(st.Shape(), 1024, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Invalidate before every query: each read pays the miss path
+		// (lookup, singleflight registration, device load, install).
+		st.InvalidateCache()
+		if _, _, err := st.Point(pts[i%len(pts)]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServePointWarmCache(b *testing.B) {
+	st := benchServingStore(b, 256)
+	pts := benchPoints(st.Shape(), 1024, 3)
+	for _, p := range pts { // warm every block the run will touch
+		if _, _, err := st.Point(p...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Point(pts[i%len(pts)]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServePointParallelNoCache(b *testing.B) {
+	st := benchServingStore(b, 0)
+	pts := benchPoints(st.Shape(), 1024, 3)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(ctr.Add(1)) % len(pts)
+			if _, _, err := st.Point(pts[i]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkServePointParallelWarmCache(b *testing.B) {
+	st := benchServingStore(b, 256)
+	pts := benchPoints(st.Shape(), 1024, 3)
+	for _, p := range pts {
+		if _, _, err := st.Point(p...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(ctr.Add(1)) % len(pts)
+			if _, _, err := st.Point(pts[i]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkServeRangeSumWarmCache(b *testing.B) {
+	st := benchServingStore(b, 256)
+	shape := st.Shape()
+	rng := rand.New(rand.NewSource(5))
+	type box struct{ start, extent []int }
+	boxes := make([]box, 256)
+	for i := range boxes {
+		s := []int{rng.Intn(shape[0] / 2), rng.Intn(shape[1] / 2)}
+		boxes[i] = box{s, []int{1 + rng.Intn(shape[0]/2), 1 + rng.Intn(shape[1]/2)}}
+	}
+	for _, bx := range boxes {
+		if _, _, err := st.RangeSum(bx.start, bx.extent); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bx := boxes[i%len(boxes)]
+		if _, _, err := st.RangeSum(bx.start, bx.extent); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeRangeSumParallelWarmCache(b *testing.B) {
+	st := benchServingStore(b, 256)
+	shape := st.Shape()
+	rng := rand.New(rand.NewSource(5))
+	type box struct{ start, extent []int }
+	boxes := make([]box, 256)
+	for i := range boxes {
+		s := []int{rng.Intn(shape[0] / 2), rng.Intn(shape[1] / 2)}
+		boxes[i] = box{s, []int{1 + rng.Intn(shape[0]/2), 1 + rng.Intn(shape[1]/2)}}
+	}
+	for _, bx := range boxes {
+		if _, _, err := st.RangeSum(bx.start, bx.extent); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			bx := boxes[int(ctr.Add(1))%len(boxes)]
+			if _, _, err := st.RangeSum(bx.start, bx.extent); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package shiftsplit
+
+import (
+	"github.com/shiftsplit/shiftsplit/internal/cache"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+// This file is the storage-stack half of the query-serving subsystem (the
+// HTTP half lives in internal/server): it opens a store whose read path is
+// built for many concurrent queriers instead of one maintenance engine.
+
+// CacheStats reports the serve cache's counters.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`      // reads served from a resident block
+	Misses    int64   `json:"misses"`    // reads that found no resident block
+	Loads     int64   `json:"loads"`     // reads issued to the device (singleflight coalesces misses)
+	Evictions int64   `json:"evictions"` // blocks discarded to make room
+	Inflight  int64   `json:"inflight"`  // loads currently outstanding
+	Resident  int64   `json:"resident"`  // blocks currently held
+	HitRate   float64 `json:"hit_rate"`  // Hits / (Hits + Misses)
+}
+
+// serveCacheInner returns the store the serve cache should read through:
+// the shared I/O counter directly when the base device is safe for
+// concurrent use (MemStore, FileStore), or a locked wrapper when the
+// stateful durable layer sits underneath.
+func serveCacheInner(counting *storage.Counting, durable *storage.Durable) storage.BlockStore {
+	if durable != nil {
+		return storage.NewLocked(counting)
+	}
+	return counting
+}
+
+// OpenServing reopens a file-backed store for the concurrent query-serving
+// path: reads are fronted by a sharded LRU block cache of cacheBlocks
+// blocks spread over cacheShards independently locked shards (0 picks a
+// default), concurrent misses on the same block are coalesced into one
+// disk read, and the whole read path is safe under any number of querying
+// goroutines. Durable stores are additionally serialized at the device so
+// the checksum/journal layer never sees interleaved calls.
+//
+// The returned store is meant to be read-only; running maintenance through
+// it is permitted but requires the same external synchronization as any
+// other store.
+func OpenServing(path string, cacheBlocks, cacheShards int) (*Store, error) {
+	m, err := readMeta(path)
+	if err != nil {
+		return nil, err
+	}
+	tiling, form, err := tilingForMeta(m)
+	if err != nil {
+		return nil, err
+	}
+	opts := StoreOptions{
+		Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable,
+		ServeCacheBlocks: cacheBlocks, ServeCacheShards: cacheShards,
+	}
+	var base storage.BlockStore
+	var durable *storage.Durable
+	if m.Durable {
+		d, err := newDurableBase(path, tiling.BlockSize(), nil, false)
+		if err != nil {
+			return nil, err
+		}
+		base, durable = d, d
+	} else {
+		fs, err := storage.OpenFileStore(path, tiling.BlockSize())
+		if err != nil {
+			return nil, err
+		}
+		base = fs
+	}
+	counting := storage.NewCounting(base)
+	var top storage.BlockStore = counting
+	var shardedCache *cache.Sharded
+	if cacheBlocks > 0 {
+		c, err := cache.New(serveCacheInner(counting, durable), cacheBlocks, cacheShards)
+		if err != nil {
+			return nil, err
+		}
+		shardedCache, top = c, c
+	} else if durable != nil {
+		top = storage.NewLocked(counting)
+	}
+	st, err := tile.NewStore(top, tiling)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		opts:         opts,
+		tiling:       tiling,
+		counting:     counting,
+		cache:        shardedCache,
+		durable:      durable,
+		store:        st,
+		materialized: m.Materialized,
+	}, nil
+}
+
+// CacheStats returns the serve cache's counters; ok is false when the store
+// has no serve cache.
+func (s *Store) CacheStats() (stats CacheStats, ok bool) {
+	if s.cache == nil {
+		return CacheStats{}, false
+	}
+	cs := s.cache.Stats()
+	return CacheStats{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Loads:     cs.Loads,
+		Evictions: cs.Evictions,
+		Inflight:  cs.Inflight,
+		Resident:  cs.Resident,
+		HitRate:   cs.HitRate(),
+	}, true
+}
+
+// InvalidateCache empties the serve cache (a no-op without one); the next
+// reads reload from the device. The cold-start benchmarks use it.
+func (s *Store) InvalidateCache() {
+	if s.cache != nil {
+		s.cache.Invalidate()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/cache"
 	"github.com/shiftsplit/shiftsplit/internal/ndarray"
 	"github.com/shiftsplit/shiftsplit/internal/query"
 	"github.com/shiftsplit/shiftsplit/internal/reconstruct"
@@ -40,6 +41,15 @@ type StoreOptions struct {
 	// "available memory" knob of the paper's query scenarios. Stats then
 	// reports only the I/O that misses the cache.
 	CacheBlocks int
+	// ServeCacheBlocks, when positive, fronts reads with a sharded,
+	// goroutine-safe LRU block cache using singleflight miss coalescing —
+	// the serving path's memory knob (see OpenServing). Mutually exclusive
+	// with CacheBlocks: the buffer pool is a single-threaded write-back
+	// model, the serve cache a concurrent read-through cache.
+	ServeCacheBlocks int
+	// ServeCacheShards optionally sets the serve cache's shard count
+	// (rounded up to a power of two; defaults to 16).
+	ServeCacheShards int
 	// Durable layers crash safety under the store: every block is framed
 	// with a CRC64 + epoch so torn writes and bit rot are detected on read,
 	// and every maintenance operation (Materialize, TransformChunked,
@@ -62,13 +72,20 @@ type StoreOptions struct {
 // bulk transformation, queries, partial reconstruction, and SHIFT-SPLIT
 // block merges all run against it.
 //
-// A Store is not safe for concurrent use (it reuses internal block
-// buffers); guard it with your own synchronization.
+// The query read path (Point, Points, RangeSum, ProgressiveRangeSum,
+// ExtractBlock, ExtractBox, ReadTransform) is safe for concurrent use on
+// stores whose block device is — in-memory stores, plain file stores, and
+// anything opened with OpenServing — as every query works from per-call
+// buffers. Maintenance (Materialize, TransformChunked, MergeBlock,
+// ClearBlock) and stores opened with CacheBlocks > 0 (the single-threaded
+// write-back buffer pool) still require external synchronization, and
+// maintenance must not run concurrently with queries.
 type Store struct {
 	opts         StoreOptions
 	tiling       tile.Tiling
 	counting     *storage.Counting
 	pool         *storage.BufferPool
+	cache        *cache.Sharded
 	durable      *storage.Durable
 	store        *tile.Store
 	materialized bool
@@ -125,18 +142,29 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 	default:
 		base = storage.NewMemStore(tiling.BlockSize())
 	}
+	if opts.CacheBlocks > 0 && opts.ServeCacheBlocks > 0 {
+		return nil, fmt.Errorf("shiftsplit: CacheBlocks and ServeCacheBlocks are mutually exclusive")
+	}
 	counting := storage.NewCounting(base)
 	var top storage.BlockStore = counting
 	var pool *storage.BufferPool
+	var shardedCache *cache.Sharded
 	if opts.CacheBlocks > 0 {
 		pool = storage.NewBufferPool(counting, opts.CacheBlocks)
 		top = pool
+	}
+	if opts.ServeCacheBlocks > 0 {
+		c, err := cache.New(serveCacheInner(counting, durable), opts.ServeCacheBlocks, opts.ServeCacheShards)
+		if err != nil {
+			return nil, err
+		}
+		shardedCache, top = c, c
 	}
 	st, err := tile.NewStore(top, tiling)
 	if err != nil {
 		return nil, err
 	}
-	out := &Store{opts: opts, tiling: tiling, counting: counting, pool: pool, durable: durable, store: st}
+	out := &Store{opts: opts, tiling: tiling, counting: counting, pool: pool, cache: shardedCache, durable: durable, store: st}
 	if err := out.saveMeta(); err != nil {
 		return nil, err
 	}
