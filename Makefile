@@ -1,7 +1,14 @@
 GO ?= go
 CRASH_SEED ?= 1
 
-.PHONY: all build test race vet fmt-check crash-campaign ci clean
+# Pinned companion linter versions (single source of truth; CI installs
+# them via lint-tools). shiftsplitvet itself is built from this tree and
+# needs no install; staticcheck and govulncheck are skipped with a notice
+# when the binary is absent, so `make lint` also works offline.
+STATICCHECK_VERSION ?= 2023.1.7
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build test race vet lint lint-tools fmt-check crash-campaign ci clean
 
 all: build test
 
@@ -24,6 +31,27 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# The repo's own invariant suite (journal bypasses, dropped storage
+# errors, escaping pooled scratch, map-ordered float sums, unlocked
+# durable stores), then the pinned external linters when present.
+lint:
+	$(GO) run ./cmd/shiftsplitvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) not on PATH; skipping (make lint-tools installs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck $(GOVULNCHECK_VERSION) not on PATH; skipping (make lint-tools installs it)"; \
+	fi
+
+# Install the pinned external linters (needs network; CI runs this).
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
 # The crash campaigns kill maintenance batches at every physical write
 # index and require recovery to a checksum-clean pre- or post-batch state.
 # CRASH_SEED pins the tear/drop RNG for reproducible failures.
@@ -32,7 +60,7 @@ crash-campaign:
 		-run 'TestCrashCampaignDurable|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign' \
 		./internal/storage/ ./internal/appender/ .
 
-ci: fmt-check vet build race crash-campaign
+ci: fmt-check vet lint build race crash-campaign
 
 clean:
 	$(GO) clean ./...

@@ -370,7 +370,9 @@ func BenchmarkRollup(b *testing.B) {
 	hat := Transform(src, Standard)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Rollup(hat, 2)
+		if _, err := Rollup(hat, 2); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

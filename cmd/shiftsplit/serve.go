@@ -175,11 +175,11 @@ func buildBenchStore() (dir string, err error) {
 		return "", err
 	}
 	if err := st.TransformChunked(dataset.Dense([]int{64, 64}, 7), 3); err != nil {
-		st.Close()
+		_ = st.Close() // best-effort cleanup; the transform error is the one to report
 		return "", err
 	}
 	if err := st.Sync(); err != nil {
-		st.Close()
+		_ = st.Close() // best-effort cleanup; the sync error is the one to report
 		return "", err
 	}
 	return dir, st.Close()

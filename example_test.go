@@ -72,7 +72,11 @@ func ExampleRollup() {
 		3, 4,
 	}, 2, 2)
 	hat := shiftsplit.Transform(a, shiftsplit.Standard)
-	rowTotals := shiftsplit.Inverse(shiftsplit.Rollup(hat, 1), shiftsplit.Standard)
+	rolledHat, err := shiftsplit.Rollup(hat, 1)
+	if err != nil {
+		panic(err)
+	}
+	rowTotals := shiftsplit.Inverse(rolledHat, shiftsplit.Standard)
 	fmt.Println(rowTotals.Data())
 	// Output: [3 7]
 }
@@ -97,7 +101,11 @@ func ExampleSliceAt() {
 		3, 4,
 	}, 2, 2)
 	hat := shiftsplit.Transform(a, shiftsplit.Standard)
-	row1 := shiftsplit.Inverse(shiftsplit.SliceAt(hat, 0, 1), shiftsplit.Standard)
+	row1Hat, err := shiftsplit.SliceAt(hat, 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	row1 := shiftsplit.Inverse(row1Hat, shiftsplit.Standard)
 	fmt.Println(row1.Data())
 	// Output: [3 4]
 }

@@ -94,11 +94,18 @@ func main() {
 	// and time yields the transform of per-latitude totals, without
 	// reconstructing a single cell.
 	hat := shiftsplit.Transform(cube, shiftsplit.Standard)
-	perLat := shiftsplit.Inverse(shiftsplit.Totals(hat, 0), shiftsplit.Standard)
+	totalsHat, err := shiftsplit.Totals(hat, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perLat := shiftsplit.Inverse(totalsHat, shiftsplit.Standard)
 	fmt.Printf("\nper-latitude climate totals (wavelet-domain roll-up):\n")
 	for la := 0; la < 32; la += 8 {
 		fmt.Printf("  lat band %2d: %9.0f degree-cells\n", la, perLat.At(la))
 	}
-	janHat := shiftsplit.SliceAt(hat, 2, 0) // the t=0 snapshot, still a transform
+	janHat, err := shiftsplit.SliceAt(hat, 2, 0) // the t=0 snapshot, still a transform
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("snapshot t=0 average: %.2f°C\n", janHat.At(0, 0))
 }

@@ -1,0 +1,126 @@
+// Package analysis is the vocabulary of the shiftsplitvet lint suite: a
+// deliberately small, offline re-implementation of the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, Diagnostic) built
+// only on the standard library, because this repository vendors no external
+// modules. Analyzers written against it look and read like stock go/analysis
+// checkers, and the accompanying analysistest package runs the same
+// "// want" golden-comment protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check: a name, a doc string, and a Run function
+// applied to one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //shiftsplitvet:ignore comments. By convention it is a single
+	// lowercase word.
+	Name string
+	// Doc is the analyzer's documentation; the first line is its summary.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// pass.Report or pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one application of one analyzer to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// NewPass binds an analyzer to a package; sink receives the diagnostics.
+// Diagnostics on lines carrying a //shiftsplitvet:ignore comment naming the
+// analyzer (or naming nothing, which suppresses every analyzer) are dropped
+// before they reach the sink.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
+	ignored := ignoreIndex(fset, files)
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report: func(d Diagnostic) {
+			if d.Analyzer == nil {
+				d.Analyzer = a
+			}
+			pos := fset.Position(d.Pos)
+			if names, ok := ignored[lineKey{pos.Filename, pos.Line}]; ok {
+				if len(names) == 0 {
+					return
+				}
+				for _, n := range names {
+					if n == d.Analyzer.Name {
+						return
+					}
+				}
+			}
+			sink(d)
+		},
+	}
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IgnoreDirective is the comment prefix that suppresses diagnostics on the
+// line it appears on and the line directly below it (so it works both as a
+// trailing comment and as a guard above the offending statement):
+//
+//	//shiftsplitvet:ignore storageerr -- crash injection discards on purpose
+//
+// Analyzer names are optional; with none given, every analyzer is silenced.
+const IgnoreDirective = "//shiftsplitvet:ignore"
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ignoreIndex maps source lines to the analyzer names suppressed on them.
+// An empty name list means "suppress everything".
+func ignoreIndex(fset *token.FileSet, files []*ast.File) map[lineKey][]string {
+	idx := make(map[lineKey][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+				if reason := strings.Index(rest, "--"); reason >= 0 {
+					rest = rest[:reason]
+				}
+				names := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				idx[lineKey{pos.Filename, pos.Line}] = names
+				idx[lineKey{pos.Filename, pos.Line + 1}] = names
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,194 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata directory and checks its diagnostics against "// want" comments,
+// following the protocol of golang.org/x/tools/go/analysis/analysistest:
+//
+//	st.WriteBlock(0, buf) // want `bypasses the maintenance journal`
+//
+// Each want comment holds one or more Go string literals (quoted or
+// backquoted), each a regular expression that must match the message of a
+// distinct diagnostic reported on that line. Diagnostics with no matching
+// want, and wants with no matching diagnostic, fail the test.
+//
+// Fixture layout: dir/src is a real Go module (its go.mod replaces the
+// shiftsplit module with a relative path, so fixtures exercise the real
+// storage and tile types), and patterns name packages inside it ("a"
+// loads ./a).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/load"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+type wantKey struct {
+	file string // base name
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each pattern from dir/src and applies a, comparing diagnostics
+// to the golden wants.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	rel := make([]string, len(patterns))
+	for i, p := range patterns {
+		rel[i] = "./" + p
+	}
+	pkgs, err := load.Load(load.Config{Dir: filepath.Join(dir, "src")}, rel...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %v", patterns)
+	}
+	for _, pkg := range pkgs {
+		runOne(t, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg.PkgPath, a.Name, err)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg.PkgPath, err)
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := wantKey{filepath.Base(pos.Filename), pos.Line}
+		if !consume(wants[key], d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// consume marks the first unmatched want whose regexp matches msg.
+func consume(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses the "// want" comments of every file in pkg.
+func collectWants(pkg *load.Package) (map[wantKey][]*want, error) {
+	out := make(map[wantKey][]*want)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ws, err := parseWants(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				key := wantKey{filepath.Base(pos.Filename), pos.Line}
+				out[key] = append(out[key], ws...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWants reads a sequence of Go string literals, each one regexp.
+func parseWants(s string) ([]*want, error) {
+	var out []*want
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		lit, rest, err := quotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want pattern %q: %v", s, err)
+		}
+		raw, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquote %s: %v", lit, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("compile %q: %v", raw, err)
+		}
+		out = append(out, &want{re: re, raw: raw})
+		s = rest
+	}
+}
+
+// quotedPrefix splits off the leading quoted or backquoted literal.
+func quotedPrefix(s string) (lit, rest string, err error) {
+	lit, err = strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", err
+	}
+	return lit, s[len(lit):], nil
+}
+
+// Positions is a debugging helper: it renders diagnostics as
+// "file:line: message" lines (used by driver tests).
+func Positions(fset *token.FileSet, diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		pos := fset.Position(d.Pos)
+		out[i] = fmt.Sprintf("%s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Package journalwrite flags block mutations that bypass the maintenance
+// journal.
+//
+// PR 1 made every maintenance batch atomic by routing block writes through
+// the write-ahead block journal (storage.Durable under tile.Store). That
+// guarantee only holds if no engine writes blocks behind the journal's
+// back: a direct FileStore.WriteBlock from a maintenance path would leave a
+// crash window in which the transform is half pre-batch, half post-batch —
+// exactly the hybrid state the SHIFT-SPLIT identities (paper Results 1–6)
+// assume cannot exist.
+//
+// The analyzer therefore flags calls to the raw block-mutating storage
+// APIs — WriteBlock and Truncate on any storage.BlockStore implementation,
+// and the TruncateIfAble helper — outside the packages that are the
+// journal/commit/recovery machinery itself (internal/storage), the
+// sanctioned tiled write path that commits through it (internal/tile), and
+// the serve cache's write-through invalidation (internal/cache). Everything
+// else must mutate blocks through tile.Store / tile.Batch, whose Commit
+// seals the batch.
+package journalwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/vetutil"
+)
+
+// Analyzer is the journalwrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "journalwrite",
+	Doc:  "flag direct block mutations that bypass the maintenance journal",
+	Run:  run,
+}
+
+// mutatingMethods are the BlockStore-level entry points that change the
+// medium. Commit is deliberately absent: it is the sanctioned sealing call.
+var mutatingMethods = map[string]bool{
+	"WriteBlock": true,
+	"Truncate":   true,
+}
+
+// mutatingFuncs are package-level storage helpers with the same effect.
+var mutatingFuncs = map[string]bool{
+	"TruncateIfAble": true,
+}
+
+// allowedPkgs may touch blocks directly: the journal protocol itself and
+// its recovery path live in internal/storage, the tiled write path (which
+// ends every batch with a Commit) in internal/tile, and the serve cache's
+// write-through in internal/cache.
+var allowedPkgs = []string{
+	"internal/storage",
+	"internal/tile",
+	"internal/cache",
+}
+
+func run(pass *analysis.Pass) error {
+	if vetutil.HasAnyPathSuffix(pass.Pkg.Path(), allowedPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := vetutil.Callee(pass.TypesInfo, call)
+			if fn == nil || !vetutil.HasPathSuffix(vetutil.DeclPkgPath(fn), "internal/storage") {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			switch {
+			case sig.Recv() != nil && mutatingMethods[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"direct %s on a storage device bypasses the maintenance journal; write through tile.Store/tile.Batch and seal the batch with Commit",
+					fn.Name())
+			case sig.Recv() == nil && mutatingFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"storage.%s mutates blocks behind the journal; only the journal protocol may truncate stores",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

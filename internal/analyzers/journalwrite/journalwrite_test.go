@@ -1,0 +1,12 @@
+package journalwrite_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/journalwrite"
+)
+
+func TestJournalWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), journalwrite.Analyzer, "a", "internal/storage")
+}

@@ -1,0 +1,176 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages for the shiftsplitvet analyzers, using only the standard
+// library and the go tool itself.
+//
+// It works the way gopls' loader does in miniature: `go list -export -deps`
+// enumerates the target packages and compiles their dependencies, and each
+// target is then parsed from source and type-checked with go/types, with
+// every import satisfied from the compiler's export data. That keeps the
+// loader fully offline (no golang.org/x/tools dependency) while still
+// giving analyzers complete type information, including for imports of the
+// main module from analyzer test fixtures.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Files     []string // absolute paths of the non-test Go sources
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Config adjusts where and how packages are loaded.
+type Config struct {
+	// Dir is the working directory for the go tool; "" means the current
+	// directory. Analyzer tests point it at a testdata module.
+	Dir string
+}
+
+// listedPackage mirrors the fields of `go list -json` this loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") to packages and type-checks each.
+// Test files are not analyzed: the lint invariants guard production code,
+// and tests routinely violate them on purpose to prove error paths.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(cfg.Dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(listed))
+	var roots []*listedPackage
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("load: no export data for %q (does it compile?)", path)
+		}
+		return os.Open(p.Export)
+	})
+
+	var out []*Package
+	for _, root := range roots {
+		if root.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", root.ImportPath, root.Error.Err)
+		}
+		pkg, err := check(fset, imp, root)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses root's sources and type-checks them against export data.
+func check(fset *token.FileSet, imp types.Importer, root *listedPackage) (*Package, error) {
+	var syntax []*ast.File
+	var files []string
+	for _, name := range root.GoFiles {
+		path := filepath.Join(root.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: parse %s: %w", path, err)
+		}
+		syntax = append(syntax, f)
+		files = append(files, path)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(root.ImportPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", root.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   root.ImportPath,
+		Name:      root.Name,
+		Dir:       root.Dir,
+		Files:     files,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// goList runs `go list -e -export -deps -json` over patterns. CGO is
+// disabled so every listed package (including net) is pure Go and carries
+// export data, and GOWORK is off so a surrounding workspace file cannot
+// change what a testdata module resolves to.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOWORK=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		q := p
+		out = append(out, &q)
+	}
+	return out, nil
+}

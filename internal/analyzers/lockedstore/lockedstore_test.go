@@ -1,0 +1,12 @@
+package lockedstore_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/lockedstore"
+)
+
+func TestLockedStore(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockedstore.Analyzer, "a", "internal/server")
+}

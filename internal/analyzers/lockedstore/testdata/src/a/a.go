@@ -1,0 +1,25 @@
+// Package a exercises the lockedstore analyzer's cache.New check, which
+// applies module-wide: a non-thread-safe store may never feed the sharded
+// cache directly.
+package a
+
+import (
+	"github.com/shiftsplit/shiftsplit/internal/cache"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+func unsafeCache(d *storage.Durable) (*cache.Sharded, error) {
+	return cache.New(d, 64, 4) // want `storage.Durable is not safe for the cache`
+}
+
+func lockedCache(d *storage.Durable) (*cache.Sharded, error) {
+	return cache.New(storage.NewLocked(d), 64, 4) // the sanctioned wrapper
+}
+
+func memCache(m *storage.MemStore) (*cache.Sharded, error) {
+	return cache.New(m, 64, 4) // MemStore synchronizes internally: allowed
+}
+
+func directHere(d *storage.Durable, buf []float64) error {
+	return d.ReadBlock(0, buf) // single-goroutine package: device calls allowed
+}

@@ -1,0 +1,16 @@
+// Package server stands in for the concurrent serving layer: its import
+// path ends in internal/server, so device calls on non-thread-safe stores
+// are flagged here.
+package server
+
+import "github.com/shiftsplit/shiftsplit/internal/storage"
+
+func handle(d *storage.Durable, l *storage.Locked, buf []float64) error {
+	if err := d.ReadBlock(0, buf); err != nil { // want `ReadBlock on storage.Durable from a concurrent package`
+		return err
+	}
+	if err := d.Commit(); err != nil { // want `Commit on storage.Durable`
+		return err
+	}
+	return l.ReadBlock(0, buf) // Locked synchronizes internally: allowed
+}

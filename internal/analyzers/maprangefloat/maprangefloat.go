@@ -1,0 +1,131 @@
+// Package maprangefloat flags float accumulation driven by map iteration.
+//
+// Go randomizes map iteration order, and floating-point addition is not
+// associative, so `for _, v := range m { sum += v }` can produce a
+// different sum on every run. Everywhere else that is a flakiness
+// nuisance; here it breaks the system's core contract. The paper's six
+// analytical results assume exact coefficient identities — MergeBlock
+// followed by ClearBlock must restore bit-identical coefficients, and the
+// crash campaigns compare recovered transforms byte-for-byte. A single
+// map-ordered accumulation in a SHIFT/SPLIT path makes transforms
+// irreproducible across runs (cf. the shift-variance pitfalls of
+// phase-shifted Haar constructions: tiny reordering-induced deltas do not
+// stay tiny once thresholding decisions depend on them).
+//
+// The fix is mechanical and the analyzer's message says so: collect the
+// keys, sort them, and iterate the slice — as Durable.Commit and the
+// appender's expansion path already do.
+package maprangefloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+)
+
+// Analyzer is the maprangefloat check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprangefloat",
+	Doc:  "flag order-dependent float accumulation inside range-over-map loops",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody scans one range-over-map body (including nested function
+// literals, which run per iteration) for float accumulation into state
+// declared outside the loop.
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			report(pass, rng, as.Lhs[0])
+		case token.ASSIGN:
+			// x = x + v (and -, *) spelled out.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				return true
+			}
+			if types.ExprString(ast.Unparen(bin.X)) == types.ExprString(ast.Unparen(as.Lhs[0])) {
+				report(pass, rng, as.Lhs[0])
+			}
+		}
+		return true
+	})
+}
+
+// report flags lhs if it is float-typed and rooted outside the loop.
+func report(pass *analysis.Pass, rng *ast.RangeStmt, lhs ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[lhs]
+	if !ok || !isFloat(tv.Type) {
+		return
+	}
+	obj := rootObject(pass.TypesInfo, lhs)
+	if obj == nil {
+		return
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return // loop-local accumulator: resets every iteration, order-safe
+	}
+	pass.Reportf(lhs.Pos(),
+		"float accumulation into %s follows map iteration order, which is randomized; SHIFT/SPLIT sums must be deterministic — sort the keys and range over the slice",
+		obj.Name())
+}
+
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// rootObject digs to the base identifier of an lvalue: sum -> sum,
+// totals[i] -> totals, s.total -> s, *p -> p.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.IndexExpr:
+		return rootObject(info, e.X)
+	case *ast.SelectorExpr:
+		return rootObject(info, e.X)
+	case *ast.StarExpr:
+		return rootObject(info, e.X)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,12 @@
+package maprangefloat_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/maprangefloat"
+)
+
+func TestMapRangeFloat(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maprangefloat.Analyzer, "a")
+}

@@ -1,0 +1,80 @@
+// Package a exercises the maprangefloat analyzer: float accumulation
+// ordered by map iteration is nondeterministic and must be flagged.
+package a
+
+import "sort"
+
+type acc struct {
+	total float64
+}
+
+func bad(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum follows map iteration order`
+	}
+	return sum
+}
+
+func badSpelled(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want `float accumulation into total`
+	}
+	return total
+}
+
+func badField(m map[int]float64, a *acc) {
+	for _, v := range m {
+		a.total += v // want `float accumulation into a`
+	}
+}
+
+func badIndexed(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k%2] += v // want `float accumulation into out`
+	}
+}
+
+func badClosure(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		func() {
+			sum += v // want `float accumulation into sum`
+		}()
+	}
+	return sum
+}
+
+func goodLocal(m map[int]float64) float64 {
+	var max float64
+	for _, v := range m {
+		scaled := v
+		scaled *= 2 // loop-local accumulator resets every iteration: allowed
+		if scaled > max {
+			max = scaled
+		}
+	}
+	return max
+}
+
+func goodSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k] // ranging over the sorted slice is the sanctioned pattern
+	}
+	return sum
+}
+
+func goodInt(m map[int]int) int {
+	var n int
+	for _, v := range m {
+		n += v // integer addition is associative: order cannot matter
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+// Package multichecker drives a set of analysis.Analyzers over package
+// patterns, printing findings in the familiar `file:line:col: message
+// (analyzer)` shape and reporting by exit code — the engine behind
+// cmd/shiftsplitvet.
+package multichecker
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/load"
+)
+
+// Exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage or load error.
+const (
+	ExitClean       = 0
+	ExitDiagnostics = 1
+	ExitError       = 2
+)
+
+// Main runs the analyzers against os.Args and exits with the run's code.
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr, analyzers...))
+}
+
+// Run parses args (flags plus package patterns, default "./...") and
+// applies every selected analyzer to every matched package.
+func Run(args []string, stdout, stderr io.Writer, analyzers ...*analysis.Analyzer) int {
+	fs := flag.NewFlagSet("shiftsplitvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("dir", "", "directory to resolve patterns from (default: current directory)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: shiftsplitvet [flags] [packages]\n\n"+
+			"Static checks for the shiftsplit storage, concurrency, and\n"+
+			"wavelet-math invariants. With no packages, checks ./... .\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nAnalyzers:\n")
+		writeAnalyzerList(stderr, analyzers)
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		writeAnalyzerList(stdout, analyzers)
+		return ExitClean
+	}
+
+	selected := analyzers
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "shiftsplitvet: unknown analyzer %q\n", name)
+				return ExitError
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	pkgs, err := load.Load(load.Config{Dir: *dir}, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "shiftsplitvet: %v\n", err)
+		return ExitError
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range selected {
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			})
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "shiftsplitvet: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				return ExitError
+			}
+		}
+	}
+	if len(diags) == 0 {
+		return ExitClean
+	}
+
+	fset := pkgs[0].Fset
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer.Name)
+	}
+	fmt.Fprintf(stderr, "shiftsplitvet: %d finding(s)\n", len(diags))
+	return ExitDiagnostics
+}
+
+func writeAnalyzerList(w io.Writer, analyzers []*analysis.Analyzer) {
+	for _, a := range analyzers {
+		summary := a.Doc
+		if i := strings.IndexByte(summary, '\n'); i >= 0 {
+			summary = summary[:i]
+		}
+		fmt.Fprintf(w, "  %-14s %s\n", a.Name, summary)
+	}
+}

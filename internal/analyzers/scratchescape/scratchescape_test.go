@@ -1,0 +1,12 @@
+package scratchescape_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/scratchescape"
+)
+
+func TestScratchEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), scratchescape.Analyzer, "a")
+}

@@ -1,0 +1,61 @@
+// Package a exercises the scratchescape analyzer: buffers drawn from a
+// sync.Pool must not outlive the call that drew them.
+package a
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]float64, 64); return &b }}
+
+type holder struct {
+	buf []float64
+}
+
+var global []float64
+
+func returned() []float64 {
+	bp := pool.Get().(*[]float64)
+	defer pool.Put(bp)
+	b := *bp
+	return b // want `pooled scratch buffer is returned`
+}
+
+func stored(h *holder) {
+	bp := pool.Get().(*[]float64)
+	h.buf = *bp // want `pooled scratch buffer is stored in a field`
+	pool.Put(bp)
+}
+
+func sent(ch chan []float64) {
+	bp := pool.Get().(*[]float64)
+	ch <- *bp // want `pooled scratch buffer is sent on a channel`
+	pool.Put(bp)
+}
+
+func captured() {
+	bp := pool.Get().(*[]float64)
+	b := *bp
+	go process(b) // want `pooled scratch buffer b is shared with a goroutine`
+	pool.Put(bp)
+}
+
+func pkgVar() {
+	bp := pool.Get().(*[]float64)
+	global = (*bp)[:8] // want `stored in a package variable`
+	pool.Put(bp)
+}
+
+func element(m map[int][]float64) {
+	bp := pool.Get().(*[]float64)
+	m[0] = *bp // want `stored in a container element`
+	pool.Put(bp)
+}
+
+func good(dst []float64) float64 {
+	bp := pool.Get().(*[]float64)
+	defer pool.Put(bp)
+	b := *bp
+	copy(dst, b) // handing scratch to an ordinary call is the intended use
+	return b[0]  // reading one element copies a scalar out
+}
+
+func process([]float64) {}

@@ -1,0 +1,91 @@
+// Package storageerr is a scoped errcheck: every error returned by the
+// storage stack must be looked at.
+//
+// The crash-safety story of PR 1 is only as strong as its weakest caller: a
+// dropped error from WriteBlock, Commit, or an appender merge means a
+// maintenance batch may silently be missing from the medium while the
+// in-memory state claims otherwise — precisely the torn state fsck exists
+// to detect. Generic errcheck is too noisy to keep on in CI; this analyzer
+// checks only calls into the packages that own durable state: the module
+// root (Store, Appender, Fsck), internal/storage, internal/tile,
+// internal/appender, and internal/cache.
+//
+// Flagged: an in-scope error-returning call used as a bare statement, or
+// launched via go/defer (a deferred error-returning call loses its result).
+// Allowed: `defer x.Close()` (the conventional best-effort release — but
+// only for Close), and explicit discards `_ = f()`, which read as a
+// decision rather than an oversight.
+package storageerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/vetutil"
+)
+
+// Analyzer is the storageerr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "storageerr",
+	Doc:  "flag ignored errors from the storage, tile, appender, and journal APIs",
+	Run:  run,
+}
+
+// scopedPkgs declare the APIs whose errors must not be dropped.
+var scopedPkgs = []string{
+	"internal/storage",
+	"internal/tile",
+	"internal/appender",
+	"internal/cache",
+}
+
+func inScope(fn string) bool {
+	return fn == vetutil.RootPkgPath || vetutil.HasAnyPathSuffix(fn, scopedPkgs...)
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					check(pass, call, "")
+				}
+			case *ast.GoStmt:
+				check(pass, stmt.Call, "go")
+			case *ast.DeferStmt:
+				check(pass, stmt.Call, "defer")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr, keyword string) {
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil || !inScope(vetutil.DeclPkgPath(fn)) {
+		return
+	}
+	if !vetutil.ResultError(pass.TypesInfo, call) {
+		return
+	}
+	if keyword == "defer" && fn.Name() == "Close" {
+		return // best-effort release; every other deferred error must be wrapped
+	}
+	qualifier := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if name, ok := vetutil.NamedIn(recv.Type(), vetutil.DeclPkgPath(fn)); ok {
+			qualifier = name + "." + fn.Name()
+		}
+	}
+	switch keyword {
+	case "go":
+		pass.Reportf(call.Pos(), "error from %s is lost in a go statement; collect it in the goroutine", qualifier)
+	case "defer":
+		pass.Reportf(call.Pos(), "error from deferred %s is discarded; capture it in a named-return wrapper or use `defer func() { _ = ... }` to make the discard explicit", qualifier)
+	default:
+		pass.Reportf(call.Pos(), "error from %s is ignored; storage errors must surface (use `_ =` only for a deliberate discard)", qualifier)
+	}
+}

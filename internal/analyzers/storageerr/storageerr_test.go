@@ -1,0 +1,12 @@
+package storageerr_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/storageerr"
+)
+
+func TestStorageErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), storageerr.Analyzer, "a")
+}

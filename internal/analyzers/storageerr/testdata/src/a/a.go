@@ -1,0 +1,35 @@
+// Package a exercises the storageerr analyzer: errors from the storage
+// stack must be looked at, explicitly discarded, or (for Close only)
+// deferred.
+package a
+
+import (
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+func bare(bs storage.BlockStore, buf []float64) {
+	bs.WriteBlock(0, buf) // want `error from BlockStore.WriteBlock is ignored`
+	bs.ReadBlock(0, buf)  // want `error from BlockStore.ReadBlock is ignored`
+}
+
+func lost(d *storage.Durable) {
+	go d.Commit() // want `error from Durable.Commit is lost in a go statement`
+}
+
+func deferred(d *storage.Durable, fs *storage.FileStore) {
+	defer d.Commit() // want `error from deferred Durable.Commit is discarded`
+	defer fs.Close() // Close is the conventional best-effort release: allowed
+}
+
+func fine(bs storage.BlockStore, buf []float64) error {
+	if err := bs.WriteBlock(0, buf); err != nil {
+		return err
+	}
+	_ = bs.ReadBlock(0, buf) // explicit discard: allowed
+	return nil
+}
+
+func suppressed(bs storage.BlockStore, buf []float64) {
+	//shiftsplitvet:ignore storageerr -- fault-injection harness discards on purpose
+	bs.WriteBlock(1, buf)
+}

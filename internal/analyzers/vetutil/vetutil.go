@@ -1,0 +1,122 @@
+// Package vetutil holds the small amount of type-plumbing shared by the
+// shiftsplitvet analyzers: resolving callees to their declaring package,
+// segment-aware package-path matching, and recognizing the storage types
+// the invariants are about.
+package vetutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RootPkgPath is the import path of the shiftsplit module's root package,
+// whose Store methods wrap the storage stack and participate in the
+// error-handling invariants.
+const RootPkgPath = "github.com/shiftsplit/shiftsplit"
+
+// HasPathSuffix reports whether pkgPath ends in suffix on a path-segment
+// boundary ("a/internal/storage" matches "internal/storage";
+// "a/notinternal/storage" does not match "internal/storage").
+func HasPathSuffix(pkgPath, suffix string) bool {
+	if pkgPath == suffix {
+		return true
+	}
+	return strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// HasAnyPathSuffix reports whether pkgPath ends in any of the suffixes.
+func HasAnyPathSuffix(pkgPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if HasPathSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the function or method a call expression invokes, or nil
+// for calls through function values, built-ins, and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// DeclPkgPath returns the import path of the package that declares fn
+// ("" for builtins and error.Error, which have no package).
+func DeclPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// ResultError reports whether the call's type is error or a tuple whose
+// last element is error.
+func ResultError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		return isErrorType(t.At(t.Len() - 1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// NamedIn strips pointers from t and, when the result is a named type
+// declared in a package whose path ends in pkgSuffix, returns its name.
+func NamedIn(t types.Type, pkgSuffix string) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !HasPathSuffix(obj.Pkg().Path(), pkgSuffix) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// ReceiverType returns the static type of the receiver expression of a
+// method call selector, or nil when the call is not a method selector.
+func ReceiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}

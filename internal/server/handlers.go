@@ -185,44 +185,28 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "OLAP operators need a standard-form store")
 		return
 	}
-	shape := s.st.Shape()
-	if len(shape) < 2 {
-		s.failed.Add(1)
-		writeError(w, http.StatusBadRequest, "OLAP operators need at least 2 dimensions")
-		return
-	}
-	if req.Dim < 0 || req.Dim >= len(shape) {
-		s.failed.Add(1)
-		writeError(w, http.StatusBadRequest, "dim out of range")
-		return
-	}
 	hat, err := s.olapTransform()
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	// The facade validates dimensions and indices itself, wrapping
+	// query.ErrInvalid; fail() maps those to 400 responses.
 	var out *shiftsplit.Array
 	switch op {
 	case "rollup":
-		out = shiftsplit.Rollup(hat, req.Dim)
+		out, err = shiftsplit.Rollup(hat, req.Dim)
 	case "slice":
-		if req.Index < 0 || req.Index >= shape[req.Dim] {
-			s.failed.Add(1)
-			writeError(w, http.StatusBadRequest, "slice index out of range")
-			return
-		}
-		out = shiftsplit.SliceAt(hat, req.Dim, req.Index)
+		out, err = shiftsplit.SliceAt(hat, req.Dim, req.Index)
 	case "dice":
-		diced, err := shiftsplit.DiceDyadic(hat, req.Dim, req.Start, req.Length)
-		if err != nil {
-			s.failed.Add(1)
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		out = diced
+		out, err = shiftsplit.DiceDyadic(hat, req.Dim, req.Start, req.Length)
 	default:
 		s.failed.Add(1)
 		writeError(w, http.StatusNotFound, "unknown OLAP operator")
+		return
+	}
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
 	if out.Size() > s.cfg.MaxResultCells {

@@ -207,8 +207,16 @@ func TestOLAPEndpointsMatchDirectOperators(t *testing.T) {
 			}
 		}
 	}
-	check("/v1/olap/rollup", `{"dim":1}`, shiftsplit.Rollup(hat, 1))
-	check("/v1/olap/slice", `{"dim":0,"index":5}`, shiftsplit.SliceAt(hat, 0, 5))
+	rolled, err := shiftsplit.Rollup(hat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("/v1/olap/rollup", `{"dim":1}`, rolled)
+	sliced, err := shiftsplit.SliceAt(hat, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("/v1/olap/slice", `{"dim":0,"index":5}`, sliced)
 	diced, err := shiftsplit.DiceDyadic(hat, 1, 4, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -73,13 +73,13 @@ func CreateDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error
 	}
 	walFS, err := NewFileStore(WalPath(path), blockSize+JournalOverhead)
 	if err != nil {
-		dataFS.Close()
+		_ = dataFS.Close() // best-effort cleanup; the journal-create error surfaces
 		return nil, err
 	}
 	d, err := NewDurable(wrapPlan(dataFS, plan), wrapPlan(walFS, plan))
 	if err != nil {
-		dataFS.Close()
-		walFS.Close()
+		_ = dataFS.Close() // best-effort cleanup; the recovery error surfaces
+		_ = walFS.Close()
 		return nil, err
 	}
 	return d, nil
@@ -98,13 +98,13 @@ func OpenDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error) 
 		walFS, err = NewFileStore(WalPath(path), blockSize+JournalOverhead)
 	}
 	if err != nil {
-		dataFS.Close()
+		_ = dataFS.Close() // best-effort cleanup; the journal-open error surfaces
 		return nil, err
 	}
 	d, err := NewDurable(wrapPlan(dataFS, plan), wrapPlan(walFS, plan))
 	if err != nil {
-		dataFS.Close()
-		walFS.Close()
+		_ = dataFS.Close() // best-effort cleanup; the recovery error surfaces
+		_ = walFS.Close()
 		return nil, err
 	}
 	return d, nil

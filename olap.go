@@ -6,39 +6,77 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/dyadic"
 	"github.com/shiftsplit/shiftsplit/internal/olap"
+	"github.com/shiftsplit/shiftsplit/internal/query"
 )
 
 // The OLAP operators below work directly on standard-form transforms and
 // return the exact transform of the result cube — no data is ever
-// reconstructed. They panic on invalid dimensions, mirroring slice
-// indexing.
+// reconstructed. These entry points sit behind the network API, so invalid
+// dimensions and indices surface as errors wrapping query.ErrInvalid (the
+// serving layer maps them to 400 responses), never as panics out of the
+// wavelet algebra.
+
+// validateOLAPDim checks the shared preconditions of the wavelet-domain
+// operators: at least two dimensions and an in-range dimension argument.
+func validateOLAPDim(hat *Array, dim int) error {
+	if hat.Dims() < 2 {
+		return fmt.Errorf("%w: OLAP operators need at least 2 dimensions, transform has %d", query.ErrInvalid, hat.Dims())
+	}
+	if dim < 0 || dim >= hat.Dims() {
+		return fmt.Errorf("%w: dimension %d out of range for %d-d transform", query.ErrInvalid, dim, hat.Dims())
+	}
+	return nil
+}
 
 // Rollup returns the transform of the cube summed over dimension dim.
-func Rollup(hat *Array, dim int) *Array { return olap.Marginalize(hat, dim) }
+func Rollup(hat *Array, dim int) (*Array, error) {
+	if err := validateOLAPDim(hat, dim); err != nil {
+		return nil, err
+	}
+	return olap.Marginalize(hat, dim), nil
+}
 
 // AverageOver returns the transform of the cube averaged over dimension dim.
-func AverageOver(hat *Array, dim int) *Array { return olap.Average(hat, dim) }
+func AverageOver(hat *Array, dim int) (*Array, error) {
+	if err := validateOLAPDim(hat, dim); err != nil {
+		return nil, err
+	}
+	return olap.Average(hat, dim), nil
+}
 
 // SliceAt returns the transform of the (d-1)-dimensional cube with
 // dimension dim fixed to x.
-func SliceAt(hat *Array, dim, x int) *Array { return olap.Slice(hat, dim, x) }
+func SliceAt(hat *Array, dim, x int) (*Array, error) {
+	if err := validateOLAPDim(hat, dim); err != nil {
+		return nil, err
+	}
+	if x < 0 || x >= hat.Extent(dim) {
+		return nil, fmt.Errorf("%w: slice index %d out of [0,%d) along dimension %d", query.ErrInvalid, x, hat.Extent(dim), dim)
+	}
+	return olap.Slice(hat, dim, x), nil
+}
 
 // Totals returns the 1-d transform of the grand totals along dimension
 // keep (every other dimension rolled up).
-func Totals(hat *Array, keep int) *Array { return olap.PivotSum(hat, keep) }
+func Totals(hat *Array, keep int) (*Array, error) {
+	if err := validateOLAPDim(hat, keep); err != nil {
+		return nil, err
+	}
+	return olap.PivotSum(hat, keep), nil
+}
 
 // DiceDyadic returns the transform of the cube restricted along dimension
 // dim to the dyadic run [start, start+length); the run must be dyadic.
 func DiceDyadic(hat *Array, dim, start, length int) (*Array, error) {
-	if dim < 0 || dim >= hat.Dims() {
-		return nil, fmt.Errorf("shiftsplit: dice dimension %d out of range", dim)
+	if err := validateOLAPDim(hat, dim); err != nil {
+		return nil, err
 	}
 	iv, ok := dyadic.FromRange(start, length)
 	if !ok || start+length > hat.Extent(dim) {
-		return nil, fmt.Errorf("shiftsplit: [%d,+%d) is not a dyadic run of dim %d", start, length, dim)
+		return nil, fmt.Errorf("%w: [%d,+%d) is not a dyadic run of dimension %d", query.ErrInvalid, start, length, dim)
 	}
 	if iv.Level > bitutil.Log2(hat.Extent(dim)) {
-		return nil, fmt.Errorf("shiftsplit: dice run longer than dimension")
+		return nil, fmt.Errorf("%w: dice run longer than dimension %d", query.ErrInvalid, dim)
 	}
 	return olap.Dice(hat, dim, iv), nil
 }

@@ -1,16 +1,28 @@
 package shiftsplit
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/query"
 )
+
+// mustOLAP unwraps an OLAP facade result whose inputs the test knows to be
+// valid.
+func mustOLAP(hat *Array, err error) *Array {
+	if err != nil {
+		panic(err)
+	}
+	return hat
+}
 
 func TestRollupFacade(t *testing.T) {
 	rng := rand.New(rand.NewSource(40))
 	a := randArray(rng, 8, 16)
 	hat := Transform(a, Standard)
-	rolled := Inverse(Rollup(hat, 1), Standard)
+	rolled := Inverse(mustOLAP(Rollup(hat, 1)), Standard)
 	for i := 0; i < 8; i++ {
 		want := 0.0
 		for j := 0; j < 16; j++ {
@@ -25,7 +37,7 @@ func TestRollupFacade(t *testing.T) {
 func TestAverageOverFacade(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	a := randArray(rng, 4, 8)
-	avg := Inverse(AverageOver(Transform(a, Standard), 0), Standard)
+	avg := Inverse(mustOLAP(AverageOver(Transform(a, Standard), 0)), Standard)
 	for j := 0; j < 8; j++ {
 		want := 0.0
 		for i := 0; i < 4; i++ {
@@ -40,7 +52,7 @@ func TestAverageOverFacade(t *testing.T) {
 func TestSliceAtFacade(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	a := randArray(rng, 8, 8, 4)
-	sl := Inverse(SliceAt(Transform(a, Standard), 2, 3), Standard)
+	sl := Inverse(mustOLAP(SliceAt(Transform(a, Standard), 2, 3)), Standard)
 	bad := 0
 	sl.Each(func(coords []int, v float64) {
 		if math.Abs(v-a.At(coords[0], coords[1], 3)) > 1e-8 {
@@ -55,7 +67,7 @@ func TestSliceAtFacade(t *testing.T) {
 func TestTotalsFacade(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	a := randArray(rng, 4, 8, 2)
-	tot := Inverse(Totals(Transform(a, Standard), 1), Standard)
+	tot := Inverse(mustOLAP(Totals(Transform(a, Standard), 1)), Standard)
 	for j := 0; j < 8; j++ {
 		want := 0.0
 		for i := 0; i < 4; i++ {
@@ -65,6 +77,34 @@ func TestTotalsFacade(t *testing.T) {
 		}
 		if math.Abs(tot.At(j)-want) > 1e-7 {
 			t.Fatalf("totals[%d]: %g vs %g", j, tot.At(j), want)
+		}
+	}
+}
+
+func TestOLAPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	hat := Transform(randArray(rng, 4, 8), Standard)
+	flat := Transform(randArray(rng, 8), Standard)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"rollup dim high", func() error { _, err := Rollup(hat, 2); return err }()},
+		{"rollup dim negative", func() error { _, err := Rollup(hat, -1); return err }()},
+		{"rollup 1-d", func() error { _, err := Rollup(flat, 0); return err }()},
+		{"average dim high", func() error { _, err := AverageOver(hat, 5); return err }()},
+		{"slice dim high", func() error { _, err := SliceAt(hat, 3, 0); return err }()},
+		{"slice index high", func() error { _, err := SliceAt(hat, 1, 8); return err }()},
+		{"slice index negative", func() error { _, err := SliceAt(hat, 1, -1); return err }()},
+		{"totals 1-d", func() error { _, err := Totals(flat, 0); return err }()},
+		{"dice dim high", func() error { _, err := DiceDyadic(hat, 2, 0, 4); return err }()},
+		{"dice unaligned", func() error { _, err := DiceDyadic(hat, 1, 3, 3); return err }()},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !errors.Is(tc.err, query.ErrInvalid) {
+			t.Errorf("%s: error %v does not wrap query.ErrInvalid", tc.name, tc.err)
 		}
 	}
 }
