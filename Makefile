@@ -8,7 +8,7 @@ CRASH_SEED ?= 1
 STATICCHECK_VERSION ?= 2023.1.7
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet lint lint-tools fmt-check crash-campaign ci clean
+.PHONY: all build test race vet lint lint-tools fmt-check crash-campaign bench-smoke ci clean
 
 all: build test
 
@@ -59,6 +59,16 @@ crash-campaign:
 	SHIFTSPLIT_CRASH_SEED=$(CRASH_SEED) $(GO) test -v \
 		-run 'TestCrashCampaignDurable|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign' \
 		./internal/storage/ ./internal/appender/ .
+
+# A quick pass over the maintenance benchmarks (worker-count sweeps for
+# the chunked transforms and the appender) with -benchmem, so CI catches
+# per-coefficient allocation regressions in the flat kernels and gross
+# slowdowns without a full benchmark run. BENCH_maintain.json records a
+# longer baseline.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkChunkedStandard|BenchmarkChunkedNonStandard' \
+		-benchmem -benchtime 3x ./internal/transform/
+	$(GO) test -run '^$$' -bench 'BenchmarkAppender$$' -benchmem -benchtime 3x ./internal/appender/
 
 ci: fmt-check vet lint build race crash-campaign
 

@@ -129,6 +129,7 @@ func cmdTransform(args []string) error {
 	seed := fs.Int64("seed", 1, "dataset seed")
 	kind := fs.String("data", "dense", "synthetic dataset: dense | temperature (4-d) | precipitation (3-d) | sparse")
 	durable := fs.Bool("durable", false, "crash-safe store: checksummed blocks + write-ahead journal")
+	workers := fs.Int("workers", 0, "worker goroutines for chunk transforms (0 = one per CPU, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,7 +161,7 @@ func cmdTransform(args []string) error {
 		return err
 	}
 	defer st.Close()
-	if err := st.TransformChunked(src, *chunk); err != nil {
+	if err := st.TransformChunkedOpts(src, *chunk, shiftsplit.MaintainOptions{Workers: *workers}); err != nil {
 		return err
 	}
 	stats := st.Stats()

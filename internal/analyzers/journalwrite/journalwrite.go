@@ -17,6 +17,16 @@
 // the serve cache's write-through invalidation (internal/cache). Everything
 // else must mutate blocks through tile.Store / tile.Batch, whose Commit
 // seals the batch.
+//
+// A second rule guards the parallel maintenance engine's write discipline:
+// tile-level mutations (WriteTile, Set, Add, ApplyBuckets) issued from an ad
+// hoc go statement. The engine keeps results bit-identical and journal
+// batches deterministic by funneling every tile mutation through one
+// goroutine per tile in a fixed order (internal/parallel's Run consumer and
+// Applier shards); a goroutine launched elsewhere that writes tiles races
+// that ordering and the journal's batch boundary. Only the engine packages
+// themselves (internal/tile, internal/parallel, internal/transform,
+// internal/appender) may mutate tiles from goroutines they manage.
 package journalwrite
 
 import (
@@ -56,33 +66,92 @@ var allowedPkgs = []string{
 	"internal/cache",
 }
 
+// tileMutators are the tile-level mutation entry points that the parallel
+// engine applies in a deterministic order; calling them from an ad hoc
+// goroutine forfeits that order.
+var tileMutators = map[string]bool{
+	"WriteTile":    true,
+	"Set":          true,
+	"Add":          true,
+	"ApplyBuckets": true,
+}
+
+// goroutineWritePkgs own goroutines that are allowed to mutate tiles: the
+// tiled write path itself and the maintenance engines built on the parallel
+// worker pool.
+var goroutineWritePkgs = []string{
+	"internal/storage",
+	"internal/tile",
+	"internal/cache",
+	"internal/parallel",
+	"internal/transform",
+	"internal/appender",
+}
+
 func run(pass *analysis.Pass) error {
-	if vetutil.HasAnyPathSuffix(pass.Pkg.Path(), allowedPkgs...) {
+	checkRaw := !vetutil.HasAnyPathSuffix(pass.Pkg.Path(), allowedPkgs...)
+	checkGo := !vetutil.HasAnyPathSuffix(pass.Pkg.Path(), goroutineWritePkgs...)
+	if !checkRaw && !checkGo {
 		return nil
 	}
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
+		if checkRaw {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := vetutil.Callee(pass.TypesInfo, call)
+				if fn == nil || !vetutil.HasPathSuffix(vetutil.DeclPkgPath(fn), "internal/storage") {
+					return true
+				}
+				sig := fn.Type().(*types.Signature)
+				switch {
+				case sig.Recv() != nil && mutatingMethods[fn.Name()]:
+					pass.Reportf(call.Pos(),
+						"direct %s on a storage device bypasses the maintenance journal; write through tile.Store/tile.Batch and seal the batch with Commit",
+						fn.Name())
+				case sig.Recv() == nil && mutatingFuncs[fn.Name()]:
+					pass.Reportf(call.Pos(),
+						"storage.%s mutates blocks behind the journal; only the journal protocol may truncate stores",
+						fn.Name())
+				}
 				return true
-			}
-			fn := vetutil.Callee(pass.TypesInfo, call)
-			if fn == nil || !vetutil.HasPathSuffix(vetutil.DeclPkgPath(fn), "internal/storage") {
+			})
+		}
+		if checkGo {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoroutineTileWrites(pass, g)
 				return true
-			}
-			sig := fn.Type().(*types.Signature)
-			switch {
-			case sig.Recv() != nil && mutatingMethods[fn.Name()]:
-				pass.Reportf(call.Pos(),
-					"direct %s on a storage device bypasses the maintenance journal; write through tile.Store/tile.Batch and seal the batch with Commit",
-					fn.Name())
-			case sig.Recv() == nil && mutatingFuncs[fn.Name()]:
-				pass.Reportf(call.Pos(),
-					"storage.%s mutates blocks behind the journal; only the journal protocol may truncate stores",
-					fn.Name())
-			}
-			return true
-		})
+			})
+		}
 	}
 	return nil
+}
+
+// checkGoroutineTileWrites reports tile mutations anywhere inside a go
+// statement — in the launched function literal's body or in a function
+// value's arguments.
+func checkGoroutineTileWrites(pass *analysis.Pass, g *ast.GoStmt) {
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := vetutil.Callee(pass.TypesInfo, call)
+		if fn == nil || !vetutil.HasPathSuffix(vetutil.DeclPkgPath(fn), "internal/tile") {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() != nil && tileMutators[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"tile.%s from an ad hoc goroutine races the maintenance engine's deterministic write order; route tile mutations through parallel.Run/Applier or apply them on one goroutine",
+				fn.Name())
+		}
+		return true
+	})
 }

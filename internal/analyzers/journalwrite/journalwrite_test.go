@@ -8,5 +8,5 @@ import (
 )
 
 func TestJournalWrite(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), journalwrite.Analyzer, "a", "internal/storage")
+	analysistest.Run(t, analysistest.TestData(), journalwrite.Analyzer, "a", "internal/storage", "internal/transform")
 }

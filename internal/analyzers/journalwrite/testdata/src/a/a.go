@@ -38,3 +38,24 @@ func suppressed(fs *storage.FileStore, buf []float64) error {
 	//shiftsplitvet:ignore journalwrite -- recovery tooling writes raw blocks on purpose
 	return fs.WriteBlock(2, buf)
 }
+
+func adHocGoroutine(st *tile.Store, buf []float64) {
+	done := make(chan error, 2)
+	go func() {
+		done <- st.WriteTile(3, buf) // want `tile.WriteTile from an ad hoc goroutine`
+	}()
+	go func() {
+		done <- st.Set([]int{1, 1}, 2.0) // want `tile.Set from an ad hoc goroutine`
+	}()
+	<-done
+	<-done
+}
+
+func goroutineReadsAreFine(st *tile.Store) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.ReadTile(0) // reads from goroutines are the serving path: no finding
+		done <- err
+	}()
+	<-done
+}

@@ -207,6 +207,41 @@ func (v *visitor) visit(n ast.Node) bool {
 	case *ast.GoStmt:
 		v.checkGo(stmt)
 		return false // reported wholesale; don't descend and double-report
+	case *ast.CallExpr:
+		if v.checkParallelCall(stmt) {
+			return false // same wholesale treatment as a go statement
+		}
+	}
+	return true
+}
+
+// checkParallelCall treats function literals handed to the worker-pool
+// package like go statements: parallel.Run executes its produce closure on
+// worker goroutines, so a pooled buffer captured by (or passed through) such
+// a closure races the pool exactly as a direct goroutine capture would. It
+// reports pooled identifiers inside function-literal arguments of calls into
+// internal/parallel and returns whether the call was one.
+func (v *visitor) checkParallelCall(call *ast.CallExpr) bool {
+	fn := vetutil.Callee(v.pass.TypesInfo, call)
+	if fn == nil || !vetutil.HasPathSuffix(vetutil.DeclPkgPath(fn), "internal/parallel") {
+		return false
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := v.pass.TypesInfo.Uses[id]
+			if obj != nil && v.pooled[obj] {
+				v.pass.Reportf(id.Pos(), "pooled scratch buffer %s is captured by a closure handed to the parallel worker pool; it runs on another goroutine and races the pool's next Get — give it a copy", id.Name)
+			}
+			return true
+		})
 	}
 	return true
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestScratchEscape(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), scratchescape.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(), scratchescape.Analyzer, "a", "b")
 }

@@ -17,10 +17,10 @@ import (
 	"sort"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
-	"github.com/shiftsplit/shiftsplit/internal/core"
 	"github.com/shiftsplit/shiftsplit/internal/dyadic"
 	"github.com/shiftsplit/shiftsplit/internal/haar"
 	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/parallel"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
 	"github.com/shiftsplit/shiftsplit/internal/tile"
 	"github.com/shiftsplit/shiftsplit/internal/wavelet"
@@ -44,7 +44,15 @@ type Appender struct {
 	accumulated storage.Stats
 	backing     Backing
 	generation  int
+	opts        parallel.Options
 }
+
+// SetOptions configures the worker pool used to transform the dyadic pieces
+// of each slab. Delta application always stays sequential (chunk-ordered,
+// ascending block IDs) so the physical write sequence — and with it the
+// crash-campaign behavior of durable backings — is identical for every
+// worker count.
+func (a *Appender) SetOptions(opts parallel.Options) { a.opts = opts }
 
 // AppendStats reports the cost of one Append call.
 type AppendStats struct {
@@ -161,45 +169,49 @@ func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
 		st.ExpansionIO.Reads += expIO.Reads
 		st.ExpansionIO.Writes += expIO.Writes
 	}
-	// Merge the slab, one dyadic run along dim at a time.
+	// Merge the slab, one dyadic run along dim at a time. The runs'
+	// transforms and SHIFT-SPLIT bucketing fan out to the worker pool;
+	// application happens in run order on this goroutine.
 	mergeBefore := a.counting.Stats()
 	start := a.used[dim]
+	type run struct {
+		subStart, subShape []int
+		block              dyadic.Range
+	}
+	var runs []run
 	for _, iv := range dyadic.Decompose(start, start+slab.Extent(dim)) {
-		subStart := make([]int, d)
-		subShape := make([]int, d)
-		block := make(dyadic.Range, d)
+		r := run{subStart: make([]int, d), subShape: make([]int, d), block: make(dyadic.Range, d)}
 		for t := 0; t < d; t++ {
 			if t == dim {
-				subStart[t] = iv.Start() - start
-				subShape[t] = iv.Len()
-				block[t] = iv
+				r.subStart[t] = iv.Start() - start
+				r.subShape[t] = iv.Len()
+				r.block[t] = iv
 			} else {
-				subStart[t] = 0
-				subShape[t] = slab.Extent(t)
+				r.subStart[t] = 0
+				r.subShape[t] = slab.Extent(t)
 				// The slab spans [0, extent) in this dimension; that must be
 				// a dyadic prefix of the domain.
-				if !bitutil.IsPow2(subShape[t]) {
-					return st, fmt.Errorf("appender: cross extent %d is not a power of two", subShape[t])
+				if !bitutil.IsPow2(r.subShape[t]) {
+					return st, fmt.Errorf("appender: cross extent %d is not a power of two", r.subShape[t])
 				}
-				block[t] = dyadic.NewInterval(bitutil.Log2(subShape[t]), 0)
+				r.block[t] = dyadic.NewInterval(bitutil.Log2(r.subShape[t]), 0)
 			}
 		}
-		sub := slab.SubCopy(subStart, subShape)
-		bHat := wavelet.TransformStandard(sub)
-		batch := tile.NewBatch(a.store)
-		var applyErr error
-		core.EachEmbedStandard(a.shape, block, bHat, func(coords []int, delta float64) {
-			if applyErr != nil {
-				return
-			}
-			applyErr = batch.Add(coords, delta)
+		runs = append(runs, r)
+	}
+	err := parallel.Run(len(runs), a.opts,
+		func(seq int) ([]tile.Bucket, error) {
+			r := runs[seq]
+			bHat := wavelet.TransformStandard(slab.SubCopy(r.subStart, r.subShape))
+			bs := tile.NewBucketSet(a.store.Tiling().BlockSize())
+			tile.AccumulateEmbedStandard(a.store.Tiling(), a.shape, r.block, bHat, bs)
+			return bs.Buckets(), nil
+		},
+		func(seq int, buckets []tile.Bucket) error {
+			return a.store.ApplyBuckets(buckets)
 		})
-		if applyErr != nil {
-			return st, applyErr
-		}
-		if err := batch.Flush(); err != nil {
-			return st, err
-		}
+	if err != nil {
+		return st, err
 	}
 	// One append = one atomic batch on transactional backings.
 	if err := a.store.Commit(); err != nil {

@@ -1,0 +1,40 @@
+package appender
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/parallel"
+)
+
+// BenchmarkAppender measures a fixed campaign of slab appends (no
+// expansions) at several worker counts; the dyadic-piece transforms fan out
+// to the pool while application stays sequential. BENCH_maintain.json
+// records a baseline.
+func BenchmarkAppender(b *testing.B) {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	shape := []int{256, 256}
+	slab := dataset.Dense([]int{32, 256}, 5)
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a, err := New(shape, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a.SetOptions(parallel.Options{Workers: w})
+				for step := 0; step < 8; step++ {
+					if _, err := a.Append(0, slab); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

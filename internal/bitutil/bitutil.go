@@ -31,6 +31,14 @@ func Pow2(e int) int {
 	return 1 << uint(e)
 }
 
+// FloorLog2 returns the largest e such that 2^e <= x, for x >= 1.
+func FloorLog2(x int) int {
+	if x < 1 {
+		panic(fmt.Sprintf("bitutil: FloorLog2 of %d", x))
+	}
+	return bits.Len(uint(x)) - 1
+}
+
 // CeilLog2 returns the smallest e such that 2^e >= x, for x >= 1.
 func CeilLog2(x int) int {
 	if x < 1 {

@@ -43,17 +43,9 @@ func LevelPos(n, idx int) (j, k int) {
 	if idx < 1 || idx >= 1<<uint(n) {
 		panic(fmt.Sprintf("haar: LevelPos(n=%d, idx=%d) out of range", n, idx))
 	}
-	j = n - bitutil.Log2(highBitFloor(idx))
+	j = n - bitutil.FloorLog2(idx)
 	k = idx - 1<<uint(n-j)
 	return j, k
-}
-
-func highBitFloor(x int) int {
-	p := 1
-	for p*2 <= x {
-		p *= 2
-	}
-	return p
 }
 
 // Support returns the support interval (Definition 1) of the coefficient at

@@ -1,0 +1,55 @@
+package parallel
+
+import (
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+// MaterializeStandard is tile.MaterializeStandard with block computation
+// fanned out to the worker pool. Writes stay on the consumer goroutine in
+// ascending block order — the exact physical write sequence of the
+// sequential path, which durable stores' crash campaigns rely on — so no
+// SerialApply special-casing is needed here.
+func MaterializeStandard(st *tile.Store, hat *ndarray.Array, opts Options) error {
+	fill, numBlocks, err := tile.StandardBlockFiller(st.Tiling(), hat)
+	if err != nil {
+		return err
+	}
+	blockSize := st.Tiling().BlockSize()
+	return Run(numBlocks, opts,
+		func(block int) ([]float64, error) {
+			data := make([]float64, blockSize)
+			fill(block, data)
+			return data, nil
+		},
+		func(block int, data []float64) error {
+			return st.WriteTile(block, data)
+		})
+}
+
+// MaterializeNonStandard is tile.MaterializeNonStandard with the per-tile
+// scaling reconstructions (the expensive part: a quadtree descent per
+// block) fanned out to the worker pool; layout and writes stay sequential.
+func MaterializeNonStandard(st *tile.Store, hat *ndarray.Array, opts Options) error {
+	blocks, scaling, err := tile.NonStandardBlocks(st.Tiling(), hat)
+	if err != nil {
+		return err
+	}
+	if len(blocks) > 1 {
+		err = Run(len(blocks)-1, opts,
+			func(seq int) (float64, error) { return scaling(seq + 1), nil },
+			func(seq int, v float64) error {
+				blocks[seq+1][0] = v
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+	}
+	for id, b := range blocks {
+		if err := st.WriteTile(id, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

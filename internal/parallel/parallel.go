@@ -1,0 +1,325 @@
+// Package parallel is the bounded worker pool and tile-sharded delta
+// applier behind the maintenance engines.
+//
+// The chunked transformation of Results 1–2 is embarrassingly parallel on
+// the CPU side: chunks are disjoint, each chunk's transform depends only on
+// its own cells, and its SHIFT-SPLIT output is a set of per-tile delta
+// buckets (tile.BucketSet). What must stay sequential is the order in which
+// those buckets meet storage, because (a) floating-point addition is not
+// associative, so bit-identical results across worker counts require a fixed
+// per-tile accumulation order, and (b) the I/O accounting of the paper — one
+// read and one write per touched tile per chunk — and the journal's
+// deterministic write sequence both assume chunk-ordered application.
+//
+// Run therefore fans chunk transforms out to a bounded pool but delivers
+// results to a single consumer in strictly ascending chunk order; Applier
+// then shards buckets by destination tile so that every tile is
+// read-modify-written by exactly one goroutine, with the per-tile operation
+// order still the chunk order. With Workers <= 1 both degrade to fully
+// inline sequential execution over the very same kernels, which is the
+// determinism argument: the parallel schedule performs the same
+// floating-point operations in the same per-tile order as the sequential
+// one, so the transforms are bit-identical and the I/O counters equal.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+// Options configures a maintenance run.
+type Options struct {
+	// Workers is the number of chunk-transform goroutines; <= 0 selects
+	// runtime.GOMAXPROCS(0). Workers == 1 runs fully inline (no goroutines).
+	Workers int
+	// ChunkQueue bounds the transformed-but-unapplied chunks in flight
+	// (each holds its bucketed deltas in memory); <= 0 selects 2*Workers.
+	ChunkQueue int
+	// Appliers is the number of tile shards applying deltas; <= 0 selects
+	// min(4, Workers). Ignored when SerialApply is set.
+	Appliers int
+	// SerialApply forces a single applier so that the physical read/write
+	// sequence on the destination store is exactly the sequential engine's
+	// (chunk-major, ascending block IDs). Engines set it for storage stacks
+	// whose behavior is order-sensitive: the write-back buffer pool (cache
+	// hits depend on access order), serve caches, and durable stores (crash
+	// campaigns assert a deterministic physical write index sequence).
+	SerialApply bool
+}
+
+// WorkerCount resolves the Workers default.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// queueDepth resolves the ChunkQueue default, never below workers (a
+// smaller window would idle the pool).
+func (o Options) queueDepth(workers int) int {
+	q := o.ChunkQueue
+	if q <= 0 {
+		q = 2 * workers
+	}
+	if q < workers {
+		q = workers
+	}
+	return q
+}
+
+// shardCount resolves how many applier goroutines to run; 0 means apply
+// inline on the consumer.
+func (o Options) shardCount() int {
+	w := o.WorkerCount()
+	if w <= 1 {
+		return 0
+	}
+	if o.SerialApply {
+		return 1
+	}
+	if o.Appliers > 0 {
+		return o.Appliers
+	}
+	if w < 4 {
+		return w
+	}
+	return 4
+}
+
+// item carries one produced result to the reordering consumer.
+type item[T any] struct {
+	seq int
+	v   T
+	err error
+}
+
+// Run executes produce(seq) for every seq in [0, n) on a bounded worker
+// pool and feeds each result to consume in strictly ascending seq order.
+// consume runs on the calling goroutine only. At most queueDepth results
+// are in flight (being produced or buffered for reordering). The first
+// error — by seq order for produce, immediately for consume — cancels the
+// run and is returned after all workers have stopped.
+//
+// With one worker (or n <= 1) everything runs inline on the caller: the
+// sequential fallback is the same code path minus the goroutines.
+func Run[T any](n int, opts Options, produce func(seq int) (T, error), consume func(seq int, v T) error) error {
+	workers := opts.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for seq := 0; seq < n; seq++ {
+			v, err := produce(seq)
+			if err != nil {
+				return err
+			}
+			if err := consume(seq, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	queue := opts.queueDepth(workers)
+	jobs := make(chan int)
+	results := make(chan item[T], queue)
+	tickets := make(chan struct{}, queue)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := range jobs {
+				v, err := produce(seq)
+				select {
+				case results <- item[T]{seq: seq, v: v, err: err}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for seq := 0; seq < n; seq++ {
+			select {
+			case tickets <- struct{}{}:
+			case <-stop:
+				return
+			}
+			select {
+			case jobs <- seq:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Reorder out-of-order arrivals; tickets are released only when a seq is
+	// consumed, which bounds buffered results without deadlock (the ticket
+	// holders are always the next `queue` sequence numbers, so the one the
+	// consumer waits for is among them).
+	pending := make(map[int]item[T], queue)
+	var err error
+	next := 0
+	for next < n && err == nil {
+		it, ok := pending[next]
+		if !ok {
+			it = <-results
+			if it.seq != next {
+				pending[it.seq] = it
+				continue
+			}
+		} else {
+			delete(pending, next)
+		}
+		if it.err != nil {
+			err = it.err
+		} else {
+			err = consume(it.seq, it.v)
+		}
+		next++
+		<-tickets
+	}
+	halt()
+	wg.Wait()
+	return err
+}
+
+// Applier folds per-chunk tile buckets into a tile.Store. Buckets are
+// sharded by destination block ID so each tile is read-modify-written by
+// exactly one goroutine; within a shard, jobs are applied in the order
+// Apply was called (the chunk order), so per-tile accumulation order — and
+// with it the floating-point result — is independent of the shard count.
+// Device-level I/O calls are serialized by a mutex so any BlockStore stack
+// is safe underneath; the delta additions run outside it.
+//
+// With zero shards (Workers <= 1) Apply applies inline, which is also the
+// write-order-deterministic path SerialApply approximates with one shard.
+type Applier struct {
+	st     *tile.Store
+	shards []chan []tile.Bucket
+	ioMu   sync.Mutex
+	wg     sync.WaitGroup
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+}
+
+// NewApplier creates an applier for the options' shard count and starts its
+// goroutines. Close must be called exactly once to stop them.
+func NewApplier(st *tile.Store, opts Options) *Applier {
+	a := &Applier{st: st}
+	n := opts.shardCount()
+	if n <= 0 {
+		return a
+	}
+	depth := opts.queueDepth(opts.WorkerCount())
+	a.shards = make([]chan []tile.Bucket, n)
+	for i := range a.shards {
+		ch := make(chan []tile.Bucket, depth)
+		a.shards[i] = ch
+		a.wg.Add(1)
+		go a.runShard(ch)
+	}
+	return a
+}
+
+func (a *Applier) runShard(ch chan []tile.Bucket) {
+	defer a.wg.Done()
+	for job := range ch {
+		if a.failed.Load() {
+			continue // drain so senders never block after a failure
+		}
+		if err := a.applyJob(job); err != nil {
+			a.setErr(err)
+		}
+	}
+}
+
+func (a *Applier) applyJob(job []tile.Bucket) error {
+	for i := range job {
+		b := &job[i]
+		a.ioMu.Lock()
+		data, err := a.st.ReadTile(b.Block)
+		a.ioMu.Unlock()
+		if err != nil {
+			return err
+		}
+		for slot, dv := range b.Deltas {
+			if dv != 0 {
+				data[slot] += dv
+			}
+		}
+		a.ioMu.Lock()
+		err = a.st.WriteTile(b.Block, data)
+		a.ioMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Applier) setErr(err error) {
+	a.errMu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.errMu.Unlock()
+	a.failed.Store(true)
+}
+
+// Err returns the first shard error, if any.
+func (a *Applier) Err() error {
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
+	return a.err
+}
+
+// Apply submits one chunk's buckets (ascending block order, as returned by
+// BucketSet.Buckets). It must be called from a single goroutine, in chunk
+// order. A previously recorded shard error is returned immediately.
+func (a *Applier) Apply(buckets []tile.Bucket) error {
+	if len(a.shards) == 0 {
+		return a.st.ApplyBuckets(buckets)
+	}
+	if a.failed.Load() {
+		return a.Err()
+	}
+	if len(a.shards) == 1 {
+		if len(buckets) > 0 {
+			a.shards[0] <- buckets
+		}
+		return nil
+	}
+	n := len(a.shards)
+	parts := make([][]tile.Bucket, n)
+	for i := range buckets {
+		s := buckets[i].Block % n
+		parts[s] = append(parts[s], buckets[i])
+	}
+	for s, part := range parts {
+		if len(part) > 0 {
+			a.shards[s] <- part
+		}
+	}
+	return nil
+}
+
+// Close stops the shard goroutines, waits for queued buckets to land, and
+// returns the first error any shard hit.
+func (a *Applier) Close() error {
+	for _, ch := range a.shards {
+		close(ch)
+	}
+	a.wg.Wait()
+	return a.Err()
+}

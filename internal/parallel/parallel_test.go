@@ -1,0 +1,220 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+func TestRunDeliversInAscendingOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			var produced atomic.Int64
+			var got []int
+			err := Run(n, Options{Workers: workers},
+				func(seq int) (int, error) {
+					produced.Add(1)
+					return seq * seq, nil
+				},
+				func(seq, v int) error {
+					if v != seq*seq {
+						t.Errorf("consume(%d) got %d, want %d", seq, v, seq*seq)
+					}
+					got = append(got, seq)
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if produced.Load() != n {
+				t.Fatalf("produced %d items, want %d", produced.Load(), n)
+			}
+			if len(got) != n {
+				t.Fatalf("consumed %d items, want %d", len(got), n)
+			}
+			for i, seq := range got {
+				if seq != i {
+					t.Fatalf("consume order %v is not ascending at %d", got[:i+1], i)
+				}
+			}
+		})
+	}
+}
+
+func TestRunZeroAndOneItems(t *testing.T) {
+	if err := Run(0, Options{Workers: 4}, func(int) (int, error) { return 0, nil },
+		func(int, int) error { t.Fatal("consume on empty run"); return nil }); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+	calls := 0
+	err := Run(1, Options{Workers: 4},
+		func(seq int) (int, error) { return seq + 7, nil },
+		func(seq, v int) error { calls++; return nil })
+	if err != nil || calls != 1 {
+		t.Fatalf("single-item run: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRunProduceErrorWins(t *testing.T) {
+	wantErr := errors.New("boom")
+	err := Run(50, Options{Workers: 4},
+		func(seq int) (int, error) {
+			if seq == 13 {
+				return 0, wantErr
+			}
+			return seq, nil
+		},
+		func(seq, v int) error {
+			if seq >= 13 {
+				t.Errorf("consumed seq %d after the failing seq", seq)
+			}
+			return nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Run error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestRunConsumeErrorHalts(t *testing.T) {
+	wantErr := errors.New("sink full")
+	consumed := 0
+	err := Run(200, Options{Workers: 4},
+		func(seq int) (int, error) { return seq, nil },
+		func(seq, v int) error {
+			consumed++
+			if seq == 5 {
+				return wantErr
+			}
+			return nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Run error = %v, want %v", err, wantErr)
+	}
+	if consumed != 6 {
+		t.Fatalf("consumed %d items, want 6 (halt after error)", consumed)
+	}
+}
+
+func TestRunBoundsInFlight(t *testing.T) {
+	const workers, queue = 4, 6
+	var inFlight, peak atomic.Int64
+	err := Run(300, Options{Workers: workers, ChunkQueue: queue},
+		func(seq int) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			return seq, nil
+		},
+		func(seq, v int) error {
+			inFlight.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if p := peak.Load(); p > queue {
+		t.Fatalf("peak in-flight %d exceeds queue bound %d", p, queue)
+	}
+}
+
+// newTestStore builds a small standard-tiled store over an in-memory backing.
+func newTestStore(t *testing.T) *tile.Store {
+	t.Helper()
+	tiling := tile.NewStandard([]int{4, 4}, 1)
+	st, err := tile.NewStore(storage.NewMemStore(tiling.BlockSize()), tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func randomBuckets(rng *rand.Rand, numBlocks, blockSize int) []tile.Bucket {
+	bs := tile.NewBucketSet(blockSize)
+	for i := 0; i < 12; i++ {
+		bs.Add(rng.Intn(numBlocks), rng.Intn(blockSize), rng.NormFloat64())
+	}
+	return bs.Buckets()
+}
+
+func TestApplierMatchesInlineApply(t *testing.T) {
+	for _, opts := range []Options{
+		{Workers: 1},
+		{Workers: 4, SerialApply: true},
+		{Workers: 4, Appliers: 3},
+		{Workers: 8},
+	} {
+		t.Run(fmt.Sprintf("w%d_a%d_serial%v", opts.Workers, opts.Appliers, opts.SerialApply), func(t *testing.T) {
+			want := newTestStore(t)
+			got := newTestStore(t)
+			tiling := want.Tiling()
+
+			rng := rand.New(rand.NewSource(42))
+			jobs := make([][]tile.Bucket, 64)
+			for i := range jobs {
+				jobs[i] = randomBuckets(rng, tiling.NumBlocks(), tiling.BlockSize())
+			}
+			for _, job := range jobs {
+				if err := want.ApplyBuckets(job); err != nil {
+					t.Fatal(err)
+				}
+			}
+			a := NewApplier(got, opts)
+			for _, job := range jobs {
+				if err := a.Apply(job); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < tiling.NumBlocks(); b++ {
+				wd, err := want.ReadTile(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gd, err := got.ReadTile(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for s := range wd {
+					if wd[s] != gd[s] {
+						t.Fatalf("block %d slot %d: sharded %v != inline %v", b, s, gd[s], wd[s])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestApplierSurfacesStorageErrors(t *testing.T) {
+	tiling := tile.NewStandard([]int{4, 4}, 1)
+	faulty := storage.NewFaulty(storage.NewMemStore(tiling.BlockSize()))
+	st, err := tile.NewStore(faulty, tiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty.FailWriteAfter(3)
+
+	a := NewApplier(st, Options{Workers: 4})
+	rng := rand.New(rand.NewSource(7))
+	var applyErr error
+	for i := 0; i < 32 && applyErr == nil; i++ {
+		applyErr = a.Apply(randomBuckets(rng, tiling.NumBlocks(), tiling.BlockSize()))
+	}
+	if cerr := a.Close(); applyErr == nil {
+		applyErr = cerr
+	}
+	if !errors.Is(applyErr, storage.ErrInjected) {
+		t.Fatalf("applier error = %v, want ErrInjected", applyErr)
+	}
+}

@@ -161,6 +161,44 @@ func (w *OnceWriter) Set(coords []int, v float64) error {
 	return nil
 }
 
+// MergeBucket folds one chunk's bucketed write-once values into the writer:
+// semantically identical to calling Set once per contributed coefficient
+// (deltas holds final values by slot, touches how many were contributed),
+// but without re-deriving (block, slot) per coefficient. Zero values leave
+// the block unmaterialized exactly as Set(coords, 0) does, so all-zero
+// blocks are still never written.
+func (w *OnceWriter) MergeBucket(block int, deltas []float64, touches int) error {
+	if touches == 0 {
+		return nil
+	}
+	ob, ok := w.pending[block]
+	if !ok {
+		ob = &onceBlock{remaining: w.capacities[block]}
+		w.pending[block] = ob
+	}
+	for slot, v := range deltas {
+		if v == 0 {
+			continue
+		}
+		if ob.data == nil {
+			ob.data = make([]float64, w.store.Tiling().BlockSize())
+		}
+		ob.data[slot] = v
+	}
+	ob.remaining -= touches
+	if ob.remaining <= 0 {
+		delete(w.pending, block)
+		if ob.data == nil {
+			return nil // all-zero block: nothing to store
+		}
+		if err := w.store.WriteTile(block, ob.data); err != nil {
+			return err
+		}
+		w.written[block] = true
+	}
+	return nil
+}
+
 // Pending returns the number of blocks still buffered (the engine's
 // memory footprint beyond the chunk itself).
 func (w *OnceWriter) Pending() int { return len(w.pending) }

@@ -13,14 +13,40 @@ import (
 // their Locate positions plus the redundant generalized coefficients (mixed
 // per-dimension scaling/detail products, §3.2) in the slots whose
 // per-dimension component is the tile-root scaling.
+//
+// fill computes one block into a caller-provided buffer; it is exported to
+// this package's materialization driver so block computation can run on a
+// worker pool while writes stay sequential (ascending block IDs, the order
+// crash recovery expects). MaterializeStandard itself computes and writes
+// blocks in ascending order.
 func MaterializeStandard(st *Store, hat *ndarray.Array) error {
-	tiling, ok := st.Tiling().(*Standard)
+	fill, numBlocks, err := StandardBlockFiller(st.Tiling(), hat)
+	if err != nil {
+		return err
+	}
+	blockData := make([]float64, st.Tiling().BlockSize())
+	for block := 0; block < numBlocks; block++ {
+		fill(block, blockData)
+		if err := st.WriteTile(block, blockData); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StandardBlockFiller returns a function computing any single block of the
+// materialized standard layout into a caller-provided buffer, plus the
+// block count. The returned filler is safe for concurrent use from multiple
+// goroutines (hat is only read); each call allocates only small per-call
+// index scratch.
+func StandardBlockFiller(t Tiling, hat *ndarray.Array) (fill func(block int, out []float64), numBlocks int, err error) {
+	tiling, ok := t.(*Standard)
 	if !ok {
-		return fmt.Errorf("tile: MaterializeStandard needs a *Standard tiling, got %T", st.Tiling())
+		return nil, 0, fmt.Errorf("tile: MaterializeStandard needs a *Standard tiling, got %T", t)
 	}
 	d := tiling.Dims()
 	if hat.Dims() != d {
-		return fmt.Errorf("tile: transform has %d dims, tiling %d", hat.Dims(), d)
+		return nil, 0, fmt.Errorf("tile: transform has %d dims, tiling %d", hat.Dims(), d)
 	}
 	// Per-dimension basis table: basis[t][tile*B+slot] lists the weighted
 	// 1-d transform indices whose combination yields that slot's value
@@ -30,7 +56,7 @@ func MaterializeStandard(st *Store, hat *ndarray.Array) error {
 		oneD := tiling.Dim(t)
 		n := oneD.Levels()
 		if hat.Extent(t) != 1<<uint(n) {
-			return fmt.Errorf("tile: dim %d extent %d does not match tiling n=%d", t, hat.Extent(t), n)
+			return nil, 0, fmt.Errorf("tile: dim %d extent %d does not match tiling n=%d", t, hat.Extent(t), n)
 		}
 		B := oneD.BlockSize()
 		table := make([][]core.Target, oneD.NumBlocks()*B)
@@ -44,26 +70,23 @@ func MaterializeStandard(st *Store, hat *ndarray.Array) error {
 		}
 		basis[t] = table
 	}
-	// Fill every block.
 	B := 1
 	if d > 0 {
 		B = tiling.Dim(0).BlockSize()
 	}
-	blockData := make([]float64, tiling.BlockSize())
-	perDimTiles := make([]int, d)
-	perDimSlots := make([]int, d)
-	coords := make([]int, d)
-	choice := make([]int, d)
-	for block := 0; block < tiling.NumBlocks(); block++ {
-		copy(perDimTiles, tiling.PerDimBlocks(block))
-		for i := range blockData {
-			blockData[i] = 0
+	fill = func(block int, out []float64) {
+		perDimTiles := tiling.PerDimBlocks(block)
+		perDimSlots := make([]int, d)
+		coords := make([]int, d)
+		choice := make([]int, d)
+		lists := make([][]core.Target, d)
+		for i := range out {
+			out[i] = 0
 		}
 		for slot := 0; slot < tiling.BlockSize(); slot++ {
 			// Decompose the flat slot into per-dimension slots.
 			rem := slot
 			empty := false
-			lists := make([][]core.Target, d)
 			for t := d - 1; t >= 0; t-- {
 				perDimSlots[t] = rem % B
 				rem /= B
@@ -99,13 +122,10 @@ func MaterializeStandard(st *Store, hat *ndarray.Array) error {
 					break
 				}
 			}
-			blockData[slot] = sum
-		}
-		if err := st.WriteTile(block, blockData); err != nil {
-			return err
+			out[slot] = sum
 		}
 	}
-	return nil
+	return fill, tiling.NumBlocks(), nil
 }
 
 // MaterializeNonStandard writes a complete non-standard transform into a
@@ -113,43 +133,53 @@ func MaterializeStandard(st *Store, hat *ndarray.Array) error {
 // slot 0 of the top tile, and each other tile's root-cell scaling
 // coefficient in its slot 0.
 func MaterializeNonStandard(st *Store, hat *ndarray.Array) error {
-	tiling, ok := st.Tiling().(*NonStandard)
-	if !ok {
-		return fmt.Errorf("tile: MaterializeNonStandard needs a *NonStandard tiling, got %T", st.Tiling())
+	blocks, scaling, err := NonStandardBlocks(st.Tiling(), hat)
+	if err != nil {
+		return err
 	}
-	if hat.Dims() != tiling.d {
-		return fmt.Errorf("tile: transform has %d dims, tiling %d", hat.Dims(), tiling.d)
+	for block := 1; block < len(blocks); block++ {
+		blocks[block][0] = scaling(block)
 	}
-	for t := 0; t < tiling.d; t++ {
-		if hat.Extent(t) != 1<<uint(tiling.n) {
-			return fmt.Errorf("tile: extent %d does not match tiling n=%d", hat.Extent(t), tiling.n)
-		}
-	}
-	blocks := make(map[int][]float64, tiling.NumBlocks())
-	get := func(id int) []float64 {
-		b, ok := blocks[id]
-		if !ok {
-			b = make([]float64, tiling.BlockSize())
-			blocks[id] = b
-		}
-		return b
-	}
-	hat.Each(func(coords []int, v float64) {
-		block, slot := tiling.Locate(coords)
-		get(block)[slot] = v
-	})
-	for block := 1; block < tiling.NumBlocks(); block++ {
-		level, pos := tiling.RootOf(block)
-		get(block)[0] = core.ScalingNonStandard(hat, level, pos)
-	}
-	for id := 0; id < tiling.NumBlocks(); id++ {
-		if b, ok := blocks[id]; ok {
-			if err := st.WriteTile(id, b); err != nil {
-				return err
-			}
+	for id, b := range blocks {
+		if err := st.WriteTile(id, b); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// NonStandardBlocks lays hat out into dense per-block slices (details and
+// the overall average at their Locate positions) and returns a function
+// computing any non-root block's slot-0 scaling coefficient. The scaling
+// function only reads hat and is safe for concurrent use, which lets the
+// materialization driver compute the per-tile scalings on a worker pool
+// while keeping writes sequential in ascending block order.
+func NonStandardBlocks(t Tiling, hat *ndarray.Array) ([][]float64, func(block int) float64, error) {
+	tiling, ok := t.(*NonStandard)
+	if !ok {
+		return nil, nil, fmt.Errorf("tile: MaterializeNonStandard needs a *NonStandard tiling, got %T", t)
+	}
+	if hat.Dims() != tiling.d {
+		return nil, nil, fmt.Errorf("tile: transform has %d dims, tiling %d", hat.Dims(), tiling.d)
+	}
+	for t := 0; t < tiling.d; t++ {
+		if hat.Extent(t) != 1<<uint(tiling.n) {
+			return nil, nil, fmt.Errorf("tile: extent %d does not match tiling n=%d", hat.Extent(t), tiling.n)
+		}
+	}
+	blocks := make([][]float64, tiling.NumBlocks())
+	for i := range blocks {
+		blocks[i] = make([]float64, tiling.BlockSize())
+	}
+	hat.Each(func(coords []int, v float64) {
+		block, slot := tiling.Locate(coords)
+		blocks[block][slot] = v
+	})
+	scaling := func(block int) float64 {
+		level, pos := tiling.RootOf(block)
+		return core.ScalingNonStandard(hat, level, pos)
+	}
+	return blocks, scaling, nil
 }
 
 // AffectedTiles returns the number of distinct blocks touched by a set of

@@ -1,0 +1,158 @@
+package transform
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/parallel"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+func workerCounts() []int {
+	counts := []int{1, 2, 3}
+	if n := runtime.NumCPU(); n > 3 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// readAll returns every block of the store, for exact comparison.
+func readAll(t *testing.T, st *tile.Store) [][]float64 {
+	t.Helper()
+	out := make([][]float64, st.Tiling().NumBlocks())
+	for b := range out {
+		data, err := st.ReadTile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[b] = data
+	}
+	return out
+}
+
+func requireIdentical(t *testing.T, label string, want, got [][]float64) {
+	t.Helper()
+	for b := range want {
+		for s := range want[b] {
+			if want[b][s] != got[b][s] {
+				t.Fatalf("%s: block %d slot %d: parallel %v != sequential %v (not bit-identical)",
+					label, b, s, got[b][s], want[b][s])
+			}
+		}
+	}
+}
+
+// TestChunkedStandardParallelBitIdentical runs the standard-form engine at
+// several worker counts and requires bit-identical coefficients, identical
+// engine stats, and identical block I/O counts versus the sequential run.
+func TestChunkedStandardParallelBitIdentical(t *testing.T) {
+	for _, sparse := range []bool{false, true} {
+		var src *ndarray.Array
+		if sparse {
+			src = dataset.Sparse([]int{32, 32}, 0.1, 5)
+		} else {
+			src = dataset.Dense([]int{32, 32}, 5)
+		}
+		run := func(workers int) ([][]float64, Stats, storage.Stats) {
+			st, counting := countedStore(t, tile.NewStandard([]int{5, 5}, 2))
+			stats, err := ChunkedStandardOpts(src, 2, st, parallel.Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return readAll(t, st), stats, counting.Stats()
+		}
+		wantBlocks, wantStats, wantIO := run(1)
+		for _, workers := range workerCounts()[1:] {
+			label := fmt.Sprintf("sparse=%v workers=%d", sparse, workers)
+			gotBlocks, gotStats, gotIO := run(workers)
+			requireIdentical(t, label, wantBlocks, gotBlocks)
+			if gotStats != wantStats {
+				t.Errorf("%s: stats %+v, sequential %+v", label, gotStats, wantStats)
+			}
+			if gotIO != wantIO {
+				t.Errorf("%s: block I/O %+v, sequential %+v", label, gotIO, wantIO)
+			}
+		}
+	}
+}
+
+// TestChunkedNonStandardParallelBitIdentical covers both non-standard engines
+// (row-major and z-order crest).
+func TestChunkedNonStandardParallelBitIdentical(t *testing.T) {
+	for _, crest := range []bool{false, true} {
+		for _, sparse := range []bool{false, true} {
+			shape := []int{32, 32}
+			var src *ndarray.Array
+			if sparse {
+				src = dataset.Sparse(shape, 0.1, 7)
+			} else {
+				src = dataset.Dense(shape, 7)
+			}
+			run := func(workers int) ([][]float64, Stats, storage.Stats) {
+				st, counting := countedStore(t, tile.NewNonStandard(5, 2, 2))
+				stats, err := ChunkedNonStandardOpts(src, 2, st,
+					NonStdOptions{ZOrderCrest: crest}, parallel.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return readAll(t, st), stats, counting.Stats()
+			}
+			wantBlocks, wantStats, wantIO := run(1)
+			for _, workers := range workerCounts()[1:] {
+				label := fmt.Sprintf("crest=%v sparse=%v workers=%d", crest, sparse, workers)
+				gotBlocks, gotStats, gotIO := run(workers)
+				requireIdentical(t, label, wantBlocks, gotBlocks)
+				if gotStats != wantStats {
+					t.Errorf("%s: stats %+v, sequential %+v", label, gotStats, wantStats)
+				}
+				if gotIO != wantIO {
+					t.Errorf("%s: block I/O %+v, sequential %+v", label, gotIO, wantIO)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSerialApplyPreservesWriteSequence checks that with SerialApply
+// the physical write order seen by the backing store is exactly the
+// sequential engine's, which crash-campaign determinism relies on.
+func TestParallelSerialApplyPreservesWriteSequence(t *testing.T) {
+	src := dataset.Dense([]int{16, 16}, 11)
+	run := func(workers int) []int {
+		tiling := tile.NewStandard([]int{4, 4}, 2)
+		rec := &writeRecorder{BlockStore: storage.NewMemStore(tiling.BlockSize())}
+		st, err := tile.NewStore(rec, tiling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = ChunkedStandardOpts(src, 2, st, parallel.Options{Workers: workers, SerialApply: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.order
+	}
+	want := run(1)
+	got := run(4)
+	if len(want) != len(got) {
+		t.Fatalf("parallel made %d writes, sequential %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("write %d went to block %d, sequential wrote block %d", i, got[i], want[i])
+		}
+	}
+}
+
+type writeRecorder struct {
+	storage.BlockStore
+	order []int
+}
+
+func (w *writeRecorder) WriteBlock(id int, data []float64) error {
+	w.order = append(w.order, id)
+	return w.BlockStore.WriteBlock(id, data)
+}

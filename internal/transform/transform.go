@@ -21,9 +21,9 @@ import (
 	"fmt"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
-	"github.com/shiftsplit/shiftsplit/internal/core"
 	"github.com/shiftsplit/shiftsplit/internal/dyadic"
 	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/parallel"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
 	"github.com/shiftsplit/shiftsplit/internal/tile"
 	"github.com/shiftsplit/shiftsplit/internal/wavelet"
@@ -66,12 +66,43 @@ func checkChunkable(src *ndarray.Array, m int) ([]int, error) {
 	return shape, nil
 }
 
+// chunkResult is one transformed chunk on its way from a worker to the
+// ordered consumer: its bucketed SHIFT-SPLIT deltas plus the engine-side
+// statistics it contributes.
+type chunkResult struct {
+	coefReads int64
+	zero      bool
+	avg       float64 // chunk average (non-standard crest engine)
+	buckets   []tile.Bucket
+}
+
+// unflatten decomposes a row-major chunk sequence number over grid into a
+// fresh position slice.
+func unflatten(seq int, grid []int) []int {
+	pos := make([]int, len(grid))
+	for i := len(grid) - 1; i >= 0; i-- {
+		pos[i] = seq % grid[i]
+		seq /= grid[i]
+	}
+	return pos
+}
+
 // ChunkedStandard transforms src into the standard form held by out, using
 // memory for one chunk of edge 2^m per dimension. Each chunk is transformed
 // in memory and merged with SHIFT-SPLIT; every touched tile costs one read
 // and one write per chunk (no cross-chunk caching, matching the paper's
-// Result 1 analysis).
+// Result 1 analysis). Chunk transforms run on the default worker pool; see
+// ChunkedStandardOpts.
 func ChunkedStandard(src *ndarray.Array, m int, out *tile.Store) (Stats, error) {
+	return ChunkedStandardOpts(src, m, out, parallel.Options{})
+}
+
+// ChunkedStandardOpts is ChunkedStandard with an explicit worker-pool
+// configuration. Chunk transforms and SHIFT-SPLIT bucketing run on
+// opts.Workers goroutines; deltas are applied tile-sharded in chunk order,
+// so results are bit-identical and I/O counts equal for every worker count
+// (Workers == 1 is the fully sequential fallback).
+func ChunkedStandardOpts(src *ndarray.Array, m int, out *tile.Store, opts parallel.Options) (Stats, error) {
 	shape, err := checkChunkable(src, m)
 	if err != nil {
 		return Stats{}, err
@@ -80,55 +111,48 @@ func ChunkedStandard(src *ndarray.Array, m int, out *tile.Store) (Stats, error) 
 	edge := 1 << uint(m)
 	d := len(shape)
 	grid := make([]int, d)
+	nChunks := 1
 	for i, s := range shape {
 		grid[i] = s / edge
+		nChunks *= grid[i]
 	}
 	chunkShape := make([]int, d)
 	for i := range chunkShape {
 		chunkShape[i] = edge
 	}
-	pos := make([]int, d)
-	start := make([]int, d)
-	for {
+	applier := parallel.NewApplier(out, opts)
+	produce := func(seq int) (chunkResult, error) {
+		pos := unflatten(seq, grid)
+		start := make([]int, d)
 		for i := range pos {
 			start[i] = pos[i] * edge
 		}
 		chunk := src.SubCopy(start, chunkShape)
-		st.InputCoefReads += int64(chunk.Size())
-		st.Chunks++
+		res := chunkResult{coefReads: int64(chunk.Size())}
 		if allZero(chunk) {
-			st.SkippedChunks++
-		} else {
-			bHat := wavelet.TransformStandard(chunk)
-			block := dyadic.NewCubeRange(m, pos)
-			batch := tile.NewBatch(out)
-			var applyErr error
-			core.EachEmbedStandard(shape, block, bHat, func(coords []int, delta float64) {
-				if applyErr != nil {
-					return
-				}
-				applyErr = batch.Add(coords, delta)
-			})
-			if applyErr != nil {
-				return st, applyErr
-			}
-			if err := batch.Flush(); err != nil {
-				return st, err
-			}
+			res.zero = true
+			return res, nil
 		}
-		// Advance the chunk cursor in row-major order.
-		i := d - 1
-		for ; i >= 0; i-- {
-			pos[i]++
-			if pos[i] < grid[i] {
-				break
-			}
-			pos[i] = 0
-		}
-		if i < 0 {
-			return st, nil
-		}
+		bHat := wavelet.TransformStandard(chunk)
+		bs := tile.NewBucketSet(out.Tiling().BlockSize())
+		tile.AccumulateEmbedStandard(out.Tiling(), shape, dyadic.NewCubeRange(m, pos), bHat, bs)
+		res.buckets = bs.Buckets()
+		return res, nil
 	}
+	consume := func(seq int, res chunkResult) error {
+		st.InputCoefReads += res.coefReads
+		st.Chunks++
+		if res.zero {
+			st.SkippedChunks++
+			return nil
+		}
+		return applier.Apply(res.buckets)
+	}
+	err = parallel.Run(nChunks, opts, produce, consume)
+	if cerr := applier.Close(); err == nil {
+		err = cerr
+	}
+	return st, err
 }
 
 // NonStdOptions selects the chunk access pattern of ChunkedNonStandard.
@@ -146,6 +170,16 @@ type NonStdOptions struct {
 // written per chunk; with ZOrderCrest the engine achieves the optimal
 // write-only I/O of Result 2.
 func ChunkedNonStandard(src *ndarray.Array, m int, out *tile.Store, opts NonStdOptions) (Stats, error) {
+	return ChunkedNonStandardOpts(src, m, out, opts, parallel.Options{})
+}
+
+// ChunkedNonStandardOpts is ChunkedNonStandard with an explicit worker-pool
+// configuration (see ChunkedStandardOpts for the parallel contract). In the
+// z-order crest engine only the chunk transforms and SHIFT bucketing are
+// parallel; the crest folds and the write-once block accounting stay on the
+// single consumer goroutine, in z-order, which Result 2's zero-read,
+// one-write-per-block discipline requires.
+func ChunkedNonStandardOpts(src *ndarray.Array, m int, out *tile.Store, opts NonStdOptions, popts parallel.Options) (Stats, error) {
 	shape, err := checkChunkable(src, m)
 	if err != nil {
 		return Stats{}, err
@@ -157,12 +191,12 @@ func ChunkedNonStandard(src *ndarray.Array, m int, out *tile.Store, opts NonStdO
 	}
 	n := bitutil.Log2(shape[0])
 	if opts.ZOrderCrest {
-		return chunkedNonStdCrest(src, n, m, out)
+		return chunkedNonStdCrest(src, n, m, out, popts)
 	}
-	return chunkedNonStdRowMajor(src, n, m, out)
+	return chunkedNonStdRowMajor(src, n, m, out, popts)
 }
 
-func chunkedNonStdRowMajor(src *ndarray.Array, n, m int, out *tile.Store) (Stats, error) {
+func chunkedNonStdRowMajor(src *ndarray.Array, n, m int, out *tile.Store, popts parallel.Options) (Stats, error) {
 	var st Stats
 	d := src.Dims()
 	edge := 1 << uint(m)
@@ -171,50 +205,48 @@ func chunkedNonStdRowMajor(src *ndarray.Array, n, m int, out *tile.Store) (Stats
 	for i := range chunkShape {
 		chunkShape[i] = edge
 	}
-	pos := make([]int, d)
-	start := make([]int, d)
+	grid := make([]int, d)
+	nChunks := 1
+	for i := range grid {
+		grid[i] = side
+		nChunks *= side
+	}
 	origin := make([]int, d)
 	ph := cubicShape(n, d)
-	for {
+	applier := parallel.NewApplier(out, popts)
+	produce := func(seq int) (chunkResult, error) {
+		pos := unflatten(seq, grid)
+		start := make([]int, d)
 		for i := range pos {
 			start[i] = pos[i] * edge
 		}
 		chunk := src.SubCopy(start, chunkShape)
-		st.InputCoefReads += int64(chunk.Size())
-		st.Chunks++
+		res := chunkResult{coefReads: int64(chunk.Size())}
 		if allZero(chunk) {
-			st.SkippedChunks++
-		} else {
-			bHat := wavelet.TransformNonStandard(chunk)
-			batch := tile.NewBatch(out)
-			var applyErr error
-			set := func(coords []int, delta float64) {
-				if applyErr != nil {
-					return
-				}
-				applyErr = batch.Add(coords, delta)
-			}
-			core.EachShiftNonStandard(ph, m, pos, bHat, set)
-			core.EachSplitNonStandard(ph, m, pos, bHat.At(origin...), set)
-			if applyErr != nil {
-				return st, applyErr
-			}
-			if err := batch.Flush(); err != nil {
-				return st, err
-			}
+			res.zero = true
+			return res, nil
 		}
-		i := d - 1
-		for ; i >= 0; i-- {
-			pos[i]++
-			if pos[i] < side {
-				break
-			}
-			pos[i] = 0
-		}
-		if i < 0 {
-			return st, nil
-		}
+		bHat := wavelet.TransformNonStandard(chunk)
+		bs := tile.NewBucketSet(out.Tiling().BlockSize())
+		tile.AccumulateShiftNonStandard(out.Tiling(), ph, m, pos, bHat, bs)
+		tile.AccumulateSplitNonStandard(out.Tiling(), ph, m, pos, bHat.At(origin...), bs)
+		res.buckets = bs.Buckets()
+		return res, nil
 	}
+	consume := func(seq int, res chunkResult) error {
+		st.InputCoefReads += res.coefReads
+		st.Chunks++
+		if res.zero {
+			st.SkippedChunks++
+			return nil
+		}
+		return applier.Apply(res.buckets)
+	}
+	err := parallel.Run(nChunks, popts, produce, consume)
+	if cerr := applier.Close(); err == nil {
+		err = cerr
+	}
+	return st, err
 }
 
 // cubicShape returns the shape of the cubic destination transform.
@@ -317,7 +349,7 @@ func (c *Crest) Push(depth int, pos []int, avg float64) error {
 	return c.Push(depth+1, parent, parentAvg)
 }
 
-func chunkedNonStdCrest(src *ndarray.Array, n, m int, out *tile.Store) (Stats, error) {
+func chunkedNonStdCrest(src *ndarray.Array, n, m int, out *tile.Store, popts parallel.Options) (Stats, error) {
 	var st Stats
 	d := src.Dims()
 	edge := 1 << uint(m)
@@ -330,57 +362,63 @@ func chunkedNonStdCrest(src *ndarray.Array, n, m int, out *tile.Store) (Stats, e
 	writer := tile.NewOnceWriter(out, caps)
 	cr := NewCrest(d, n, m, writer.Set)
 	ph := cubicShape(n, d)
-	zeroHat := ndarray.New(chunkShape...) // stand-in transform for all-zero chunks
-	start := make([]int, d)
-	origin := make([]int, d)
-	var runErr error
-	maxPending := 0
+	zeroHat := ndarray.New(chunkShape...) // read-only stand-in for all-zero chunks
+	// The z-order chunk schedule, fixed up front so workers can transform
+	// ahead while the consumer folds crest averages strictly in order.
+	positions := make([][]int, 0, bitutil.IntPow(side, d))
 	zorder.Curve(d, side, func(pos []int) {
-		if runErr != nil {
-			return
-		}
+		positions = append(positions, append([]int(nil), pos...))
+	})
+	maxPending := 0
+	produce := func(seq int) (chunkResult, error) {
+		pos := positions[seq]
+		start := make([]int, d)
 		for i := range pos {
 			start[i] = pos[i] * edge
 		}
 		chunk := src.SubCopy(start, chunkShape)
-		st.InputCoefReads += int64(chunk.Size())
-		st.Chunks++
-		avg := 0.0
+		res := chunkResult{coefReads: int64(chunk.Size())}
+		// A zero chunk still participates in the crest (its siblings need
+		// its average) and its zero details must still be recorded so that
+		// boundary blocks complete — but the writer never materializes or
+		// writes blocks that stay entirely zero.
+		hat := zeroHat
 		if allZero(chunk) {
-			// A zero chunk still participates in the crest (its siblings
-			// need its average) and its zero details must still be recorded
-			// so that boundary blocks complete — but the writer never
-			// materializes or writes blocks that stay entirely zero.
-			st.SkippedChunks++
-			core.EachShiftNonStandard(ph, m, pos, zeroHat, func(coords []int, _ float64) {
-				if runErr != nil {
-					return
-				}
-				runErr = writer.Set(coords, 0)
-			})
+			res.zero = true
 		} else {
-			bHat := wavelet.TransformNonStandard(chunk)
-			avg = bHat.At(origin...)
-			// Details of the chunk subtree are final: stream them to the
-			// writer.
-			core.EachShiftNonStandard(ph, m, pos, bHat, func(coords []int, v float64) {
-				if runErr != nil {
-					return
-				}
-				runErr = writer.Set(coords, v)
-			})
+			hat = wavelet.TransformNonStandard(chunk)
+			res.avg = hat.At(make([]int, d)...)
 		}
-		if runErr != nil {
-			return
+		// Details of the chunk subtree are final: bucket them for the
+		// write-once sink.
+		bs := tile.NewBucketSet(out.Tiling().BlockSize())
+		tile.AccumulateShiftNonStandard(out.Tiling(), ph, m, pos, hat, bs)
+		res.buckets = bs.Buckets()
+		return res, nil
+	}
+	consume := func(seq int, res chunkResult) error {
+		st.InputCoefReads += res.coefReads
+		st.Chunks++
+		if res.zero {
+			st.SkippedChunks++
+		}
+		for i := range res.buckets {
+			b := &res.buckets[i]
+			if err := writer.MergeBucket(b.Block, b.Deltas, b.Touches); err != nil {
+				return err
+			}
 		}
 		// The chunk average climbs the crest instead of touching storage.
-		runErr = cr.Push(0, append([]int(nil), pos...), avg)
+		if err := cr.Push(0, positions[seq], res.avg); err != nil {
+			return err
+		}
 		if p := writer.Pending() * out.Tiling().BlockSize(); p > maxPending {
 			maxPending = p
 		}
-	})
-	if runErr != nil {
-		return st, runErr
+		return nil
+	}
+	if err := parallel.Run(len(positions), popts, produce, consume); err != nil {
+		return st, err
 	}
 	if err := writer.Flush(); err != nil {
 		return st, err

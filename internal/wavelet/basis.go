@@ -30,11 +30,7 @@ func SupportVolume(shape []int, form Form, coords []int) int {
 				continue
 			}
 			// Support length of a 1-d detail is 2^level.
-			p := 1
-			for p*2 <= c {
-				p *= 2
-			}
-			vol *= (1 << uint(n)) / p
+			vol *= (1 << uint(n)) >> uint(bitutil.FloorLog2(c))
 		}
 		return vol
 	case NonStandard:

@@ -364,11 +364,8 @@ func NonStdLevel(n int, coords []int) (j int, subband []bool, pos []int) {
 	}
 	// The level is determined by the largest coordinate: base = 2^(n-j) is
 	// the largest power of two <= max.
-	base := 1
-	for base*2 <= max {
-		base *= 2
-	}
-	j = n - bitutil.Log2(base)
+	base := 1 << uint(bitutil.FloorLog2(max))
+	j = n - bitutil.FloorLog2(max)
 	subband = make([]bool, len(coords))
 	pos = make([]int, len(coords))
 	for i, c := range coords {

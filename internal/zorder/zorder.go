@@ -5,7 +5,10 @@
 // currently-open root path; this package supplies that access pattern.
 package zorder
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Encode interleaves the bits of the coordinates into a single Morton code.
 // Coordinate i contributes bit b to code bit b*d + i, so the lowest group of
@@ -21,11 +24,7 @@ func Encode(coords []int) int {
 		if c < 0 {
 			panic(fmt.Sprintf("zorder: negative coordinate in %v", coords))
 		}
-		b := 0
-		for v := c; v > 0; v >>= 1 {
-			b++
-		}
-		if b > maxBits {
+		if b := bits.Len(uint(c)); b > maxBits {
 			maxBits = b
 		}
 	}

@@ -3,6 +3,7 @@ package shiftsplit
 import (
 	"github.com/shiftsplit/shiftsplit/internal/appender"
 	"github.com/shiftsplit/shiftsplit/internal/core"
+	"github.com/shiftsplit/shiftsplit/internal/parallel"
 	"github.com/shiftsplit/shiftsplit/internal/stream"
 )
 
@@ -38,10 +39,19 @@ type AppendResult struct {
 // domain of the given power-of-two shape, tiled with per-dimension block
 // edge 2^tileBits.
 func NewAppender(shape []int, tileBits int) (*Appender, error) {
+	return NewAppenderOpts(shape, tileBits, MaintainOptions{})
+}
+
+// NewAppenderOpts is NewAppender with an explicit worker-pool configuration.
+// The dyadic pieces of each slab are transformed and bucketed concurrently;
+// delta application stays sequential in piece order, so appends are
+// bit-identical and cost-identical for every worker count.
+func NewAppenderOpts(shape []int, tileBits int, opts MaintainOptions) (*Appender, error) {
 	a, err := appender.New(shape, tileBits)
 	if err != nil {
 		return nil, err
 	}
+	a.SetOptions(parallel.Options{Workers: opts.Workers, ChunkQueue: opts.ChunkQueue})
 	return &Appender{inner: a}, nil
 }
 

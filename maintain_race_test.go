@@ -1,0 +1,111 @@
+package shiftsplit
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+)
+
+// TestParallelMaintenanceUnderConcurrentReads races the parallel maintenance
+// engine against the concurrent serving read path on one durable store: while
+// TransformChunkedOpts runs with a full worker pool, reader goroutines hammer
+// point and range-sum queries through the sharded serve cache (whose inner
+// reads go through storage.Locked) and another goroutine repeatedly
+// invalidates the cache. Mid-maintenance answers are unspecified, so readers
+// only require the calls not to fail; after the transform commits, the whole
+// store is read back and checked against the in-memory transform oracle. Run
+// with -race this is the proof obligation for maintenance/serving coexistence.
+func TestParallelMaintenanceUnderConcurrentReads(t *testing.T) {
+	shape := []int{32, 32}
+	src := dataset.Dense(shape, 23)
+	path := filepath.Join(t.TempDir(), "maintain.wav")
+	st, err := CreateStore(StoreOptions{Shape: shape, Form: Standard, TileBits: 2, Path: path, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	serving, err := OpenServing(path, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serving.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 9)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rng.Intn(2) == 0 {
+					p := []int{rng.Intn(shape[0]), rng.Intn(shape[1])}
+					if _, _, err := serving.Point(p...); err != nil {
+						errc <- err
+						return
+					}
+				} else {
+					s := []int{rng.Intn(shape[0]), rng.Intn(shape[1])}
+					sh := []int{1 + rng.Intn(shape[0]-s[0]), 1 + rng.Intn(shape[1]-s[1])}
+					if _, _, err := serving.RangeSum(s, sh); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				serving.InvalidateCache()
+			}
+		}
+	}()
+
+	merr := serving.TransformChunkedOpts(src, 2, MaintainOptions{Workers: runtime.NumCPU()})
+	close(stop)
+	wg.Wait()
+	if merr != nil {
+		t.Fatalf("TransformChunkedOpts under load: %v", merr)
+	}
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Oracle check: the committed transform must match the in-memory one.
+	serving.InvalidateCache()
+	got, err := serving.ReadTransform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Transform(src, Standard)
+	bad := 0
+	want.Each(func(coords []int, v float64) {
+		if math.Abs(got.At(coords...)-v) > 1e-6 {
+			bad++
+		}
+	})
+	if bad > 0 {
+		t.Fatalf("%d coefficients differ from the oracle after maintenance under load", bad)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/cache"
 	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/parallel"
 	"github.com/shiftsplit/shiftsplit/internal/query"
 	"github.com/shiftsplit/shiftsplit/internal/reconstruct"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
@@ -65,6 +66,36 @@ type StoreOptions struct {
 	// power-cut testing facility behind the crash campaign. It is ignored
 	// unless Durable is set, and is not persisted in store metadata.
 	FaultPlan *storage.CrashPlan
+}
+
+// MaintainOptions tunes the worker pool behind the maintenance operations
+// (TransformChunked, Materialize, and the Appender). The zero value selects
+// the defaults: one transform worker per CPU and a chunk queue of twice the
+// worker count. Results are bit-identical and I/O counters equal for every
+// setting — parallelism changes wall-clock time only.
+type MaintainOptions struct {
+	// Workers is the number of goroutines transforming chunks; <= 0 selects
+	// runtime.GOMAXPROCS(0), and 1 runs fully sequentially.
+	Workers int
+	// ChunkQueue bounds how many transformed-but-unapplied chunks may be in
+	// flight, each holding its bucketed deltas in memory; <= 0 selects
+	// 2*Workers. Larger values smooth over chunks of uneven cost at the
+	// price of memory.
+	ChunkQueue int
+}
+
+// engine lowers the public options to the internal pool configuration. The
+// physical I/O order on the destination must be exactly the sequential
+// engine's whenever the storage stack is order-sensitive: the write-back
+// buffer pool (hit/miss counts depend on access order), the serve cache
+// (ditto), and durable stores (crash campaigns kill maintenance at every
+// physical write index and expect a deterministic sequence).
+func (o MaintainOptions) engine(s *Store) parallel.Options {
+	return parallel.Options{
+		Workers:     o.Workers,
+		ChunkQueue:  o.ChunkQueue,
+		SerialApply: s.pool != nil || s.cache != nil || s.durable != nil,
+	}
 }
 
 // Store is a wavelet transform resident on tiled block storage, with every
@@ -255,6 +286,14 @@ func (s *Store) Close() error { return s.store.Close() }
 // queries possible. Use TransformChunked instead when a does not fit the
 // I/O budget of an in-memory transform.
 func (s *Store) Materialize(a *Array) error {
+	return s.MaterializeOpts(a, MaintainOptions{})
+}
+
+// MaterializeOpts is Materialize with an explicit worker-pool configuration.
+// Block contents are computed concurrently; the physical writes happen in
+// ascending block order regardless of the worker count, so the on-disk
+// result and the I/O counters match the sequential path exactly.
+func (s *Store) MaterializeOpts(a *Array, opts MaintainOptions) error {
 	if err := s.demote(); err != nil {
 		return err
 	}
@@ -262,9 +301,9 @@ func (s *Store) Materialize(a *Array) error {
 	var err error
 	switch s.tiling.(type) {
 	case *tile.Standard:
-		err = tile.MaterializeStandard(s.store, hat)
+		err = parallel.MaterializeStandard(s.store, hat, opts.engine(s))
 	case *tile.NonStandard:
-		err = tile.MaterializeNonStandard(s.store, hat)
+		err = parallel.MaterializeNonStandard(s.store, hat, opts.engine(s))
 	}
 	if err != nil {
 		return err
@@ -281,15 +320,24 @@ func (s *Store) Materialize(a *Array) error {
 // in-memory crest, for the non-standard form), using memory for one chunk
 // of edge 2^chunkBits per dimension.
 func (s *Store) TransformChunked(src *Array, chunkBits int) error {
+	return s.TransformChunkedOpts(src, chunkBits, MaintainOptions{})
+}
+
+// TransformChunkedOpts is TransformChunked with an explicit worker-pool
+// configuration: chunk transforms and SHIFT-SPLIT bucketing fan out to
+// opts.Workers goroutines while per-tile delta application stays in chunk
+// order, so the resulting transform is bit-identical and the I/O counters
+// equal for every worker count.
+func (s *Store) TransformChunkedOpts(src *Array, chunkBits int, opts MaintainOptions) error {
 	if err := s.demote(); err != nil { // scaling slots are not maintained by the engines
 		return err
 	}
 	var err error
 	switch s.opts.Form {
 	case Standard:
-		_, err = transform.ChunkedStandard(src, chunkBits, s.store)
+		_, err = transform.ChunkedStandardOpts(src, chunkBits, s.store, opts.engine(s))
 	case NonStandard:
-		_, err = transform.ChunkedNonStandard(src, chunkBits, s.store, transform.NonStdOptions{ZOrderCrest: true})
+		_, err = transform.ChunkedNonStandardOpts(src, chunkBits, s.store, transform.NonStdOptions{ZOrderCrest: true}, opts.engine(s))
 	}
 	if err != nil {
 		return err
@@ -476,10 +524,7 @@ func (s *Store) Points(points [][]int) ([]float64, int, error) {
 	// Non-standard: share a reader across per-point quadtree walks.
 	out := make([]float64, len(points))
 	reader := tile.NewReader(s.store)
-	n := 0
-	for e := s.opts.Shape[0]; e > 1; e /= 2 {
-		n++
-	}
+	n := bitutil.Log2(s.opts.Shape[0])
 	d := len(s.opts.Shape)
 	origin := make([]int, d)
 	coords := make([]int, d)
