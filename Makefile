@@ -69,6 +69,9 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkChunkedStandard|BenchmarkChunkedNonStandard' \
 		-benchmem -benchtime 3x ./internal/transform/
 	$(GO) test -run '^$$' -bench 'BenchmarkAppender$$' -benchmem -benchtime 3x ./internal/appender/
+	$(GO) test -run '^$$' -bench 'BenchmarkFileStoreRead|BenchmarkFileStoreWrite' \
+		-benchmem -benchtime 3x ./internal/storage/
+	$(GO) test -run '^$$' -bench 'BenchmarkTileFlush' -benchmem -benchtime 3x ./internal/tile/
 
 ci: fmt-check vet lint build race crash-campaign
 

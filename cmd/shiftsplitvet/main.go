@@ -7,6 +7,7 @@
 //	scratchescape  pooled scratch buffers must not outlive their call
 //	maprangefloat  SHIFT/SPLIT float sums must not follow map order
 //	lockedstore    stateful stores need storage.Locked on concurrent paths
+//	batchio        engine I/O loops must use the vectored batch calls
 //
 // Usage:
 //
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/batchio"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/journalwrite"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/lockedstore"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/maprangefloat"
@@ -34,5 +36,6 @@ func main() {
 		scratchescape.Analyzer,
 		maprangefloat.Analyzer,
 		lockedstore.Analyzer,
+		batchio.Analyzer,
 	)
 }

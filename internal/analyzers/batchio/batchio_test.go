@@ -1,0 +1,12 @@
+package batchio_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/batchio"
+)
+
+func TestBatchIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), batchio.Analyzer, "a", "internal/tile")
+}

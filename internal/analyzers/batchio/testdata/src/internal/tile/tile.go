@@ -1,0 +1,103 @@
+// Package tile stands in for an engine package: its import path ends in
+// internal/tile, so per-block I/O loops over loop-derived ids are flagged.
+package tile
+
+import (
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/tile"
+)
+
+func readLoop(bs storage.BlockStore, ids []int, buf []float64) error {
+	for i := 0; i < len(ids); i++ {
+		if err := bs.ReadBlock(ids[i], buf); err != nil { // want `per-block ReadBlock in a loop`
+			return err
+		}
+	}
+	return nil
+}
+
+func rangeWriteLoop(bs storage.BlockStore, ids []int, data []float64) error {
+	for _, id := range ids {
+		if err := bs.WriteBlock(id, data); err != nil { // want `per-block WriteBlock in a loop`
+			return err
+		}
+	}
+	return nil
+}
+
+func tileLoop(st *tile.Store, blocks []int) error {
+	for _, b := range blocks {
+		data, err := st.ReadTile(b) // want `per-block ReadTile in a loop`
+		if err != nil {
+			return err
+		}
+		if err := st.WriteTile(b, data); err != nil { // want `per-block WriteTile in a loop`
+			return err
+		}
+	}
+	return nil
+}
+
+func externalCounter(bs storage.BlockStore, n int, buf []float64) error {
+	i := 0
+	for ; i < n; i++ {
+		if err := bs.ReadBlock(i, buf); err != nil { // want `per-block ReadBlock in a loop`
+			return err
+		}
+	}
+	return nil
+}
+
+func derivedID(bs storage.BlockStore, base, n int, buf []float64) error {
+	for i := 0; i < n; i++ {
+		if err := bs.ReadBlock(base+2*i, buf); err != nil { // want `per-block ReadBlock in a loop`
+			return err
+		}
+	}
+	return nil
+}
+
+type bucket struct{ Block int }
+
+func derivedLocal(st *tile.Store, buckets []bucket) error {
+	for i := range buckets {
+		b := &buckets[i]
+		data, err := st.ReadTile(b.Block) // want `per-block ReadTile in a loop`
+		if err != nil {
+			return err
+		}
+		if err := st.WriteTile(b.Block, data); err != nil { // want `per-block WriteTile in a loop`
+			return err
+		}
+	}
+	return nil
+}
+
+func fixedIDInLoop(bs storage.BlockStore, n int, buf []float64) error {
+	// The id does not depend on the loop: re-reading block 0 each round is
+	// not a batchable sweep.
+	for i := 0; i < n; i++ {
+		if err := bs.ReadBlock(0, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func batchedAlready(bs storage.BlockStore, ids []int, bufs [][]float64) error {
+	return storage.ReadBlocksOf(bs, ids, bufs) // the sanctioned path
+}
+
+func singleRead(bs storage.BlockStore, buf []float64) error {
+	return bs.ReadBlock(7, buf) // not in a loop: allowed
+}
+
+func suppressed(bs storage.BlockStore, ids []int, buf []float64) error {
+	for _, id := range ids {
+		//shiftsplitvet:ignore batchio -- deliberate per-block probe for this fixture
+		if err := bs.ReadBlock(id, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -40,6 +40,7 @@ var Analyzer = &analysis.Analyzer{
 var pooledHelpers = map[string]bool{
 	"getBuf":     true,
 	"getScratch": true,
+	"getRunBuf":  true,
 }
 
 func run(pass *analysis.Pass) error {

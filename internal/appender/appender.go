@@ -127,8 +127,10 @@ func (a *Appender) Store() *tile.Store { return a.store }
 func (a *Appender) TotalIO() storage.Stats {
 	cur := a.counting.Stats()
 	return storage.Stats{
-		Reads:  a.accumulated.Reads + cur.Reads,
-		Writes: a.accumulated.Writes + cur.Writes,
+		Reads:   a.accumulated.Reads + cur.Reads,
+		Writes:  a.accumulated.Writes + cur.Writes,
+		Syncs:   a.accumulated.Syncs + cur.Syncs,
+		Commits: a.accumulated.Commits + cur.Commits,
 	}
 }
 
@@ -168,6 +170,8 @@ func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
 		st.Expansions++
 		st.ExpansionIO.Reads += expIO.Reads
 		st.ExpansionIO.Writes += expIO.Writes
+		st.ExpansionIO.Syncs += expIO.Syncs
+		st.ExpansionIO.Commits += expIO.Commits
 	}
 	// Merge the slab, one dyadic run along dim at a time. The runs'
 	// transforms and SHIFT-SPLIT bucketing fan out to the worker pool;
@@ -218,7 +222,12 @@ func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
 		return st, err
 	}
 	after := a.counting.Stats()
-	st.MergeIO = storage.Stats{Reads: after.Reads - mergeBefore.Reads, Writes: after.Writes - mergeBefore.Writes}
+	st.MergeIO = storage.Stats{
+		Reads:   after.Reads - mergeBefore.Reads,
+		Writes:  after.Writes - mergeBefore.Writes,
+		Syncs:   after.Syncs - mergeBefore.Syncs,
+		Commits: after.Commits - mergeBefore.Commits,
+	}
 	a.used[dim] += slab.Extent(dim)
 	for t := 0; t < d; t++ {
 		if t != dim && a.used[t] == 0 {
@@ -278,11 +287,20 @@ func (a *Appender) expand(dim int) (storage.Stats, error) {
 		}
 		data[slot] += v
 	}
-	for blk, slots := range byBlock {
-		data, err := oldStore.ReadTile(blk)
-		if err != nil {
-			return storage.Stats{}, err
-		}
+	// Read every touched old block with one vectored request, in ascending
+	// id order — which also makes the accumulation order into pending
+	// blocks deterministic where map iteration used to randomize it.
+	oldBlks := make([]int, 0, len(byBlock))
+	for blk := range byBlock {
+		oldBlks = append(oldBlks, blk)
+	}
+	sort.Ints(oldBlks)
+	oldData, err := oldStore.ReadTiles(oldBlks)
+	if err != nil {
+		return storage.Stats{}, err
+	}
+	for i, blk := range oldBlks {
+		data, slots := oldData[i], byBlock[blk]
 		for slot, c := range slots {
 			v := data[slot]
 			if v == 0 {
@@ -309,10 +327,12 @@ func (a *Appender) expand(dim int) (storage.Stats, error) {
 		blks = append(blks, blk)
 	}
 	sort.Ints(blks)
-	for _, blk := range blks {
-		if err := a.store.WriteTile(blk, pending[blk]); err != nil {
-			return storage.Stats{}, err
-		}
+	newData := make([][]float64, len(blks))
+	for i, blk := range blks {
+		newData[i] = pending[blk]
+	}
+	if err := a.store.WriteTiles(blks, newData); err != nil {
+		return storage.Stats{}, err
 	}
 	// The expanded transform is one atomic batch; only after it is durable
 	// may the previous generation be retired.
@@ -324,6 +344,8 @@ func (a *Appender) expand(dim int) (storage.Stats, error) {
 	oldStats := oldCounting.Stats()
 	a.accumulated.Reads += oldStats.Reads
 	a.accumulated.Writes += oldStats.Writes
+	a.accumulated.Syncs += oldStats.Syncs
+	a.accumulated.Commits += oldStats.Commits
 	cost := storage.Stats{
 		Reads:  oldStats.Reads - preOld.Reads,
 		Writes: a.counting.Stats().Writes,

@@ -183,6 +183,104 @@ func (c *Sharded) ReadBlock(id int, buf []float64) error {
 	return nil
 }
 
+// ReadBlocks implements storage.BatchReader. Every position is resolved
+// the way ReadBlock would — hits copy out under the shard lock, misses
+// join an existing singleflight load or register their own — but all the
+// loads this call owns are issued to the inner store as one vectored read,
+// so a cold burst over a tile run costs one device request instead of one
+// per block. Waiting on loads owned by other goroutines happens after our
+// own complete, which also resolves duplicate ids within the batch.
+func (c *Sharded) ReadBlocks(ids []int, bufs [][]float64) error {
+	for i, id := range ids {
+		if err := c.checkArgs(id, len(bufs[i])); err != nil {
+			return err
+		}
+	}
+	calls := make([]*call, len(ids)) // nil where the position was a hit
+	var ownIDs []int
+	var ownBufs [][]float64
+	var ownCalls []*call
+	for i, id := range ids {
+		sh := c.shardOf(id)
+		sh.mu.Lock()
+		if el, ok := sh.entries[id]; ok {
+			copy(bufs[i], el.Value.(*entry).data)
+			sh.lru.MoveToFront(el)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			continue
+		}
+		c.misses.Add(1)
+		if cl, ok := sh.inflight[id]; ok {
+			calls[i] = cl // someone (possibly this batch) is loading it
+			sh.mu.Unlock()
+			continue
+		}
+		cl := &call{gen: sh.gen}
+		cl.wg.Add(1)
+		sh.inflight[id] = cl
+		sh.mu.Unlock()
+		calls[i] = cl
+		ownIDs = append(ownIDs, id)
+		ownBufs = append(ownBufs, make([]float64, c.blockSize))
+		ownCalls = append(ownCalls, cl)
+	}
+	if len(ownIDs) > 0 {
+		c.inflight.Add(int64(len(ownIDs)))
+		c.loads.Add(int64(len(ownIDs)))
+		err := storage.ReadBlocksOf(c.inner, ownIDs, ownBufs)
+		c.inflight.Add(int64(-len(ownIDs)))
+		for k, cl := range ownCalls {
+			id := ownIDs[k]
+			cl.data, cl.err = ownBufs[k], err
+			sh := c.shardOf(id)
+			sh.mu.Lock()
+			delete(sh.inflight, id)
+			if err == nil && cl.gen == sh.gen {
+				c.install(sh, id, ownBufs[k])
+			}
+			sh.mu.Unlock()
+			cl.wg.Done()
+		}
+	}
+	for i, cl := range calls {
+		if cl == nil {
+			continue
+		}
+		cl.wg.Wait()
+		if cl.err != nil {
+			return cl.err
+		}
+		copy(bufs[i], cl.data)
+	}
+	return nil
+}
+
+// WriteBlocks implements storage.BatchWriter: one vectored write-through,
+// then per-id invalidation with the same generation bump ReadBlock's
+// stale-load protection relies on. Invalidation is performed even when the
+// inner write fails — some of the batch may have landed, so dropping every
+// touched id is the conservative coherent choice.
+func (c *Sharded) WriteBlocks(ids []int, data [][]float64) error {
+	for i, id := range ids {
+		if err := c.checkArgs(id, len(data[i])); err != nil {
+			return err
+		}
+	}
+	err := storage.WriteBlocksOf(c.inner, ids, data)
+	for _, id := range ids {
+		sh := c.shardOf(id)
+		sh.mu.Lock()
+		sh.gen++
+		if el, ok := sh.entries[id]; ok {
+			sh.lru.Remove(el)
+			delete(sh.entries, id)
+		}
+		sh.mu.Unlock()
+	}
+	return err
+}
+
 // install adds a loaded block to the shard, evicting from the cold end if
 // the shard is over capacity. Caller holds sh.mu.
 func (c *Sharded) install(sh *shard, id int, data []float64) {

@@ -5,31 +5,60 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/tile"
 )
 
+// writeGroup bounds how many computed blocks the materialization consumer
+// buffers before flushing them as one vectored write (mirrors the group
+// size tile.MaterializeStandard uses on the sequential path).
+const writeGroup = 64
+
 // MaterializeStandard is tile.MaterializeStandard with block computation
 // fanned out to the worker pool. Writes stay on the consumer goroutine in
 // ascending block order — the exact physical write sequence of the
-// sequential path, which durable stores' crash campaigns rely on — so no
-// SerialApply special-casing is needed here.
+// sequential path, which durable stores' crash campaigns rely on — but are
+// flushed in bounded groups so each group is one vectored write over a
+// consecutive id run.
 func MaterializeStandard(st *tile.Store, hat *ndarray.Array, opts Options) error {
 	fill, numBlocks, err := tile.StandardBlockFiller(st.Tiling(), hat)
 	if err != nil {
 		return err
 	}
 	blockSize := st.Tiling().BlockSize()
-	return Run(numBlocks, opts,
+	ids := make([]int, 0, writeGroup)
+	group := make([][]float64, 0, writeGroup)
+	flush := func() error {
+		if len(ids) == 0 {
+			return nil
+		}
+		if err := st.WriteTiles(ids, group); err != nil {
+			return err
+		}
+		ids, group = ids[:0], group[:0]
+		return nil
+	}
+	err = Run(numBlocks, opts,
 		func(block int) ([]float64, error) {
 			data := make([]float64, blockSize)
 			fill(block, data)
 			return data, nil
 		},
 		func(block int, data []float64) error {
-			return st.WriteTile(block, data)
+			ids = append(ids, block)
+			group = append(group, data)
+			if len(ids) >= writeGroup {
+				return flush()
+			}
+			return nil
 		})
+	if err != nil {
+		return err
+	}
+	return flush()
 }
 
 // MaterializeNonStandard is tile.MaterializeNonStandard with the per-tile
 // scaling reconstructions (the expensive part: a quadtree descent per
-// block) fanned out to the worker pool; layout and writes stay sequential.
+// block) fanned out to the worker pool; layout stays sequential and the
+// finished blocks — one consecutive run 0..numBlocks-1 — land in a single
+// vectored write.
 func MaterializeNonStandard(st *tile.Store, hat *ndarray.Array, opts Options) error {
 	blocks, scaling, err := tile.NonStandardBlocks(st.Tiling(), hat)
 	if err != nil {
@@ -46,10 +75,9 @@ func MaterializeNonStandard(st *tile.Store, hat *ndarray.Array, opts Options) er
 			return err
 		}
 	}
-	for id, b := range blocks {
-		if err := st.WriteTile(id, b); err != nil {
-			return err
-		}
+	ids := make([]int, len(blocks))
+	for id := range blocks {
+		ids[id] = id
 	}
-	return nil
+	return st.WriteTiles(ids, blocks)
 }

@@ -245,27 +245,33 @@ func (a *Applier) runShard(ch chan []tile.Bucket) {
 }
 
 func (a *Applier) applyJob(job []tile.Bucket) error {
+	// One vectored read of the job's tiles, deltas applied outside the
+	// I/O lock, one vectored write. Each tile belongs to exactly one
+	// shard, so nothing can mutate these blocks between the phases, and
+	// within the shard jobs still land in chunk order — the per-tile
+	// accumulation order (and the floating-point result) is unchanged.
+	blocks := make([]int, len(job))
 	for i := range job {
-		b := &job[i]
-		a.ioMu.Lock()
-		data, err := a.st.ReadTile(b.Block)
-		a.ioMu.Unlock()
-		if err != nil {
-			return err
-		}
-		for slot, dv := range b.Deltas {
+		blocks[i] = job[i].Block
+	}
+	a.ioMu.Lock()
+	tiles, err := a.st.ReadTiles(blocks)
+	a.ioMu.Unlock()
+	if err != nil {
+		return err
+	}
+	for i := range job {
+		data := tiles[i]
+		for slot, dv := range job[i].Deltas {
 			if dv != 0 {
 				data[slot] += dv
 			}
 		}
-		a.ioMu.Lock()
-		err = a.st.WriteTile(b.Block, data)
-		a.ioMu.Unlock()
-		if err != nil {
-			return err
-		}
 	}
-	return nil
+	a.ioMu.Lock()
+	err = a.st.WriteTiles(blocks, tiles)
+	a.ioMu.Unlock()
+	return err
 }
 
 func (a *Applier) setErr(err error) {

@@ -160,8 +160,12 @@ func PointViaRootPath(st *tile.Store, shape, point []int) (float64, int, error) 
 		return 0, 0, err
 	}
 	reader := tile.NewReader(st)
+	coefs := wavelet.PointPathStandard(shape, point)
+	if err := preload(st, reader, coefs); err != nil {
+		return 0, reader.BlocksRead(), err
+	}
 	sum := 0.0
-	for _, c := range wavelet.PointPathStandard(shape, point) {
+	for _, c := range coefs {
 		v, err := reader.Get(c.Coords)
 		if err != nil {
 			return 0, reader.BlocksRead(), err
@@ -169,6 +173,17 @@ func PointViaRootPath(st *tile.Store, shape, point []int) (float64, int, error) 
 		sum += c.Weight * v
 	}
 	return sum, reader.BlocksRead(), nil
+}
+
+// preload batch-loads the distinct blocks a coefficient set touches with
+// one vectored read. The set — hence BlocksRead — is identical to what the
+// per-coefficient loop would load one block at a time.
+func preload(st *tile.Store, reader *tile.Reader, coefs []wavelet.Coef) error {
+	blocks := make([]int, len(coefs))
+	for i, c := range coefs {
+		blocks[i], _ = st.Tiling().Locate(c.Coords)
+	}
+	return reader.Preload(blocks)
 }
 
 // RangeSumStandard answers a box aggregate over [start, start+shape) by
@@ -179,8 +194,12 @@ func RangeSumStandard(st *tile.Store, arrShape, start, shape []int) (float64, in
 		return 0, 0, err
 	}
 	reader := tile.NewReader(st)
+	coefs := wavelet.RangeSumCoefsStandard(arrShape, start, shape)
+	if err := preload(st, reader, coefs); err != nil {
+		return 0, reader.BlocksRead(), err
+	}
 	sum := 0.0
-	for _, c := range wavelet.RangeSumCoefsStandard(arrShape, start, shape) {
+	for _, c := range coefs {
 		v, err := reader.Get(c.Coords)
 		if err != nil {
 			return 0, reader.BlocksRead(), err
@@ -291,12 +310,21 @@ func RangeSumNonStandard(st *tile.Store, start, shape []int) (float64, int, erro
 func PointBatch(st *tile.Store, shape []int, points [][]int) ([]float64, int, error) {
 	reader := tile.NewReader(st)
 	out := make([]float64, len(points))
+	paths := make([][]wavelet.Coef, len(points))
+	var all []wavelet.Coef
 	for i, p := range points {
 		if err := ValidatePoint(shape, p); err != nil {
 			return nil, reader.BlocksRead(), err
 		}
+		paths[i] = wavelet.PointPathStandard(shape, p)
+		all = append(all, paths[i]...)
+	}
+	if err := preload(st, reader, all); err != nil {
+		return nil, reader.BlocksRead(), err
+	}
+	for i := range points {
 		sum := 0.0
-		for _, c := range wavelet.PointPathStandard(shape, p) {
+		for _, c := range paths[i] {
 			v, err := reader.Get(c.Coords)
 			if err != nil {
 				return nil, reader.BlocksRead(), err

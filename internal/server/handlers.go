@@ -251,6 +251,8 @@ type storeStats struct {
 	BlockSize int    `json:"block_size"`
 	Reads     int64  `json:"reads"`
 	Writes    int64  `json:"writes"`
+	Syncs     int64  `json:"syncs"`
+	Commits   int64  `json:"commits"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -270,6 +272,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BlockSize: s.st.BlockSize(),
 			Reads:     io.Reads,
 			Writes:    io.Writes,
+			Syncs:     io.Syncs,
+			Commits:   io.Commits,
 		},
 	}
 	if cs, ok := s.st.CacheStats(); ok {

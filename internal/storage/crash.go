@@ -87,6 +87,30 @@ func (c *CrashStore) ReadBlock(id int, buf []float64) error {
 	return c.inner.ReadBlock(id, buf)
 }
 
+// ReadBlocks implements BatchReader: cached (unsynced) writes are served
+// from the overlay and the remainder is fetched from the medium as one
+// vectored read. Reads are not mutations, so the crash plan's op count is
+// untouched.
+func (c *CrashStore) ReadBlocks(ids []int, bufs [][]float64) error {
+	if c.plan.crashed {
+		return ErrCrashed
+	}
+	var missIDs []int
+	var missBufs [][]float64
+	for i, id := range ids {
+		if data, ok := c.cache[id]; ok {
+			copy(bufs[i], data)
+		} else {
+			missIDs = append(missIDs, id)
+			missBufs = append(missBufs, bufs[i])
+		}
+	}
+	if len(missIDs) == 0 {
+		return nil
+	}
+	return ReadBlocksOf(c.inner, missIDs, missBufs)
+}
+
 // persistTorn writes a block to the medium with only a random-length
 // prefix of the new coefficients; the suffix keeps the medium's old
 // contents, modeling a write interrupted mid-sector.
@@ -120,6 +144,20 @@ func (c *CrashStore) WriteBlock(id int, data []float64) error {
 		c.cache[id] = dst
 	}
 	copy(dst, data)
+	return nil
+}
+
+// WriteBlocks implements BatchWriter by pushing each block through the
+// same per-mutation plan accounting as WriteBlock: the crash campaign's
+// op indices — and therefore its sweep — are identical whether the stack
+// above batches or loops. Writes land in the volatile cache, so there is
+// no inner batch to issue before a Sync.
+func (c *CrashStore) WriteBlocks(ids []int, data [][]float64) error {
+	for i, id := range ids {
+		if err := c.WriteBlock(id, data[i]); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

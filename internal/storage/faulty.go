@@ -109,14 +109,34 @@ func (f *Faulty) InjectedFaults() int64 { return f.injected }
 // BlockSize returns the wrapped block size.
 func (f *Faulty) BlockSize() int { return f.inner.BlockSize() }
 
-// ReadBlock fails if any read trigger fires, else delegates.
-func (f *Faulty) ReadBlock(id int, buf []float64) error {
+// readTrigger counts one read and reports whether a trigger fires on it,
+// consuming exactly the RNG draws the per-block path would.
+func (f *Faulty) readTrigger() bool {
 	f.reads++
 	fail := f.failReadAfter != 0 && f.reads >= f.failReadAfter
 	fail = fail || (f.everyNthRead > 0 && f.reads%f.everyNthRead == 0)
 	fail = fail || (f.pRead > 0 && f.rng.Float64() < f.pRead)
 	if fail {
 		f.injected++
+	}
+	return fail
+}
+
+// writeTrigger counts one write and reports whether a trigger fires on it.
+func (f *Faulty) writeTrigger() bool {
+	f.writes++
+	fail := f.failWriteAfter != 0 && f.writes >= f.failWriteAfter
+	fail = fail || (f.everyNthWrite > 0 && f.writes%f.everyNthWrite == 0)
+	fail = fail || (f.pWrite > 0 && f.rng.Float64() < f.pWrite)
+	if fail {
+		f.injected++
+	}
+	return fail
+}
+
+// ReadBlock fails if any read trigger fires, else delegates.
+func (f *Faulty) ReadBlock(id int, buf []float64) error {
+	if f.readTrigger() {
 		return fmt.Errorf("read block %d: %w", id, ErrInjected)
 	}
 	return f.inner.ReadBlock(id, buf)
@@ -124,15 +144,40 @@ func (f *Faulty) ReadBlock(id int, buf []float64) error {
 
 // WriteBlock fails if any write trigger fires, else delegates.
 func (f *Faulty) WriteBlock(id int, data []float64) error {
-	f.writes++
-	fail := f.failWriteAfter != 0 && f.writes >= f.failWriteAfter
-	fail = fail || (f.everyNthWrite > 0 && f.writes%f.everyNthWrite == 0)
-	fail = fail || (f.pWrite > 0 && f.rng.Float64() < f.pWrite)
-	if fail {
-		f.injected++
+	if f.writeTrigger() {
 		return fmt.Errorf("write block %d: %w", id, ErrInjected)
 	}
 	return f.inner.WriteBlock(id, data)
+}
+
+// ReadBlocks evaluates the per-block triggers in batch order (same
+// counters and RNG draws as the loop) and forwards the maximal clean
+// prefix as one vectored read. A firing trigger fails the batch with the
+// same injected error the loop would return for that block; an inner error
+// on the prefix takes precedence, as it would in the loop.
+func (f *Faulty) ReadBlocks(ids []int, bufs [][]float64) error {
+	for i, id := range ids {
+		if f.readTrigger() {
+			if err := ReadBlocksOf(f.inner, ids[:i], bufs[:i]); err != nil {
+				return err
+			}
+			return fmt.Errorf("read block %d: %w", id, ErrInjected)
+		}
+	}
+	return ReadBlocksOf(f.inner, ids, bufs)
+}
+
+// WriteBlocks is ReadBlocks for the write triggers.
+func (f *Faulty) WriteBlocks(ids []int, data [][]float64) error {
+	for i, id := range ids {
+		if f.writeTrigger() {
+			if err := WriteBlocksOf(f.inner, ids[:i], data[:i]); err != nil {
+				return err
+			}
+			return fmt.Errorf("write block %d: %w", id, ErrInjected)
+		}
+	}
+	return WriteBlocksOf(f.inner, ids, data)
 }
 
 // Sync delegates (faults target block transfers, not barriers).

@@ -35,6 +35,21 @@ func (l *Locked) WriteBlock(id int, data []float64) error {
 	return l.inner.WriteBlock(id, data)
 }
 
+// ReadBlocks delegates the whole batch under one lock acquisition — the
+// lock-traffic win vectored requests exist for.
+func (l *Locked) ReadBlocks(ids []int, bufs [][]float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ReadBlocksOf(l.inner, ids, bufs)
+}
+
+// WriteBlocks delegates the whole batch under one lock acquisition.
+func (l *Locked) WriteBlocks(ids []int, data [][]float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return WriteBlocksOf(l.inner, ids, data)
+}
+
 // Sync delegates under the lock.
 func (l *Locked) Sync() error {
 	l.mu.Lock()

@@ -37,5 +37,36 @@ func (o *Offset) WriteBlock(id int, data []float64) error {
 	return o.inner.WriteBlock(o.base+id, data)
 }
 
+// shift returns ids with the base added; consecutive runs stay consecutive,
+// so the inner store coalesces exactly as it would for the raw ids.
+func (o *Offset) shift(ids []int) ([]int, error) {
+	shifted := make([]int, len(ids))
+	for i, id := range ids {
+		if id < 0 {
+			return nil, fmt.Errorf("storage: negative block id %d", id)
+		}
+		shifted[i] = o.base + id
+	}
+	return shifted, nil
+}
+
+// ReadBlocks delegates the batch with the base added to every id.
+func (o *Offset) ReadBlocks(ids []int, bufs [][]float64) error {
+	shifted, err := o.shift(ids)
+	if err != nil {
+		return err
+	}
+	return ReadBlocksOf(o.inner, shifted, bufs)
+}
+
+// WriteBlocks delegates the batch with the base added to every id.
+func (o *Offset) WriteBlocks(ids []int, data [][]float64) error {
+	shifted, err := o.shift(ids)
+	if err != nil {
+		return err
+	}
+	return WriteBlocksOf(o.inner, shifted, data)
+}
+
 // Close is a no-op: the shared inner store outlives its views.
 func (o *Offset) Close() error { return nil }

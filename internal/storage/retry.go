@@ -110,6 +110,21 @@ func (r *Retry) WriteBlock(id int, data []float64) error {
 	return r.do(func() error { return r.inner.WriteBlock(id, data) })
 }
 
+// ReadBlocks retries the whole batch on a transient failure. Re-reading
+// already-delivered blocks is idempotent, so the retry unit being the
+// batch (not the block) changes only how many blocks a flaky device
+// re-transfers, never the result.
+func (r *Retry) ReadBlocks(ids []int, bufs [][]float64) error {
+	return r.do(func() error { return ReadBlocksOf(r.inner, ids, bufs) })
+}
+
+// WriteBlocks retries the whole batch on a transient failure. Batch writes
+// preserve slice order on every attempt, and rewriting a prefix that
+// already landed is idempotent.
+func (r *Retry) WriteBlocks(ids []int, data [][]float64) error {
+	return r.do(func() error { return WriteBlocksOf(r.inner, ids, data) })
+}
+
 // Sync retries transient sync failures.
 func (r *Retry) Sync() error {
 	return r.do(func() error { return SyncIfAble(r.inner) })

@@ -120,8 +120,26 @@ func (s *MemStore) ReadBlock(id int, buf []float64) error {
 		copy(buf, b)
 		return nil
 	}
-	for i := range buf {
-		buf[i] = 0
+	ZeroFill(buf)
+	return nil
+}
+
+// ReadBlocks implements BatchReader under a single lock acquisition.
+func (s *MemStore) ReadBlocks(ids []int, bufs [][]float64) error {
+	if err := checkBatchArgs(s, ids, bufs); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for i, id := range ids {
+		if b, ok := s.blocks[id]; ok {
+			copy(bufs[i], b)
+		} else {
+			ZeroFill(bufs[i])
+		}
 	}
 	return nil
 }
@@ -142,6 +160,28 @@ func (s *MemStore) WriteBlock(id int, data []float64) error {
 		s.blocks[id] = b
 	}
 	copy(b, data)
+	return nil
+}
+
+// WriteBlocks implements BatchWriter under a single lock acquisition,
+// storing data[i] as block ids[i] in slice order.
+func (s *MemStore) WriteBlocks(ids []int, data [][]float64) error {
+	if err := checkBatchArgs(s, ids, data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for i, id := range ids {
+		b, ok := s.blocks[id]
+		if !ok {
+			b = make([]float64, s.blockSize)
+			s.blocks[id] = b
+		}
+		copy(b, data[i])
+	}
 	return nil
 }
 
@@ -172,23 +212,29 @@ func (s *MemStore) Close() error {
 	return nil
 }
 
-// Stats counts block-level I/O operations.
+// Stats counts block-level I/O operations and durability points.
 type Stats struct {
-	Reads  int64 // blocks read from the underlying store
-	Writes int64 // blocks written to the underlying store
+	Reads   int64 // blocks read from the underlying store
+	Writes  int64 // blocks written to the underlying store
+	Syncs   int64 // Sync barriers forwarded to the underlying store
+	Commits int64 // Commit durability points forwarded to the underlying store
 }
 
-// Total returns Reads + Writes.
+// Total returns Reads + Writes (durability points move no blocks and are
+// not included).
 func (s Stats) Total() int64 { return s.Reads + s.Writes }
 
 // Counting wraps a BlockStore and counts every read and write that reaches
-// the underlying store. This is the measurement instrument behind every
-// figure in EXPERIMENTS.md. The counters are updated atomically, so Counting
-// adds no synchronization requirements beyond the wrapped store's own.
+// the underlying store, plus the Sync/Commit durability points forwarded
+// through it. This is the measurement instrument behind every figure in
+// EXPERIMENTS.md. The counters are updated atomically, so Counting adds no
+// synchronization requirements beyond the wrapped store's own.
 type Counting struct {
-	inner  BlockStore
-	reads  atomic.Int64
-	writes atomic.Int64
+	inner   BlockStore
+	reads   atomic.Int64
+	writes  atomic.Int64
+	syncs   atomic.Int64
+	commits atomic.Int64
 }
 
 // NewCounting wraps inner with an I/O counter.
@@ -211,26 +257,54 @@ func (c *Counting) WriteBlock(id int, data []float64) error {
 	return c.inner.WriteBlock(id, data)
 }
 
+// ReadBlocks counts one read per block and forwards the batch. The counts
+// are the same as the per-block loop's on success; on a mid-batch error
+// the whole batch has already been counted (it was requested of the
+// device), where the loop would have stopped counting at the failure.
+func (c *Counting) ReadBlocks(ids []int, bufs [][]float64) error {
+	c.reads.Add(int64(len(ids)))
+	return ReadBlocksOf(c.inner, ids, bufs)
+}
+
+// WriteBlocks counts one write per block and forwards the batch.
+func (c *Counting) WriteBlocks(ids []int, data [][]float64) error {
+	c.writes.Add(int64(len(ids)))
+	return WriteBlocksOf(c.inner, ids, data)
+}
+
 // Close delegates to the wrapped store.
 func (c *Counting) Close() error { return c.inner.Close() }
 
-// Sync forwards to the wrapped store without counting (syncs move no
-// blocks).
-func (c *Counting) Sync() error { return SyncIfAble(c.inner) }
+// Sync counts one sync barrier and forwards to the wrapped store (syncs
+// move no blocks, so Reads/Writes are untouched).
+func (c *Counting) Sync() error {
+	c.syncs.Add(1)
+	return SyncIfAble(c.inner)
+}
 
 // Truncate forwards to the wrapped store.
 func (c *Counting) Truncate() error { return TruncateIfAble(c.inner) }
 
-// Commit forwards a durability point to the wrapped store.
-func (c *Counting) Commit() error { return CommitIfAble(c.inner) }
+// Commit counts one durability point and forwards it to the wrapped store.
+func (c *Counting) Commit() error {
+	c.commits.Add(1)
+	return CommitIfAble(c.inner)
+}
 
 // Stats returns the counters accumulated so far.
 func (c *Counting) Stats() Stats {
-	return Stats{Reads: c.reads.Load(), Writes: c.writes.Load()}
+	return Stats{
+		Reads:   c.reads.Load(),
+		Writes:  c.writes.Load(),
+		Syncs:   c.syncs.Load(),
+		Commits: c.commits.Load(),
+	}
 }
 
 // Reset zeroes the counters.
 func (c *Counting) Reset() {
 	c.reads.Store(0)
 	c.writes.Store(0)
+	c.syncs.Store(0)
+	c.commits.Store(0)
 }

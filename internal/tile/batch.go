@@ -70,10 +70,12 @@ func (b *Batch) Flush() error {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	for _, id := range ids {
-		if err := b.store.WriteTile(id, b.blocks[id]); err != nil {
-			return err
-		}
+	data := make([][]float64, len(ids))
+	for i, id := range ids {
+		data[i] = b.blocks[id]
+	}
+	if err := b.store.WriteTiles(ids, data); err != nil {
+		return err
 	}
 	b.blocks = make(map[int][]float64)
 	return nil
@@ -215,15 +217,21 @@ func (w *OnceWriter) Flush() error {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	var outIDs []int
+	var outData [][]float64
 	for _, id := range ids {
 		ob := w.pending[id]
 		delete(w.pending, id)
 		if ob.data == nil {
-			continue
+			continue // all-zero block: nothing to store
 		}
-		if err := w.store.WriteTile(id, ob.data); err != nil {
-			return err
-		}
+		outIDs = append(outIDs, id)
+		outData = append(outData, ob.data)
+	}
+	if err := w.store.WriteTiles(outIDs, outData); err != nil {
+		return err
+	}
+	for _, id := range outIDs {
 		w.written[id] = true
 	}
 	return nil

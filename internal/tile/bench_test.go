@@ -1,0 +1,79 @@
+package tile
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+// BenchmarkTileFlush measures the engine-level payoff of the vectored path:
+// flushing a full set of dirty tiles (what Batch.Flush and OnceWriter.Flush
+// do after a SHIFT-SPLIT maintenance round) through a checksummed FileStore.
+// The batched arm issues one WriteTiles call — the Checksummed wrapper frames
+// all blocks into one slab and the FileStore coalesces the consecutive run
+// into a single pwrite — while the looped arm pays one frame copy and one
+// pwrite per tile. pwrites/op comes from the FileStore's syscall-proxy
+// counter.
+
+const (
+	flushBlocks    = 256
+	flushBlockSize = 64
+)
+
+func benchFlushStore(b *testing.B) (*Store, *storage.FileStore, []int, [][]float64) {
+	b.Helper()
+	fs, err := storage.NewFileStore(filepath.Join(b.TempDir(), "tiles.dat"), flushBlockSize+storage.ChecksumOverhead)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fs.Close() })
+	ck, err := storage.NewChecksummed(fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := NewStore(ck, NewSequential([]int{flushBlocks * flushBlockSize}, flushBlockSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int, flushBlocks)
+	tiles := storage.SliceFrames(make([]float64, flushBlocks*flushBlockSize), flushBlocks, flushBlockSize)
+	for i := range ids {
+		ids[i] = i
+		for k := range tiles[i] {
+			tiles[i][k] = float64(i) + float64(k)/float64(flushBlockSize)
+		}
+	}
+	return st, fs, ids, tiles
+}
+
+func BenchmarkTileFlush(b *testing.B) {
+	b.Run("batched", func(b *testing.B) {
+		st, fs, ids, tiles := benchFlushStore(b)
+		_, pwrites0 := fs.Syscalls()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.WriteTiles(ids, tiles); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		_, pwrites := fs.Syscalls()
+		b.ReportMetric(float64(pwrites-pwrites0)/float64(b.N), "pwrites/op")
+	})
+	b.Run("looped", func(b *testing.B) {
+		st, fs, ids, tiles := benchFlushStore(b)
+		_, pwrites0 := fs.Syscalls()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, id := range ids {
+				if err := st.WriteTile(id, tiles[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		_, pwrites := fs.Syscalls()
+		b.ReportMetric(float64(pwrites-pwrites0)/float64(b.N), "pwrites/op")
+	})
+}

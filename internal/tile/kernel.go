@@ -69,26 +69,33 @@ func (bs *BucketSet) Buckets() []Bucket {
 	return bs.buckets
 }
 
-// ApplyBuckets folds bucketed deltas into the store in the order given: one
-// ReadTile and one WriteTile per bucket, exactly the I/O of a tile.Batch
-// holding the same tiles.
+// ApplyBuckets folds bucketed deltas into the store: one ReadTile and one
+// WriteTile per bucket, exactly the I/O of a tile.Batch holding the same
+// tiles, but issued as one vectored read of every touched tile followed by
+// one vectored write. Buckets arrive in ascending block order (BucketSet
+// sorts them), so the batch is one consecutive run per dense region and the
+// physical write sequence matches what the interleaved loop produced.
 func (s *Store) ApplyBuckets(buckets []Bucket) error {
+	if len(buckets) == 0 {
+		return nil
+	}
+	blocks := make([]int, len(buckets))
 	for i := range buckets {
-		b := &buckets[i]
-		data, err := s.ReadTile(b.Block)
-		if err != nil {
-			return err
-		}
-		for slot, dv := range b.Deltas {
+		blocks[i] = buckets[i].Block
+	}
+	tiles, err := s.ReadTiles(blocks)
+	if err != nil {
+		return err
+	}
+	for i := range buckets {
+		data := tiles[i]
+		for slot, dv := range buckets[i].Deltas {
 			if dv != 0 {
 				data[slot] += dv
 			}
 		}
-		if err := s.WriteTile(b.Block, data); err != nil {
-			return err
-		}
 	}
-	return nil
+	return s.WriteTiles(blocks, tiles)
 }
 
 // locTarget is a located 1-d embedding target: weight plus (tile, slot)

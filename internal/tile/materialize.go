@@ -6,7 +6,14 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/core"
 	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
+
+// materializeGroup bounds how many computed blocks a materialization
+// buffers before flushing them as one vectored write: large enough that a
+// full group is one device request over a consecutive run, small enough
+// that the staging memory stays a fraction of the transform itself.
+const materializeGroup = 64
 
 // MaterializeStandard writes a complete standard-form transform into a tiled
 // store, filling every slot of every block: real transform coefficients at
@@ -24,10 +31,22 @@ func MaterializeStandard(st *Store, hat *ndarray.Array) error {
 	if err != nil {
 		return err
 	}
-	blockData := make([]float64, st.Tiling().BlockSize())
-	for block := 0; block < numBlocks; block++ {
-		fill(block, blockData)
-		if err := st.WriteTile(block, blockData); err != nil {
+	// Compute blocks into bounded groups and flush each group as one
+	// vectored write over its consecutive id run, keeping the ascending
+	// write order the sequential loop produced.
+	bsz := st.Tiling().BlockSize()
+	for base := 0; base < numBlocks; base += materializeGroup {
+		n := numBlocks - base
+		if n > materializeGroup {
+			n = materializeGroup
+		}
+		group := storage.SliceFrames(make([]float64, n*bsz), n, bsz)
+		ids := make([]int, n)
+		for i := 0; i < n; i++ {
+			ids[i] = base + i
+			fill(base+i, group[i])
+		}
+		if err := st.WriteTiles(ids, group); err != nil {
 			return err
 		}
 	}
@@ -80,9 +99,7 @@ func StandardBlockFiller(t Tiling, hat *ndarray.Array) (fill func(block int, out
 		coords := make([]int, d)
 		choice := make([]int, d)
 		lists := make([][]core.Target, d)
-		for i := range out {
-			out[i] = 0
-		}
+		storage.ZeroFill(out)
 		for slot := 0; slot < tiling.BlockSize(); slot++ {
 			// Decompose the flat slot into per-dimension slots.
 			rem := slot
@@ -140,12 +157,13 @@ func MaterializeNonStandard(st *Store, hat *ndarray.Array) error {
 	for block := 1; block < len(blocks); block++ {
 		blocks[block][0] = scaling(block)
 	}
-	for id, b := range blocks {
-		if err := st.WriteTile(id, b); err != nil {
-			return err
-		}
+	ids := make([]int, len(blocks))
+	for id := range blocks {
+		ids[id] = id
 	}
-	return nil
+	// The whole layout is one consecutive run 0..numBlocks-1: a single
+	// vectored write in the same ascending order as the per-tile loop.
+	return st.WriteTiles(ids, blocks)
 }
 
 // NonStandardBlocks lays hat out into dense per-block slices (details and

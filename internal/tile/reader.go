@@ -1,5 +1,7 @@
 package tile
 
+import "sort"
+
 // Reader provides cached coefficient reads over a tiled store for the
 // duration of one logical operation: each block is read from the underlying
 // store at most once, so the number of distinct blocks touched — the
@@ -33,6 +35,34 @@ func (r *Reader) Slot(block, slot int) (float64, error) {
 		return 0, err
 	}
 	return data[slot], nil
+}
+
+// Preload loads every listed block not already cached with one vectored
+// read. Callers that can enumerate a query's blocks up front (the facade's
+// full-transform read, batched point queries) use it to turn the per-
+// coefficient load loop into a single device request per consecutive run.
+// Duplicate ids are welcome; BlocksRead still counts distinct blocks.
+func (r *Reader) Preload(blocks []int) error {
+	var missing []int
+	seen := make(map[int]bool)
+	for _, id := range blocks {
+		if _, ok := r.cache[id]; !ok && !seen[id] {
+			seen[id] = true
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Ints(missing)
+	data, err := r.store.ReadTiles(missing)
+	if err != nil {
+		return err
+	}
+	for i, id := range missing {
+		r.cache[id] = data[i]
+	}
+	return nil
 }
 
 func (r *Reader) block(id int) ([]float64, error) {

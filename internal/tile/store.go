@@ -102,6 +102,26 @@ func (s *Store) WriteTile(block int, data []float64) error {
 	return s.bs.WriteBlock(block, data)
 }
 
+// ReadTiles returns copies of the given blocks, fetched as one vectored
+// read when the underlying stack supports it (one device request per
+// consecutive run instead of one per tile).
+func (s *Store) ReadTiles(blocks []int) ([][]float64, error) {
+	if len(blocks) == 0 {
+		return nil, nil
+	}
+	bufs := storage.SliceFrames(make([]float64, len(blocks)*s.tiling.BlockSize()), len(blocks), s.tiling.BlockSize())
+	if err := storage.ReadBlocksOf(s.bs, blocks, bufs); err != nil {
+		return nil, err
+	}
+	return bufs, nil
+}
+
+// WriteTiles stores whole blocks as one vectored write; the physical write
+// order is the slice order, exactly as a WriteTile loop would produce.
+func (s *Store) WriteTiles(blocks []int, data [][]float64) error {
+	return storage.WriteBlocksOf(s.bs, blocks, data)
+}
+
 // Commit makes the writes since the previous commit durable and atomic
 // when the underlying block store stack is transactional (it contains a
 // storage.Durable); otherwise it flushes write-back caches and is a no-op

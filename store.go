@@ -14,13 +14,16 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/transform"
 )
 
-// IOStats reports block-level I/O on a Store.
+// IOStats reports block-level I/O on a Store, plus the durability barriers
+// (syncs) and transactional batch seals (commits) the stack issued.
 type IOStats struct {
-	Reads  int64
-	Writes int64
+	Reads   int64
+	Writes  int64
+	Syncs   int64
+	Commits int64
 }
 
-// Total returns Reads + Writes.
+// Total returns Reads + Writes (barriers move no blocks).
 func (s IOStats) Total() int64 { return s.Reads + s.Writes }
 
 // StoreOptions configures CreateStore.
@@ -239,7 +242,7 @@ func (s *Store) NumBlocks() int { return s.tiling.NumBlocks() }
 // Stats returns the accumulated block I/O counters.
 func (s *Store) Stats() IOStats {
 	st := s.counting.Stats()
-	return IOStats{Reads: st.Reads, Writes: st.Writes}
+	return IOStats{Reads: st.Reads, Writes: st.Writes, Syncs: st.Syncs, Commits: st.Commits}
 }
 
 // ResetStats zeroes the I/O counters.
@@ -465,6 +468,17 @@ func (s *Store) RangeSum(start, shape []int) (float64, int, error) {
 func (s *Store) ReadTransform() (*Array, error) {
 	hat := ndarray.New(s.opts.Shape...)
 	reader := tile.NewReader(s.store)
+	// Locate is pure arithmetic, so the blocks the read will touch are
+	// known up front: preload them with one vectored read (the same
+	// distinct-block set the per-coefficient loop loads one at a time).
+	var blocks []int
+	hat.Each(func(coords []int, _ float64) {
+		block, _ := s.tiling.Locate(coords)
+		blocks = append(blocks, block)
+	})
+	if err := reader.Preload(blocks); err != nil {
+		return nil, err
+	}
 	var rerr error
 	hat.Each(func(coords []int, _ float64) {
 		if rerr != nil {
