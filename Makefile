@@ -8,7 +8,7 @@ CRASH_SEED ?= 1
 STATICCHECK_VERSION ?= 2023.1.7
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet lint lint-tools fmt-check crash-campaign bench-smoke ci clean
+.PHONY: all build test race vet lint lint-tools fmt-check crash-campaign chaos-smoke bench-smoke ci clean
 
 all: build test
 
@@ -60,6 +60,15 @@ crash-campaign:
 		-run 'TestCrashCampaignDurable|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign' \
 		./internal/storage/ ./internal/appender/ .
 
+# The chaos harness drives a real HTTP serving process through a
+# healthy → faulted → recovered arc (EIO, latency, silent bit rot on the
+# medium and in flight) and asserts the robustness contract: answers are
+# never silently wrong, every rotted block is quarantined, and the store
+# converges back to healthy. Runs under -race: it is as much a
+# concurrency test as a fault test.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosSmoke' -v ./internal/chaos/
+
 # A quick pass over the maintenance benchmarks (worker-count sweeps for
 # the chunked transforms and the appender) with -benchmem, so CI catches
 # per-coefficient allocation regressions in the flat kernels and gross
@@ -73,7 +82,7 @@ bench-smoke:
 		-benchmem -benchtime 3x ./internal/storage/
 	$(GO) test -run '^$$' -bench 'BenchmarkTileFlush' -benchmem -benchtime 3x ./internal/tile/
 
-ci: fmt-check vet lint build race crash-campaign
+ci: fmt-check vet lint build race crash-campaign chaos-smoke
 
 clean:
 	$(GO) clean ./...

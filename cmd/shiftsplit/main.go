@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,28 @@ import (
 	"github.com/shiftsplit/shiftsplit"
 	"github.com/shiftsplit/shiftsplit/internal/dataset"
 )
+
+// Exit codes. Scripts branch on fsck/recover results, so the unhealthy
+// states get distinct codes instead of a generic 1.
+const (
+	exitOK            = 0 // store is clean
+	exitFailure       = 1 // generic error
+	exitUsage         = 2 // bad invocation
+	exitNeedsRecovery = 3 // a sealed journal batch awaits replay ('shiftsplit recover')
+	exitCorrupt       = 4 // checksum failures or an unrecoverable journal
+)
+
+// exitError carries a specific process exit code up to main.
+type exitError struct {
+	code int
+	msg  string
+}
+
+func (e *exitError) Error() string { return e.msg }
+
+func exitf(code int, format string, args ...any) error {
+	return &exitError{code: code, msg: fmt.Sprintf(format, args...)}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -68,7 +92,12 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shiftsplit:", err)
-		os.Exit(1)
+		code := exitFailure
+		var xe *exitError
+		if errors.As(err, &xe) {
+			code = xe.code
+		}
+		os.Exit(code)
 	}
 }
 
@@ -86,7 +115,9 @@ commands:
   serve       expose a store over the HTTP/JSON query API
   bench-serve load-test the serving path, report qps and cache hit rate
   info        print a store's geometry and metadata
-  fsck        verify a durable store's checksums and journal (read-only)
+  fsck        verify a durable store's checksums and journal (-scrub
+              quarantines corrupt blocks); exit 0 clean, 3 needs
+              recovery, 4 corrupt
   recover     replay or discard an interrupted batch, then re-verify
 
 run 'shiftsplit <command> -h' for flags`)
@@ -413,6 +444,7 @@ func printFsckReport(rep *shiftsplit.FsckReport) {
 func cmdFsck(args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	store := fs.String("store", "cube.wav", "store path")
+	scrub := fs.Bool("scrub", false, "additionally run an online scrub pass: quarantine corrupt blocks in the metadata sidecar and print the registry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -421,10 +453,43 @@ func cmdFsck(args []string) error {
 		return err
 	}
 	printFsckReport(rep)
-	if !rep.Clean() {
-		return fmt.Errorf("%s is not clean", *store)
+	if *scrub {
+		if err := fsckScrub(*store); err != nil {
+			return err
+		}
+	}
+	// Distinct exit codes so scripts can branch: corruption dominates a
+	// pending journal batch (replaying onto rotten frames helps nobody).
+	switch {
+	case len(rep.Corrupt) > 0 || rep.JournalErr != "":
+		return exitf(exitCorrupt, "%s is corrupt", *store)
+	case rep.JournalCommitted:
+		return exitf(exitNeedsRecovery, "%s has a sealed batch awaiting replay", *store)
+	case !rep.Clean():
+		return exitf(exitFailure, "%s is not clean", *store)
 	}
 	return nil
+}
+
+// fsckScrub opens the store and runs one scrubber pass, persisting the
+// quarantine registry to the metadata sidecar so a later serving process
+// starts degraded instead of trusting rotten frames.
+func fsckScrub(path string) error {
+	st, err := shiftsplit.OpenStore(path)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	n, err := st.ScrubOnce(context.Background())
+	if err != nil {
+		return err
+	}
+	stats, _ := st.ScrubStats()
+	fmt.Printf("scrub:    %d blocks scanned, %d quarantined\n", stats.Scanned, n)
+	for _, rec := range st.Quarantined() {
+		fmt.Printf("          block %d: %s\n", rec.Block, rec.Reason)
+	}
+	return st.Sync()
 }
 
 func cmdRecover(args []string) error {
@@ -450,8 +515,11 @@ func cmdRecover(args []string) error {
 		return err
 	}
 	printFsckReport(rep)
+	if len(rep.Corrupt) > 0 || rep.JournalErr != "" {
+		return exitf(exitCorrupt, "%s is corrupt after recovery", *store)
+	}
 	if !rep.Clean() {
-		return fmt.Errorf("%s is not clean after recovery", *store)
+		return exitf(exitFailure, "%s is not clean after recovery", *store)
 	}
 	return nil
 }

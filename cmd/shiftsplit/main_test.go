@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -199,5 +200,55 @@ func TestFsckFlagsTamperedStore(t *testing.T) {
 	f.Close()
 	if err := cmdFsck([]string{"-store", store}); err == nil {
 		t.Error("fsck passed a tampered store")
+	}
+}
+
+func exitCodeOf(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var xe *exitError
+	if errors.As(err, &xe) {
+		return xe.code
+	}
+	return exitFailure
+}
+
+func TestFsckExitCodesAndScrub(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "d.wav")
+	if err := cmdTransform([]string{"-out", store, "-shape", "16x16", "-chunk", "2", "-durable"}); err != nil {
+		t.Fatal(err)
+	}
+	if code := exitCodeOf(cmdFsck([]string{"-store", store})); code != exitOK {
+		t.Fatalf("clean fsck exit code %d, want %d", code, exitOK)
+	}
+
+	// Rot the medium: fsck must exit with the corruption code, and -scrub
+	// must persist the quarantine so a reopened store starts degraded.
+	f, err := os.OpenFile(store, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xAB}, 200); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if code := exitCodeOf(cmdFsck([]string{"-store", store})); code != exitCorrupt {
+		t.Fatalf("corrupt fsck exit code %d, want %d", code, exitCorrupt)
+	}
+	if code := exitCodeOf(cmdFsck([]string{"-store", store, "-scrub"})); code != exitCorrupt {
+		t.Fatalf("corrupt fsck -scrub exit code %d, want %d", code, exitCorrupt)
+	}
+	st, err := shiftsplit.OpenStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if len(st.Quarantined()) == 0 {
+		t.Fatal("fsck -scrub did not persist the quarantine")
+	}
+	if st.Health().Status != "degraded" {
+		t.Fatalf("reopened store health = %+v", st.Health())
 	}
 }

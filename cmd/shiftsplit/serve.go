@@ -19,6 +19,7 @@ import (
 	"github.com/shiftsplit/shiftsplit"
 	"github.com/shiftsplit/shiftsplit/internal/dataset"
 	"github.com/shiftsplit/shiftsplit/internal/server"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
 
 // cmdServe exposes a materialized store over the HTTP/JSON query API and
@@ -32,14 +33,26 @@ func cmdServe(args []string) error {
 	maxConc := fs.Int("max-concurrent", 64, "queries executing at once before shedding 429s")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-query deadline")
 	drain := fs.Duration("drain", 15*time.Second, "shutdown drain deadline")
+	scrubEvery := fs.Duration("scrub-interval", 0, "background scrub: one full verification pass per interval (0 disables)")
+	scrubRate := fs.Int("scrub-rate", 0, "scrub I/O ceiling in blocks/sec (0 = unlimited)")
+	breaker := fs.Bool("breaker", false, "trip to cache-only serving when the backend fails repeatedly")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	st, err := shiftsplit.OpenServing(*store, *cacheBlocks, *cacheShards)
+	sopts := shiftsplit.ServeOptions{CacheBlocks: *cacheBlocks, CacheShards: *cacheShards}
+	if *breaker {
+		sopts.Breaker = &storage.BreakerOptions{}
+	}
+	st, err := shiftsplit.OpenServingOpts(*store, sopts)
 	if err != nil {
 		return err
 	}
 	defer st.Close()
+	if *scrubEvery > 0 {
+		if err := st.StartScrub(*scrubEvery, *scrubRate); err != nil {
+			return err
+		}
+	}
 	srv := server.New(st, server.Config{
 		Addr:          *addr,
 		MaxConcurrent: *maxConc,

@@ -8,6 +8,7 @@
 //	maprangefloat  SHIFT/SPLIT float sums must not follow map order
 //	lockedstore    stateful stores need storage.Locked on concurrent paths
 //	batchio        engine I/O loops must use the vectored batch calls
+//	errclass       error handling must branch on the typed taxonomy, not message text
 //
 // Usage:
 //
@@ -21,6 +22,7 @@ package main
 
 import (
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/batchio"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/errclass"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/journalwrite"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/lockedstore"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/maprangefloat"
@@ -37,5 +39,6 @@ func main() {
 		maprangefloat.Analyzer,
 		lockedstore.Analyzer,
 		batchio.Analyzer,
+		errclass.Analyzer,
 	)
 }

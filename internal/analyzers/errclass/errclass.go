@@ -1,0 +1,112 @@
+// Package errclass rejects string-matching on error messages.
+//
+// PR 6 gave the storage stack a typed error taxonomy: corruption,
+// transient, and space-exhausted failures are errors.Is-able classes
+// (storage.ErrCorruption, storage.ErrTransient, storage.ErrNoSpace) with
+// helpers (storage.IsCorruption, storage.IsTransient,
+// storage.IsSpaceExhausted, storage.Classify). The retry loop, the
+// scrubber, the breaker, and degraded serving all branch on those classes;
+// a caller that instead matches on message text silently diverges the
+// moment a message is reworded — the retry loop would re-drive corruption,
+// or the scrubber would quarantine a timeout.
+//
+// Flagged: comparing the result of an error's Error() method with == or
+// !=, and passing an error string to the strings matching helpers
+// (strings.Contains, HasPrefix, HasSuffix, Index, EqualFold). Switching on
+// err.Error() is the same mistake and is also flagged.
+//
+// Allowed: logging or formatting an error string (fmt.Errorf,
+// Logf(err.Error()), ...) — only *matching* on the text is the hazard.
+package errclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/vetutil"
+)
+
+// Analyzer is the errclass check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc:  "flag string-matching on error messages; branch with errors.Is and the storage error taxonomy",
+	Run:  run,
+}
+
+// stringsMatchers are the strings-package helpers that turn an error
+// message into a control-flow decision.
+var stringsMatchers = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"Index":     true,
+	"EqualFold": true,
+}
+
+const remedy = "branch with errors.Is against a storage taxonomy sentinel (storage.ErrCorruption, storage.ErrTransient, storage.ErrNoSpace) or its Is* helper instead"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				if node.Op != token.EQL && node.Op != token.NEQ {
+					return true
+				}
+				if isErrorString(pass.TypesInfo, node.X) || isErrorString(pass.TypesInfo, node.Y) {
+					pass.Reportf(node.Pos(), "comparing err.Error() with %s matches on message text; %s", node.Op, remedy)
+				}
+			case *ast.SwitchStmt:
+				if node.Tag != nil && isErrorString(pass.TypesInfo, node.Tag) {
+					pass.Reportf(node.Pos(), "switching on err.Error() matches on message text; %s", remedy)
+				}
+			case *ast.CallExpr:
+				checkStringsCall(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStringsCall flags strings.<Matcher>(...) calls that receive an
+// error's message as either operand.
+func checkStringsCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !stringsMatchers[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorString(pass.TypesInfo, arg) {
+			pass.Reportf(call.Pos(), "strings.%s on err.Error() matches on message text; %s", fn.Name(), remedy)
+			return
+		}
+	}
+}
+
+// isErrorString reports whether expr is a call to the Error() method of a
+// value implementing the error interface — i.e. the error's message text.
+func isErrorString(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := vetutil.Callee(info, call)
+	if fn == nil || fn.Name() != "Error" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return types.Implements(sig.Recv().Type(), errorInterface)
+}
+
+// errorInterface is the predeclared error interface, for Implements checks
+// against concrete error types as well as the interface itself.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/errclass"
+)
+
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errclass.Analyzer, "a")
+}

@@ -1,0 +1,61 @@
+// Package a exercises the errclass analyzer: error-handling decisions must
+// branch on the typed storage taxonomy, never on message text.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+func compared(err error) bool {
+	if err.Error() == "storage: block corrupt" { // want `comparing err.Error\(\) with == matches on message text`
+		return true
+	}
+	return err.Error() != "injected" // want `comparing err.Error\(\) with != matches on message text`
+}
+
+func matched(err error) bool {
+	if strings.Contains(err.Error(), "corrupt") { // want `strings.Contains on err.Error\(\) matches on message text`
+		return true
+	}
+	if strings.HasPrefix(err.Error(), "storage:") { // want `strings.HasPrefix on err.Error\(\) matches on message text`
+		return true
+	}
+	if strings.HasSuffix(err.Error(), "checksum mismatch") { // want `strings.HasSuffix on err.Error\(\) matches on message text`
+		return true
+	}
+	if strings.Index(err.Error(), "no space") >= 0 { // want `strings.Index on err.Error\(\) matches on message text`
+		return true
+	}
+	return strings.EqualFold("ENOSPC", err.Error()) // want `strings.EqualFold on err.Error\(\) matches on message text`
+}
+
+func switched(err error) int {
+	switch err.Error() { // want `switching on err.Error\(\) matches on message text`
+	case "storage: block corrupt":
+		return 1
+	}
+	return 0
+}
+
+func fine(err error) (bool, string) {
+	// Branching on the taxonomy is the supported pattern.
+	if storage.IsCorruption(err) || errors.Is(err, storage.ErrTransient) {
+		return true, ""
+	}
+	// Formatting and logging an error's text is not matching on it.
+	msg := fmt.Sprintf("operation failed: %s", err.Error())
+	// Matching on non-error strings is out of scope.
+	if strings.Contains(msg, "failed") {
+		return false, msg
+	}
+	return false, err.Error()
+}
+
+func suppressed(err error) bool {
+	//shiftsplitvet:ignore errclass -- test asserts exact message wording on purpose
+	return err.Error() == "storage: block corrupt"
+}

@@ -1,0 +1,7 @@
+module github.com/shiftsplit/shiftsplit/vettest
+
+go 1.22
+
+require github.com/shiftsplit/shiftsplit v0.0.0
+
+replace github.com/shiftsplit/shiftsplit => ../../../../..

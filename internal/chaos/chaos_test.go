@@ -1,0 +1,51 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestChaosSmoke is the `make chaos-smoke` entry point: one full
+// healthy → faulted → recovered arc over a real HTTP server. Run it with
+// -race; the harness is as much a concurrency test as a fault test.
+func TestChaosSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Options{Seed: 7, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("chaos run violated an invariant: %v (phases %+v)", err, res.Phases)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %+v", res.Phases)
+	}
+	// The faulted phase must actually have exercised the degraded path:
+	// with two rotted frames and a continuous scrubber, load either hits
+	// the quarantine (degraded 200s) or the fault window (errors).
+	faulted := res.Phases[1]
+	if faulted.Degraded+faulted.Errors == 0 {
+		t.Fatalf("faulted phase saw no degraded answers and no errors: %+v", faulted)
+	}
+	if res.QuarantinedPeak < len(res.Rotted) {
+		t.Fatalf("quarantine peak %d < rotted %d", res.QuarantinedPeak, len(res.Rotted))
+	}
+}
+
+// TestChaosSeeds runs the arc under a couple more seeds so the fault
+// schedule (which blocks rot, where EIOs land) varies.
+func TestChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: one seed is enough")
+	}
+	for _, seed := range []int64{11, 23} {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			res, err := Run(ctx, Options{Seed: seed, PhaseDuration: 200 * time.Millisecond, Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("seed %d: %v (phases %+v)", seed, err, res.Phases)
+			}
+		})
+	}
+}

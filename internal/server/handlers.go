@@ -8,6 +8,7 @@ import (
 
 	"github.com/shiftsplit/shiftsplit"
 	"github.com/shiftsplit/shiftsplit/internal/query"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
 
 type pointRequest struct {
@@ -18,6 +19,9 @@ type pointResponse struct {
 	Point      []int   `json:"point"`
 	Value      float64 `json:"value"`
 	BlocksRead int     `json:"blocks_read"`
+	// Degraded marks an answer that may be partial: at least one block it
+	// touched was quarantined and served as zeros.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
@@ -31,13 +35,14 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	before := s.st.DegradedReads()
 	v, blocks, err := s.st.Point(req.Point...)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	s.served.Add(1)
-	writeJSON(w, pointResponse{Point: req.Point, Value: v, BlocksRead: blocks})
+	writeJSON(w, pointResponse{Point: req.Point, Value: v, BlocksRead: blocks, Degraded: s.degradedSince(before)})
 }
 
 type rangeRequest struct {
@@ -50,6 +55,7 @@ type rangeResponse struct {
 	Extent     []int   `json:"extent"`
 	Sum        float64 `json:"sum"`
 	BlocksRead int     `json:"blocks_read"`
+	Degraded   bool    `json:"degraded,omitempty"` // see pointResponse.Degraded
 }
 
 func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
@@ -63,13 +69,14 @@ func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	before := s.st.DegradedReads()
 	sum, blocks, err := s.st.RangeSum(req.Start, req.Extent)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	s.served.Add(1)
-	writeJSON(w, rangeResponse{Start: req.Start, Extent: req.Extent, Sum: sum, BlocksRead: blocks})
+	writeJSON(w, rangeResponse{Start: req.Start, Extent: req.Extent, Sum: sum, BlocksRead: blocks, Degraded: s.degradedSince(before)})
 }
 
 type progressiveRequest struct {
@@ -84,6 +91,7 @@ type progressiveStep struct {
 	Estimate     float64 `json:"estimate"`
 	Coefficients int     `json:"coefficients"`
 	BlocksRead   int     `json:"blocks_read"`
+	Degraded     bool    `json:"degraded,omitempty"` // see pointResponse.Degraded
 	Final        bool    `json:"final,omitempty"`
 }
 
@@ -115,13 +123,14 @@ func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w) // Encode appends the NDJSON newline
 	ctx := r.Context()
+	before := s.st.DegradedReads()
 	var last progressiveStep
 	have := false
 	err := s.st.ProgressiveRangeSumFunc(req.Start, req.Extent, func(st shiftsplit.ProgressiveStep) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		last = progressiveStep{Estimate: st.Estimate, Coefficients: st.Coefficients, BlocksRead: st.Blocks}
+		last = progressiveStep{Estimate: st.Estimate, Coefficients: st.Coefficients, BlocksRead: st.Blocks, Degraded: s.degradedSince(before)}
 		have = true
 		if st.Coefficients%every == 0 {
 			if err := enc.Encode(last); err != nil {
@@ -141,6 +150,7 @@ func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
 	}
 	if have {
 		last.Final = true
+		last.Degraded = s.degradedSince(before)
 		enc.Encode(last)
 		if flusher != nil {
 			flusher.Flush()
@@ -157,19 +167,34 @@ type olapRequest struct {
 }
 
 type olapResponse struct {
-	Op     string    `json:"op"`
-	Dim    int       `json:"dim"`
-	Shape  []int     `json:"shape"`
-	Values []float64 `json:"values"`
+	Op       string    `json:"op"`
+	Dim      int       `json:"dim"`
+	Shape    []int     `json:"shape"`
+	Values   []float64 `json:"values"`
+	Degraded bool      `json:"degraded,omitempty"` // see pointResponse.Degraded
 }
 
-// olapTransform lazily loads the whole transform into memory once; the
-// OLAP operators then run in the wavelet domain without touching disk.
-func (s *Server) olapTransform() (*shiftsplit.Array, error) {
-	s.olapOnce.Do(func() {
-		s.olapHat, s.olapErr = s.st.ReadTransform()
-	})
-	return s.olapHat, s.olapErr
+// olapTransform lazily loads the whole transform into memory; the OLAP
+// operators then run in the wavelet domain without touching disk. Only a
+// clean load is cached: a load that read zero-filled quarantined blocks
+// (or errored) is served degraded once and retried on the next request,
+// so a repaired store stops answering from stale corrupt data.
+func (s *Server) olapTransform() (hat *shiftsplit.Array, degraded bool, err error) {
+	s.olapMu.Lock()
+	defer s.olapMu.Unlock()
+	if s.olapHat != nil {
+		return s.olapHat, false, nil
+	}
+	before := s.st.DegradedReads()
+	hat, err = s.st.ReadTransform()
+	if err != nil {
+		return nil, false, err
+	}
+	degraded = s.degradedSince(before) || len(s.st.Quarantined()) > 0
+	if !degraded {
+		s.olapHat = hat
+	}
+	return hat, degraded, nil
 }
 
 func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
@@ -185,7 +210,7 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "OLAP operators need a standard-form store")
 		return
 	}
-	hat, err := s.olapTransform()
+	hat, degraded, err := s.olapTransform()
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -218,23 +243,45 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 	// data values, so invert before responding.
 	data := shiftsplit.Inverse(out, shiftsplit.Standard)
 	s.served.Add(1)
-	writeJSON(w, olapResponse{Op: op, Dim: req.Dim, Shape: data.Shape(), Values: data.Data()})
+	writeJSON(w, olapResponse{Op: op, Dim: req.Dim, Shape: data.Shape(), Values: data.Data(), Degraded: degraded})
 }
 
 type healthResponse struct {
+	// Status is "ok" or "degraded" (quarantined blocks or a non-closed
+	// breaker). A degraded store keeps serving — flagged, never silent.
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	Quarantined   int     `json:"quarantined,omitempty"`
+	DegradedReads int64   `json:"degraded_reads,omitempty"`
+	Breaker       string  `json:"breaker,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, healthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()})
+	h := s.st.Health()
+	writeJSON(w, healthResponse{
+		Status:        h.Status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Quarantined:   h.Quarantined,
+		DegradedReads: h.DegradedReads,
+		Breaker:       h.Breaker,
+	})
 }
 
 type statsResponse struct {
-	UptimeSeconds float64                `json:"uptime_seconds"`
-	Queries       queryStats             `json:"queries"`
-	Store         storeStats             `json:"store"`
-	Cache         *shiftsplit.CacheStats `json:"cache,omitempty"`
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Queries       queryStats                 `json:"queries"`
+	Store         storeStats                 `json:"store"`
+	Cache         *shiftsplit.CacheStats     `json:"cache,omitempty"`
+	Health        shiftsplit.Health          `json:"health"`
+	Quarantined   []storage.QuarantineRecord `json:"quarantined,omitempty"`
+	Scrub         *storage.ScrubStats        `json:"scrub,omitempty"`
+	Breaker       *breakerStats              `json:"breaker,omitempty"`
+}
+
+type breakerStats struct {
+	State    string `json:"state"`
+	Trips    int64  `json:"trips"`
+	Rejected int64  `json:"rejected"`
 }
 
 type queryStats struct {
@@ -278,6 +325,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if cs, ok := s.st.CacheStats(); ok {
 		resp.Cache = &cs
+	}
+	resp.Health = s.st.Health()
+	resp.Quarantined = s.st.Quarantined()
+	if ss, ok := s.st.ScrubStats(); ok {
+		resp.Scrub = &ss
+	}
+	if state, trips, rejected, ok := s.st.BreakerStats(); ok {
+		resp.Breaker = &breakerStats{State: state, Trips: trips, Rejected: rejected}
 	}
 	writeJSON(w, resp)
 }

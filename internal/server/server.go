@@ -33,6 +33,7 @@ import (
 
 	"github.com/shiftsplit/shiftsplit"
 	"github.com/shiftsplit/shiftsplit/internal/query"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
 
 // Config bounds and addresses a Server. Zero values pick sensible defaults.
@@ -90,9 +91,8 @@ type Server struct {
 	rejected atomic.Int64
 	failed   atomic.Int64
 
-	olapOnce sync.Once
-	olapHat  *shiftsplit.Array
-	olapErr  error
+	olapMu  sync.Mutex
+	olapHat *shiftsplit.Array
 
 	handler http.Handler
 }
@@ -230,12 +230,30 @@ func decode(r *http.Request, dst any) error {
 }
 
 // fail classifies a query error: malformed queries are the client's fault
-// (400), anything else is the store's (500).
+// (400); an open circuit breaker is a temporary outage the client should
+// retry (503 + Retry-After); an exhausted medium is 507; anything else is
+// the store's fault (500).
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	s.failed.Add(1)
-	if errors.Is(err, query.ErrInvalid) {
+	switch {
+	case errors.Is(err, query.ErrInvalid):
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	case errors.Is(err, storage.ErrUnavailable):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case storage.IsSpaceExhausted(err):
+		writeError(w, http.StatusInsufficientStorage, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
 	}
-	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+// degradedSince reports whether the store zero-filled any quarantined
+// block since the before sample — the per-response degraded flag. Samples
+// bracket each query, so a degraded answer is always flagged; under
+// concurrent load a clean answer may be flagged too (another query's
+// degraded read lands between the samples), which errs on the safe side:
+// the flag means "may be partial", never the reverse.
+func (s *Server) degradedSince(before int64) bool {
+	return s.st.DegradedReads() != before
 }

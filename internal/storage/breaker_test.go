@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func breakerOverFaulty(t *testing.T, threshold int, clock *fakeClock) (*Faulty, *Breaker) {
+	t.Helper()
+	f := NewFaulty(NewMemStore(2))
+	if err := f.WriteBlock(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBreaker(f, BreakerOptions{
+		Threshold: threshold,
+		Cooldown:  100 * time.Millisecond,
+		Now:       clock.now,
+	})
+	return f, b
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	f, b := breakerOverFaulty(t, 3, clock)
+	buf := make([]float64, 2)
+
+	f.FailReadAfter(1) // backend goes down
+	for i := 0; i < 3; i++ {
+		if err := b.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+	}
+	if b.State() != "open" || b.Trips() != 1 {
+		t.Fatalf("state=%s trips=%d after threshold failures", b.State(), b.Trips())
+	}
+	// While open: fail fast without touching the backend.
+	before := f.InjectedFaults()
+	if err := b.ReadBlock(0, buf); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open circuit err = %v, want ErrUnavailable", err)
+	}
+	if f.InjectedFaults() != before {
+		t.Fatal("open circuit still reached the backend")
+	}
+	if b.Rejected() == 0 {
+		t.Fatal("rejection not counted")
+	}
+	// Cooldown elapses; backend still down: the probe fails, circuit
+	// reopens with doubled cooldown.
+	clock.advance(100 * time.Millisecond)
+	if err := b.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("probe err = %v, want ErrInjected", err)
+	}
+	if b.State() != "open" || b.Trips() != 2 {
+		t.Fatalf("state=%s trips=%d after failed probe", b.State(), b.Trips())
+	}
+	// Old cooldown is no longer enough (backoff doubled it to 200ms).
+	clock.advance(100 * time.Millisecond)
+	if err := b.ReadBlock(0, buf); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("backoff not doubled: %v", err)
+	}
+	// Backend heals; after the doubled cooldown the probe closes the circuit.
+	f.FailReadAfter(0)
+	clock.advance(100 * time.Millisecond)
+	if err := b.ReadBlock(0, buf); err != nil {
+		t.Fatalf("healing probe failed: %v", err)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state=%s after successful probe", b.State())
+	}
+	if err := b.ReadBlock(0, buf); err != nil || buf[0] != 1 {
+		t.Fatalf("closed circuit: buf=%v err=%v", buf, err)
+	}
+}
+
+func TestBreakerIgnoresCorruption(t *testing.T) {
+	inner := NewMemStore(6)
+	cs, err := NewChecksummed(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 4; id++ {
+		if err := cs.WriteBlock(id, []float64{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rotFrame(t, inner, 0)
+	b := NewBreaker(cs, BreakerOptions{Threshold: 2})
+	buf := make([]float64, 4)
+	// Hammer the rotten block: corruption must never trip the breaker.
+	for i := 0; i < 10; i++ {
+		if err := b.ReadBlock(0, buf); !errors.Is(err, ErrCorruption) {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if b.State() != "closed" || b.Trips() != 0 {
+		t.Fatalf("corruption tripped the breaker: state=%s trips=%d", b.State(), b.Trips())
+	}
+	// Healthy blocks still serve.
+	if err := b.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	f, b := breakerOverFaulty(t, 3, clock)
+	buf := make([]float64, 2)
+	f.FailEveryNthRead(2) // alternating failure/success: never 3 consecutive
+	for i := 0; i < 20; i++ {
+		_ = b.ReadBlock(0, buf)
+	}
+	if b.State() != "closed" || b.Trips() != 0 {
+		t.Fatalf("alternating faults tripped the breaker: %s/%d", b.State(), b.Trips())
+	}
+}
+
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	f, b := breakerOverFaulty(t, 1, clock)
+	buf := make([]float64, 2)
+	f.FailReadAfter(1)
+	if err := b.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatal(err)
+	}
+	if b.State() != "open" {
+		t.Fatalf("state=%s", b.State())
+	}
+	f.FailReadAfter(0)
+	f.Delay(20 * time.Millisecond) // slow probe holds the half-open slot
+	clock.advance(100 * time.Millisecond)
+	probeDone := make(chan error, 1)
+	go func() { probeDone <- b.ReadBlock(0, buf) }()
+	// Wait until the probe is in flight, then a second request must be
+	// rejected rather than issued as a concurrent probe.
+	deadline := time.After(2 * time.Second)
+	for {
+		if b.State() == "half-open" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("probe never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	other := make([]float64, 2)
+	if err := b.ReadBlock(0, other); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("second half-open request = %v, want ErrUnavailable", err)
+	}
+	if err := <-probeDone; err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state=%s after successful probe", b.State())
+	}
+}

@@ -2,7 +2,6 @@ package storage
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc64"
 	"math"
@@ -16,8 +15,9 @@ const ChecksumOverhead = 2
 
 // ErrChecksum marks a block whose frame failed verification: a torn write,
 // bit rot, or a write that never completed. Readers must treat the block
-// contents as unusable.
-var ErrChecksum = errors.New("storage: block checksum mismatch")
+// contents as unusable. It belongs to the ErrCorruption class of the
+// storage error taxonomy: errors.Is(err, ErrCorruption) also holds.
+var ErrChecksum = newClassified("storage: block checksum mismatch", ErrCorruption)
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 

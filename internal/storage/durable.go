@@ -26,10 +26,18 @@ type Durable struct {
 	data      *Checksummed
 	journal   *Journal
 	pending   map[int][]float64
+	lastBatch map[int][]float64 // post-images of the last committed batch (repair source)
 	epoch     uint64
 	recovered int // blocks replayed by the last recovery, -1 if none
 	closed    bool
 }
+
+// maxRetainedBlocks caps the in-memory copy of the last committed batch
+// kept as a repair source. The journal itself is truncated when a batch
+// retires, so without this copy a freshly opened store has nothing to roll
+// a rotted block forward from; batches above the cap are simply not
+// retained (repair then reports unrepairable and the operator rebuilds).
+const maxRetainedBlocks = 4096
 
 // NewDurable builds a durable store over raw data and journal block
 // stores and runs recovery. For a logical block size L, data must hold
@@ -67,6 +75,15 @@ func wrapPlan(bs BlockStore, plan *CrashPlan) BlockStore {
 // with its journal at WalPath(path). plan, when non-nil, routes all
 // physical writes through a CrashStore for power-cut testing.
 func CreateDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error) {
+	return CreateDurableWrapped(path, blockSize, plan, nil)
+}
+
+// CreateDurableWrapped is CreateDurable with a device-wrapping hook: wrap,
+// when non-nil, is applied to the raw data FileStore below the checksum
+// layer — the seam where fault injection (Faulty) slides under a real
+// store. The journal device is not wrapped: injected journal corruption
+// would model a different fault class (see ErrJournalCorrupt).
+func CreateDurableWrapped(path string, blockSize int, plan *CrashPlan, wrap func(BlockStore) BlockStore) (*Durable, error) {
 	dataFS, err := NewFileStore(path, blockSize+ChecksumOverhead)
 	if err != nil {
 		return nil, err
@@ -76,7 +93,11 @@ func CreateDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error
 		_ = dataFS.Close() // best-effort cleanup; the journal-create error surfaces
 		return nil, err
 	}
-	d, err := NewDurable(wrapPlan(dataFS, plan), wrapPlan(walFS, plan))
+	var data BlockStore = dataFS
+	if wrap != nil {
+		data = wrap(data)
+	}
+	d, err := NewDurable(wrapPlan(data, plan), wrapPlan(walFS, plan))
 	if err != nil {
 		_ = dataFS.Close() // best-effort cleanup; the recovery error surfaces
 		_ = walFS.Close()
@@ -89,6 +110,12 @@ func CreateDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error
 // discarding any interrupted batch left in its journal. A missing journal
 // sidecar (e.g. deleted after a clean shutdown) is recreated empty.
 func OpenDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error) {
+	return OpenDurableWrapped(path, blockSize, plan, nil)
+}
+
+// OpenDurableWrapped is OpenDurable with the same device-wrapping hook as
+// CreateDurableWrapped.
+func OpenDurableWrapped(path string, blockSize int, plan *CrashPlan, wrap func(BlockStore) BlockStore) (*Durable, error) {
 	dataFS, err := OpenFileStore(path, blockSize+ChecksumOverhead)
 	if err != nil {
 		return nil, err
@@ -101,7 +128,11 @@ func OpenDurable(path string, blockSize int, plan *CrashPlan) (*Durable, error) 
 		_ = dataFS.Close() // best-effort cleanup; the journal-open error surfaces
 		return nil, err
 	}
-	d, err := NewDurable(wrapPlan(dataFS, plan), wrapPlan(walFS, plan))
+	var data BlockStore = dataFS
+	if wrap != nil {
+		data = wrap(data)
+	}
+	d, err := NewDurable(wrapPlan(data, plan), wrapPlan(walFS, plan))
 	if err != nil {
 		_ = dataFS.Close() // best-effort cleanup; the recovery error surfaces
 		_ = walFS.Close()
@@ -275,8 +306,67 @@ func (d *Durable) Commit() error {
 		return fmt.Errorf("storage: retire journal: %w", err)
 	}
 	d.epoch = epoch
+	if len(ids) <= maxRetainedBlocks {
+		d.lastBatch = d.pending
+	} else {
+		d.lastBatch = nil
+	}
 	d.pending = make(map[int][]float64)
 	return nil
+}
+
+// VerifyBlocks implements Verifier: staged blocks verify clean (their
+// post-images live in memory and shadow the medium), everything else is
+// frame-verified by the checksummed data store.
+func (d *Durable) VerifyBlocks(ids []int) (corrupt []int, err error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	var onMedia []int
+	for _, id := range ids {
+		if _, staged := d.pending[id]; !staged {
+			onMedia = append(onMedia, id)
+		}
+	}
+	if len(onMedia) == 0 {
+		return nil, nil
+	}
+	return d.data.VerifyBlocks(onMedia)
+}
+
+// RepairBlock implements Repairer: it rolls a corrupt block forward from
+// the newest post-image the store still holds — the staging overlay (an
+// uncommitted write already shadows the bad frame) or the retained copy of
+// the last committed batch (the journal's contents before it was
+// truncated). repaired=false with a nil error means no source covers the
+// block: its last write predates the retained batch and only a rebuild
+// (re-materialize) can recover it.
+func (d *Durable) RepairBlock(id int) (repaired bool, err error) {
+	if d.closed {
+		return false, ErrClosed
+	}
+	if id < 0 {
+		return false, fmt.Errorf("storage: negative block id %d", id)
+	}
+	if _, staged := d.pending[id]; staged {
+		// The overlay already serves reads; the bad frame is overwritten at
+		// the next Commit. Nothing to do on the medium now.
+		return true, nil
+	}
+	data, ok := d.lastBatch[id]
+	if !ok {
+		return false, nil
+	}
+	// Rewrite the frame under the epoch it was committed with and make it
+	// stable before reporting success.
+	d.data.SetEpoch(d.epoch)
+	if err := d.data.WriteBlock(id, data); err != nil {
+		return false, fmt.Errorf("storage: repair block %d: %w", id, err)
+	}
+	if err := d.data.Sync(); err != nil {
+		return false, fmt.Errorf("storage: repair block %d: sync: %w", id, err)
+	}
+	return true, nil
 }
 
 // Rollback discards all staged writes.

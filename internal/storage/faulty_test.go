@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestFaultyReadTrigger(t *testing.T) {
@@ -117,4 +118,158 @@ func TestBufferPoolPropagatesInjectedFaults(t *testing.T) {
 	if !errors.Is(err, ErrInjected) {
 		t.Fatalf("eviction error = %v, want injected fault", err)
 	}
+}
+
+// TestFaultyBitRotIsSilent proves the fault model: a rotted read reports
+// success at the Faulty layer, and only the Checksummed wrapper above it
+// turns the flipped bit into an ErrChecksum/ErrCorruption.
+func TestFaultyBitRotIsSilent(t *testing.T) {
+	inner := NewMemStore(6)
+	f := NewFaulty(inner)
+	cs, err := NewChecksummed(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 8; id++ {
+		if err := cs.WriteBlock(id, []float64{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.RotReadsWithProbability(1, 42) // every read rots
+	// The Faulty layer itself reports success: silent corruption.
+	raw := make([]float64, 6)
+	if err := f.ReadBlock(0, raw); err != nil {
+		t.Fatalf("Faulty reported the rot: %v", err)
+	}
+	if f.RottedBlocks() == 0 {
+		t.Fatal("no rot was injected — test is vacuous")
+	}
+	// The checksum layer catches it on every read.
+	buf := make([]float64, 4)
+	for id := 0; id < 8; id++ {
+		err := cs.ReadBlock(id, buf)
+		if !errors.Is(err, ErrChecksum) || !errors.Is(err, ErrCorruption) {
+			t.Fatalf("read %d = %v, want checksum/corruption error", id, err)
+		}
+	}
+	f.RotReadsWithProbability(0, 0) // disarm: blocks were never modified on media
+	for id := 0; id < 8; id++ {
+		if err := cs.ReadBlock(id, buf); err != nil {
+			t.Fatalf("read %d after disarm: %v", id, err)
+		}
+	}
+}
+
+// TestFaultyWriteRotPersists proves write rot reaches the medium: the
+// block stays corrupt for every subsequent read until rewritten.
+func TestFaultyWriteRotPersists(t *testing.T) {
+	inner := NewMemStore(6)
+	f := NewFaulty(inner)
+	cs, err := NewChecksummed(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.RotWritesWithProbability(1, 7)
+	payload := []float64{5, 6, 7, 8}
+	if err := cs.WriteBlock(3, payload); err != nil {
+		t.Fatalf("rotted write reported an error: %v", err)
+	}
+	if payload[0] != 5 || payload[3] != 8 {
+		t.Fatal("write rot modified the caller's slice")
+	}
+	f.RotWritesWithProbability(0, 0)
+	buf := make([]float64, 4)
+	for try := 0; try < 3; try++ {
+		err := cs.ReadBlock(3, buf)
+		if !errors.Is(err, ErrCorruption) {
+			t.Fatalf("try %d: err = %v, want persistent corruption", try, err)
+		}
+	}
+	// A clean rewrite heals the block.
+	if err := cs.WriteBlock(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.ReadBlock(3, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if buf[0] != 5 {
+		t.Fatalf("healed block = %v", buf)
+	}
+}
+
+// TestFaultyBatchRotMatchesLoop checks the vectored read path applies the
+// same rot draws the per-block loop would.
+func TestFaultyBatchRotMatchesLoop(t *testing.T) {
+	inner := NewMemStore(4)
+	f := NewFaulty(inner)
+	for id := 0; id < 6; id++ {
+		if err := f.WriteBlock(id, []float64{float64(id), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.RotReadsWithProbability(0.5, 99)
+	ids := []int{0, 1, 2, 3, 4, 5}
+	bufs := SliceFrames(make([]float64, 24), 6, 4)
+	if err := f.ReadBlocks(ids, bufs); err != nil {
+		t.Fatal(err)
+	}
+	got := f.RottedBlocks()
+	if got == 0 || got == 6 {
+		t.Fatalf("rot draws degenerate: %d of 6", got)
+	}
+	rotten := 0
+	for i, id := range ids {
+		if bufs[i][0] != float64(id) || bufs[i][1] != 0 || bufs[i][2] != 0 || bufs[i][3] != 0 {
+			rotten++
+		}
+	}
+	if int64(rotten) != got {
+		t.Fatalf("observed %d rotted blocks, counter says %d", rotten, got)
+	}
+}
+
+// TestFaultyDelay checks latency injection stalls operations.
+func TestFaultyDelay(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	f.Delay(10 * time.Millisecond)
+	start := time.Now()
+	if err := f.WriteBlock(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("write took %v, want >= 10ms", d)
+	}
+	f.Delay(0)
+	start = time.Now()
+	if err := f.ReadBlock(0, make([]float64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("disarmed delay still stalls: %v", d)
+	}
+}
+
+// TestFaultyConcurrentArming drives I/O while another goroutine re-arms
+// triggers; meaningful under -race (the triggers are mutex-guarded).
+func TestFaultyConcurrentArming(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			f.FailEveryNthRead(3)
+			f.RotReadsWithProbability(0.1, 1)
+			f.Delay(0)
+			f.FailEveryNthRead(0)
+			f.RotReadsWithProbability(0, 0)
+		}
+	}()
+	buf := make([]float64, 2)
+	for i := 0; i < 400; i++ {
+		_ = f.ReadBlock(0, buf)
+		_ = f.WriteBlock(0, []float64{1, 2})
+	}
+	<-done
+	_ = f.InjectedFaults()
+	_ = f.RottedBlocks()
 }

@@ -2,12 +2,14 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 )
 
 // FileStore is a BlockStore backed by a real file, one block per
@@ -39,6 +41,16 @@ type FileStore struct {
 const maxRunBlocks = 64
 
 func (s *FileStore) frameBytes() int { return 8 * s.blockSize }
+
+// classifyWriteErr labels operating-system write failures with their
+// taxonomy class: ENOSPC and EDQUOT mean the medium is full, which callers
+// must treat as ErrNoSpace (stop the batch) rather than retry.
+func classifyWriteErr(err error) error {
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT) {
+		return WithClass(err, ErrNoSpace)
+	}
+	return err
+}
 
 func (s *FileStore) getScratch() *[]byte {
 	if b, ok := s.scratch.Get().(*[]byte); ok {
@@ -185,7 +197,7 @@ func (s *FileStore) WriteBlock(id int, data []float64) error {
 	off := int64(id) * int64(len(b))
 	s.pwrites.Add(1)
 	if _, err := s.f.WriteAt(b, off); err != nil {
-		return fmt.Errorf("storage: write block %d: %w", id, err)
+		return fmt.Errorf("storage: write block %d: %w", id, classifyWriteErr(err))
 	}
 	return nil
 }
@@ -232,7 +244,7 @@ func (s *FileStore) WriteBlocks(ids []int, data [][]float64) error {
 			s.runScratch.Put(rp)
 		}
 		if err != nil {
-			return fmt.Errorf("storage: write blocks %d..%d: %w", ids[start], ids[end-1], err)
+			return fmt.Errorf("storage: write blocks %d..%d: %w", ids[start], ids[end-1], classifyWriteErr(err))
 		}
 		start = end
 	}
@@ -251,7 +263,7 @@ func (s *FileStore) Sync() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	return s.f.Sync()
+	return classifyWriteErr(s.f.Sync())
 }
 
 // Truncate discards every block by truncating the file to zero length;

@@ -1,27 +1,18 @@
 package storage
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 )
 
-// IsTransient classifies a storage error: transient faults (flaky media,
-// injected ErrInjected-style failures) are worth retrying; structural
-// errors (closed store, checksum mismatch, simulated power loss, bad
-// arguments) are permanent and must surface immediately.
+// IsTransient reports whether a storage error is worth retrying. It is the
+// taxonomy's ClassTransient test: injected faults and other
+// ErrTransient-classed errors retry; corruption, space exhaustion, and
+// fail-stop errors (closed store, simulated power loss, bad arguments)
+// surface immediately.
 func IsTransient(err error) bool {
-	switch {
-	case err == nil:
-		return false
-	case errors.Is(err, ErrClosed), errors.Is(err, ErrChecksum),
-		errors.Is(err, ErrCrashed), errors.Is(err, ErrJournalCorrupt):
-		return false
-	case errors.Is(err, ErrInjected):
-		return true
-	default:
-		return false
-	}
+	return Classify(err) == ClassTransient
 }
 
 // RetryOptions configures a Retry wrapper. The zero value selects the
@@ -33,11 +24,25 @@ type RetryOptions struct {
 	// doubles per retry up to MaxDelay (default 50ms).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// MaxElapsed caps the total time one operation may spend across its
+	// attempts and backoff sleeps, so a retry loop cannot blow through a
+	// deadline set by the layer above (e.g. the server's per-request
+	// budget). Zero means no elapsed-time cap.
+	MaxElapsed time.Duration
+	// Ctx, when non-nil, aborts the backoff loop as soon as the context is
+	// done: the last storage error is returned (wrapping the give-up), and
+	// no further sleeps or attempts happen. Use it to tie a store's retry
+	// budget to a request or shutdown context.
+	Ctx context.Context
 	// Classify reports whether an error is transient (default IsTransient).
+	// Errors classified as corruption are never retried regardless of this
+	// hook: re-reading rotten bytes returns the same rotten bytes.
 	Classify func(error) bool
 	// Sleep is the delay function (default time.Sleep; tests inject a
 	// recorder).
 	Sleep func(time.Duration)
+	// Now is the clock used for the MaxElapsed cap (default time.Now).
+	Now func() time.Time
 }
 
 // Retry wraps a BlockStore and retries transient failures with bounded
@@ -68,6 +73,9 @@ func NewRetry(inner BlockStore, opts RetryOptions) *Retry {
 	if opts.Sleep == nil {
 		opts.Sleep = time.Sleep
 	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
 	return &Retry{inner: inner, opts: opts}
 }
 
@@ -79,15 +87,33 @@ func (r *Retry) GiveUps() int64 { return r.giveUps }
 
 func (r *Retry) do(op func() error) error {
 	delay := r.opts.BaseDelay
+	var start time.Time
+	if r.opts.MaxElapsed > 0 {
+		start = r.opts.Now()
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = op()
 		if err == nil || !r.opts.Classify(err) {
 			return err
 		}
+		// Corruption is never retried, whatever the Classify hook says:
+		// the bytes on the medium are wrong and re-reading them is wasted
+		// I/O. Quarantine and repair are the only ways forward.
+		if IsCorruption(err) {
+			return err
+		}
 		if attempt >= r.opts.MaxAttempts {
 			r.giveUps++
 			return fmt.Errorf("storage: gave up after %d attempts: %w", attempt, err)
+		}
+		if r.opts.Ctx != nil && r.opts.Ctx.Err() != nil {
+			r.giveUps++
+			return fmt.Errorf("storage: retry canceled (%v) after %d attempts: %w", r.opts.Ctx.Err(), attempt, err)
+		}
+		if r.opts.MaxElapsed > 0 && r.opts.Now().Sub(start)+delay > r.opts.MaxElapsed {
+			r.giveUps++
+			return fmt.Errorf("storage: retry budget %v exhausted after %d attempts: %w", r.opts.MaxElapsed, attempt, err)
 		}
 		r.retries++
 		r.opts.Sleep(delay)

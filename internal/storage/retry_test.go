@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -116,5 +117,98 @@ func TestIsTransientClassification(t *testing.T) {
 		if got := IsTransient(c.err); got != c.want {
 			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
 		}
+	}
+}
+
+func TestRetryNeverRetriesCorruption(t *testing.T) {
+	// Checksummed over a MemStore whose frame we corrupt by hand: the read
+	// fails with ErrChecksum, which Retry must surface immediately even
+	// under a Classify hook that (wrongly) calls everything transient.
+	inner := NewMemStore(4)
+	cs, err := NewChecksummed(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.WriteBlock(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]float64, 4)
+	if err := inner.ReadBlock(0, frame); err != nil {
+		t.Fatal(err)
+	}
+	frame[0] += 1 // rot one payload coefficient
+	if err := inner.WriteBlock(0, frame); err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	r := NewRetry(cs, RetryOptions{
+		MaxAttempts: 5,
+		Classify:    func(error) bool { return true }, // adversarial hook
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	err = r.ReadBlock(0, make([]float64, 2))
+	if !errors.Is(err, ErrChecksum) || !errors.Is(err, ErrCorruption) {
+		t.Fatalf("err = %v, want checksum/corruption", err)
+	}
+	if len(slept) != 0 || r.Retries() != 0 {
+		t.Fatalf("retried a corruption error: slept=%v retries=%d", slept, r.Retries())
+	}
+}
+
+func TestRetryRespectsContext(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	f.FailWriteAfter(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var slept []time.Duration
+	r := NewRetry(f, RetryOptions{
+		MaxAttempts: 100,
+		Ctx:         ctx,
+		Sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			if len(slept) == 2 {
+				cancel() // cancel mid-backoff; next loop iteration must stop
+			}
+		},
+	})
+	err := r.WriteBlock(0, []float64{1, 2})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times after cancel, want 2", len(slept))
+	}
+	if r.GiveUps() != 1 {
+		t.Fatalf("giveUps = %d, want 1", r.GiveUps())
+	}
+}
+
+func TestRetryMaxElapsedBudget(t *testing.T) {
+	f := NewFaulty(NewMemStore(2))
+	f.FailWriteAfter(1)
+	now := time.Unix(0, 0)
+	var slept []time.Duration
+	r := NewRetry(f, RetryOptions{
+		MaxAttempts: 1000,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		MaxElapsed:  35 * time.Millisecond,
+		Now:         func() time.Time { return now },
+		Sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			now = now.Add(d) // the fake clock advances by each sleep
+		},
+	})
+	err := r.WriteBlock(0, []float64{1, 2})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	// Budget 35ms at 10ms per sleep: sleeps at elapsed 0/10/20 are allowed
+	// (next projected total 10/20/30 <= 35), the fourth would project 40ms
+	// and is refused.
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3 (schedule %v)", len(slept), slept)
+	}
+	if r.GiveUps() != 1 {
+		t.Fatalf("giveUps = %d, want 1", r.GiveUps())
 	}
 }

@@ -2,7 +2,6 @@ package storage
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc64"
 	"math"
@@ -17,8 +16,9 @@ const JournalOverhead = 4
 // replayed: the commit record is present but one of its entries fails
 // verification. This cannot happen under a single crash (entries are
 // fsynced before the commit record is written); it indicates media-level
-// corruption and requires manual intervention.
-var ErrJournalCorrupt = errors.New("storage: journal corrupt")
+// corruption and requires manual intervention. It belongs to the
+// ErrCorruption class of the storage error taxonomy.
+var ErrJournalCorrupt = newClassified("storage: journal corrupt", ErrCorruption)
 
 const (
 	journalKindData   = 1 // record carries the post-image of one block

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
@@ -18,6 +19,10 @@ type storeMeta struct {
 	TileBits     int    `json:"tile_bits"`
 	Materialized bool   `json:"materialized"`
 	Durable      bool   `json:"durable,omitempty"`
+	// Quarantined records the blocks known to be corrupt on the medium, so
+	// a reopened store still refuses to trust them (and keeps serving
+	// degraded) until they are repaired or rewritten.
+	Quarantined []storage.QuarantineRecord `json:"quarantined,omitempty"`
 }
 
 func metaPath(path string) string { return path + ".meta.json" }
@@ -25,16 +30,24 @@ func metaPath(path string) string { return path + ".meta.json" }
 // saveMeta writes the sidecar atomically: the JSON is written to a
 // temporary file, fsynced, and renamed over the old sidecar, so a crash
 // mid-save leaves either the old or the new metadata — never a torn file.
+// The metaMu serializes writers: the background scrubber persists
+// quarantine transitions concurrently with maintenance persisting the
+// materialized flag.
 func (s *Store) saveMeta() error {
 	if s.opts.Path == "" {
 		return nil
 	}
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	m := storeMeta{
 		Shape:        s.opts.Shape,
 		Form:         s.opts.Form.String(),
 		TileBits:     s.opts.TileBits,
-		Materialized: s.materialized,
+		Materialized: s.materialized.Load(),
 		Durable:      s.opts.Durable,
+	}
+	if s.quarantine != nil {
+		m.Quarantined = s.quarantine.Snapshot()
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -44,11 +57,19 @@ func (s *Store) saveMeta() error {
 }
 
 // writeFileAtomic replaces path with data via a fsynced temporary file and
-// an atomic rename.
+// an atomic rename. The temporary name is unique per call: two store
+// handles on the same path (a serving store's scrubber and a separate
+// repair handle) may persist metadata concurrently, and a shared temp name
+// would let one writer rename the other's file out from under it.
 func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp")
 	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
@@ -129,7 +150,7 @@ func OpenStore(path string) (*Store, error) {
 	var base storage.BlockStore
 	var durable *storage.Durable
 	if m.Durable {
-		d, err := newDurableBase(path, tiling.BlockSize(), nil, false)
+		d, err := newDurableBase(path, tiling.BlockSize(), nil, false, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -146,14 +167,17 @@ func OpenStore(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
-		opts:         opts,
-		tiling:       tiling,
-		counting:     counting,
-		durable:      durable,
-		store:        st,
-		materialized: m.Materialized,
-	}, nil
+	out := &Store{
+		opts:     opts,
+		tiling:   tiling,
+		counting: counting,
+		durable:  durable,
+		store:    st,
+	}
+	out.materialized.Store(m.Materialized)
+	out.attachQuarantine(m.Quarantined)
+	out.scrubBase = counting
+	return out, nil
 }
 
 // Sync commits any buffered block writes and persists metadata (form,

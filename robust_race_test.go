@@ -1,0 +1,189 @@
+package shiftsplit
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+// TestScrubMaintenanceServingRace is the robustness coexistence proof
+// obligation (run with -race): on one durable serving store, a background
+// scrubber sweeps continuously, a maintenance goroutine re-materializes
+// the same dataset over and over, reader goroutines hammer point and
+// range-sum queries, and a saboteur goroutine keeps flipping bytes in the
+// live data file. The contract under all that:
+//
+//   - no data race (the -race half),
+//   - any answer that completed without error and without a degraded read
+//     matches the in-memory oracle (never silently wrong),
+//   - once the sabotage stops, one materialize + scrub pass converges the
+//     store back to clean and exact.
+func TestScrubMaintenanceServingRace(t *testing.T) {
+	shape := []int{32, 32}
+	oracle := dataset.Dense(shape, 41)
+	wantHat := Transform(oracle, Standard)
+	path := filepath.Join(t.TempDir(), "robust-race.wav")
+	st, err := CreateStore(StoreOptions{Shape: shape, Form: Standard, TileBits: 2, Path: path, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Materialize(oracle); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	serving, err := OpenServing(path, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serving.Close()
+	if err := serving.StartScrub(5*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	frameBytes := int64(8 * (serving.BlockSize() + storage.ChecksumOverhead))
+	numBlocks := serving.NumBlocks()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var wrong atomic.Int64
+	var clean, degradedOrFailed atomic.Int64
+
+	// Readers: check every clean answer against the oracle.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				before := serving.DegradedReads()
+				var got, want float64
+				var qerr error
+				if rng.Intn(2) == 0 {
+					p := []int{rng.Intn(shape[0]), rng.Intn(shape[1])}
+					got, _, qerr = serving.Point(p...)
+					want = oracle.At(p...)
+				} else {
+					s := []int{rng.Intn(shape[0] / 2), rng.Intn(shape[1] / 2)}
+					sh := []int{1 + rng.Intn(shape[0]-s[0]), 1 + rng.Intn(shape[1]-s[1])}
+					got, _, qerr = serving.RangeSum(s, sh)
+					want = oracle.SumRange(s, sh)
+				}
+				if qerr != nil || serving.DegradedReads() != before {
+					// Errors and flagged partial answers are legal under
+					// sabotage; silence is only allowed when correct.
+					degradedOrFailed.Add(1)
+					continue
+				}
+				if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+					wrong.Add(1)
+				} else {
+					clean.Add(1)
+				}
+			}
+		}(int64(g + 1))
+	}
+
+	// Maintenance: repeated full materializes of the identical dataset, so
+	// committed bytes always agree with the oracle and each pass heals
+	// whatever the saboteur rotted.
+	wg.Add(1)
+	var materializeErr error
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := serving.Materialize(oracle); err != nil {
+				materializeErr = err
+				return
+			}
+		}
+	}()
+
+	// Saboteur: flip payload bytes in random frames of the live file.
+	wg.Add(1)
+	go func(seed int64) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			off := int64(rng.Intn(numBlocks))*frameBytes + int64(rng.Intn(8*serving.BlockSize()))
+			var b [1]byte
+			if _, err := f.ReadAt(b[:], off); err != nil {
+				continue
+			}
+			b[0] ^= 1 << uint(rng.Intn(8))
+			_, _ = f.WriteAt(b[:], off)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}(99)
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	serving.StopScrub()
+	if materializeErr != nil {
+		t.Fatalf("materialize under sabotage: %v", materializeErr)
+	}
+	if n := wrong.Load(); n > 0 {
+		t.Fatalf("%d silently wrong answers (clean %d, degraded/failed %d)",
+			n, clean.Load(), degradedOrFailed.Load())
+	}
+	if clean.Load() == 0 {
+		t.Fatal("no clean answers at all; the test exercised nothing")
+	}
+	t.Logf("answers: %d clean, %d degraded/failed, 0 wrong", clean.Load(), degradedOrFailed.Load())
+
+	// Convergence: heal the medium and require a clean, exact store.
+	if err := serving.Materialize(oracle); err != nil {
+		t.Fatalf("healing materialize: %v", err)
+	}
+	if n, err := serving.ScrubOnce(context.Background()); err != nil || n != 0 {
+		t.Fatalf("post-heal scrub: n=%d err=%v", n, err)
+	}
+	if h := serving.Health(); h.Status != "ok" {
+		t.Fatalf("health after heal = %+v", h)
+	}
+	serving.InvalidateCache()
+	got, err := serving.ReadTransform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	wantHat.Each(func(coords []int, v float64) {
+		if math.Abs(got.At(coords...)-v) > 1e-6 {
+			bad++
+		}
+	})
+	if bad > 0 {
+		t.Fatalf("%d coefficients differ from the oracle after convergence", bad)
+	}
+}

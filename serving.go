@@ -32,6 +32,24 @@ func serveCacheInner(counting *storage.Counting, durable *storage.Durable) stora
 	return counting
 }
 
+// ServeOptions configures OpenServingOpts beyond the cache knobs.
+type ServeOptions struct {
+	// CacheBlocks/CacheShards size the sharded LRU block cache (see
+	// OpenServing).
+	CacheBlocks int
+	CacheShards int
+	// Breaker, when non-nil, interposes a circuit breaker between the
+	// cache and the device: sustained backend failure trips it and the
+	// store serves cache hits only (misses fail fast with
+	// storage.ErrUnavailable) until a half-open probe finds the backend
+	// healthy again.
+	Breaker *storage.BreakerOptions
+	// BaseWrap, when non-nil, wraps the raw block device below the
+	// checksum layer — the chaos harness's fault-injection seam (see
+	// StoreOptions.BaseWrap).
+	BaseWrap func(storage.BlockStore) storage.BlockStore
+}
+
 // OpenServing reopens a file-backed store for the concurrent query-serving
 // path: reads are fronted by a sharded LRU block cache of cacheBlocks
 // blocks spread over cacheShards independently locked shards (0 picks a
@@ -44,6 +62,20 @@ func serveCacheInner(counting *storage.Counting, durable *storage.Durable) stora
 // it is permitted but requires the same external synchronization as any
 // other store.
 func OpenServing(path string, cacheBlocks, cacheShards int) (*Store, error) {
+	return OpenServingOpts(path, ServeOptions{CacheBlocks: cacheBlocks, CacheShards: cacheShards})
+}
+
+// OpenServingOpts is OpenServing with the full robustness stack. On a
+// durable store the read path layers, top to bottom:
+//
+//	tile.Store → Degraded → cache → Breaker → Locked → Counting → Durable
+//
+// Degraded sits above the cache so quarantined blocks are served as
+// (uncached) flagged zeros; the breaker sits below the cache so cache
+// hits keep serving while the circuit is open; the scrubber walks the
+// Locked layer directly, bypassing both, so scrubbing sees the medium and
+// never trips or pollutes the layers above.
+func OpenServingOpts(path string, sopts ServeOptions) (*Store, error) {
 	m, err := readMeta(path)
 	if err != nil {
 		return nil, err
@@ -54,12 +86,12 @@ func OpenServing(path string, cacheBlocks, cacheShards int) (*Store, error) {
 	}
 	opts := StoreOptions{
 		Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable,
-		ServeCacheBlocks: cacheBlocks, ServeCacheShards: cacheShards,
+		ServeCacheBlocks: sopts.CacheBlocks, ServeCacheShards: sopts.CacheShards,
 	}
 	var base storage.BlockStore
 	var durable *storage.Durable
 	if m.Durable {
-		d, err := newDurableBase(path, tiling.BlockSize(), nil, false)
+		d, err := newDurableBase(path, tiling.BlockSize(), nil, false, sopts.BaseWrap)
 		if err != nil {
 			return nil, err
 		}
@@ -70,32 +102,55 @@ func OpenServing(path string, cacheBlocks, cacheShards int) (*Store, error) {
 			return nil, err
 		}
 		base = fs
+		if sopts.BaseWrap != nil {
+			base = sopts.BaseWrap(base)
+		}
 	}
 	counting := storage.NewCounting(base)
+	out := &Store{
+		opts:     opts,
+		tiling:   tiling,
+		counting: counting,
+		durable:  durable,
+	}
+	out.materialized.Store(m.Materialized)
+	out.attachQuarantine(m.Quarantined)
 	var top storage.BlockStore = counting
-	var shardedCache *cache.Sharded
-	if cacheBlocks > 0 {
-		c, err := cache.New(serveCacheInner(counting, durable), cacheBlocks, cacheShards)
+	if durable != nil {
+		locked := storage.NewLocked(counting)
+		top = locked
+		out.scrubBase = locked
+		out.scrubSafe = true
+	} else {
+		out.scrubBase = counting
+		out.scrubSafe = true // MemStore/FileStore are concurrency-safe
+	}
+	if sopts.Breaker != nil {
+		out.breaker = storage.NewBreaker(top, *sopts.Breaker)
+		top = out.breaker
+	}
+	if sopts.CacheBlocks > 0 {
+		c, err := cache.New(top, sopts.CacheBlocks, sopts.CacheShards)
 		if err != nil {
 			return nil, err
 		}
-		shardedCache, top = c, c
-	} else if durable != nil {
-		top = storage.NewLocked(counting)
+		out.cache, top = c, c
+	}
+	if durable != nil {
+		// Degraded serving needs corruption detection underneath, which
+		// only the checksummed (durable) layout provides.
+		dg, err := storage.NewDegraded(top, out.quarantine)
+		if err != nil {
+			return nil, err
+		}
+		out.degraded, top = dg, dg
 	}
 	st, err := tile.NewStore(top, tiling)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
-		opts:         opts,
-		tiling:       tiling,
-		counting:     counting,
-		cache:        shardedCache,
-		durable:      durable,
-		store:        st,
-		materialized: m.Materialized,
-	}, nil
+	out.store = st
+	return out, nil
 }
 
 // CacheStats returns the serve cache's counters; ok is false when the store

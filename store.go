@@ -1,7 +1,10 @@
 package shiftsplit
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/cache"
@@ -69,6 +72,11 @@ type StoreOptions struct {
 	// power-cut testing facility behind the crash campaign. It is ignored
 	// unless Durable is set, and is not persisted in store metadata.
 	FaultPlan *storage.CrashPlan
+	// BaseWrap, when non-nil, wraps the raw block device (below the
+	// checksum/journal layers of a durable store) — the seam the chaos
+	// harness uses to slide a storage.Faulty under a real store. Not
+	// persisted in store metadata.
+	BaseWrap func(storage.BlockStore) storage.BlockStore
 }
 
 // MaintainOptions tunes the worker pool behind the maintenance operations
@@ -115,15 +123,42 @@ func (o MaintainOptions) engine(s *Store) parallel.Options {
 // write-back buffer pool) still require external synchronization, and
 // maintenance must not run concurrently with queries.
 type Store struct {
-	opts         StoreOptions
-	tiling       tile.Tiling
-	counting     *storage.Counting
-	pool         *storage.BufferPool
-	cache        *cache.Sharded
-	durable      *storage.Durable
-	store        *tile.Store
-	materialized bool
+	opts     StoreOptions
+	tiling   tile.Tiling
+	counting *storage.Counting
+	pool     *storage.BufferPool
+	cache    *cache.Sharded
+	durable  *storage.Durable
+	store    *tile.Store
+	// materialized is atomic: the serving read path branches on it while a
+	// concurrent healing Materialize (re-writing the same store it serves)
+	// may be clearing and re-asserting it.
+	materialized atomic.Bool
+
+	// Robustness plumbing (see robust.go): the quarantine registry tracks
+	// blocks known corrupt, degraded serves them as flagged zeros, the
+	// breaker sheds load off a dead backend, and scrubBase is the layer the
+	// background scrubber walks (below the cache and breaker, above the
+	// device, sharing the serving path's lock).
+	quarantine *storage.Quarantine
+	degraded   *storage.Degraded
+	breaker    *storage.Breaker
+	scrubBase  storage.BlockStore
+	scrubSafe  bool // scrubBase may be walked concurrently with queries
+	metaMu     sync.Mutex
+	scrubMu    sync.Mutex
+	scrubber   *storage.Scrubber
+	scrubStop  func()
+	scrubDone  chan struct{}
 }
+
+// ErrQuarantined is returned by incremental maintenance (TransformChunked,
+// MergeBlock, ClearBlock) while any block is quarantined: those operations
+// read-modify-write the stored transform, and folding a zero-filled
+// degraded read back into the medium would silently destroy data.
+// Materialize is exempt — it rewrites every block from scratch and heals
+// the store.
+var ErrQuarantined = errors.New("shiftsplit: store has quarantined blocks; repair or re-materialize first")
 
 // CreateStore creates an empty tiled store for a transform of the given
 // shape and form.
@@ -162,7 +197,7 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 	var durable *storage.Durable
 	switch {
 	case opts.Durable:
-		d, err := newDurableBase(opts.Path, tiling.BlockSize(), opts.FaultPlan, true)
+		d, err := newDurableBase(opts.Path, tiling.BlockSize(), opts.FaultPlan, true, opts.BaseWrap)
 		if err != nil {
 			return nil, err
 		}
@@ -173,8 +208,14 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 			return nil, err
 		}
 		base = fs
+		if opts.BaseWrap != nil {
+			base = opts.BaseWrap(base)
+		}
 	default:
 		base = storage.NewMemStore(tiling.BlockSize())
+		if opts.BaseWrap != nil {
+			base = opts.BaseWrap(base)
+		}
 	}
 	if opts.CacheBlocks > 0 && opts.ServeCacheBlocks > 0 {
 		return nil, fmt.Errorf("shiftsplit: CacheBlocks and ServeCacheBlocks are mutually exclusive")
@@ -199,6 +240,8 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 		return nil, err
 	}
 	out := &Store{opts: opts, tiling: tiling, counting: counting, pool: pool, cache: shardedCache, durable: durable, store: st}
+	out.attachQuarantine(nil)
+	out.scrubBase = counting
 	if err := out.saveMeta(); err != nil {
 		return nil, err
 	}
@@ -207,17 +250,21 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 
 // newDurableBase builds the transactional block store for a durable Store:
 // file-backed (with a ".wal" journal sidecar) when path is non-empty,
-// in-memory otherwise.
-func newDurableBase(path string, blockSize int, plan *storage.CrashPlan, create bool) (*storage.Durable, error) {
+// in-memory otherwise. wrap, when non-nil, is applied to the raw data
+// device below the checksum layer (fault-injection seam).
+func newDurableBase(path string, blockSize int, plan *storage.CrashPlan, create bool, wrap func(storage.BlockStore) storage.BlockStore) (*storage.Durable, error) {
 	if path == "" {
-		data := storage.NewMemStore(blockSize + storage.ChecksumOverhead)
+		var data storage.BlockStore = storage.NewMemStore(blockSize + storage.ChecksumOverhead)
+		if wrap != nil {
+			data = wrap(data)
+		}
 		wal := storage.NewMemStore(blockSize + storage.JournalOverhead)
 		return storage.NewDurable(wrapFaultPlan(data, plan), wrapFaultPlan(wal, plan))
 	}
 	if create {
-		return storage.CreateDurable(path, blockSize, plan)
+		return storage.CreateDurableWrapped(path, blockSize, plan, wrap)
 	}
-	return storage.OpenDurable(path, blockSize, plan)
+	return storage.OpenDurableWrapped(path, blockSize, plan, wrap)
 }
 
 func wrapFaultPlan(bs storage.BlockStore, plan *storage.CrashPlan) storage.BlockStore {
@@ -274,15 +321,19 @@ func (s *Store) commit() error { return s.store.Commit() }
 // blocks that justify it are durable, so it is dropped first and
 // re-asserted (by Materialize) only after a successful commit.
 func (s *Store) demote() error {
-	if !s.materialized {
+	if !s.materialized.Load() {
 		return nil
 	}
-	s.materialized = false
+	s.materialized.Store(false)
 	return s.saveMeta()
 }
 
-// Close flushes caches and releases the underlying storage.
-func (s *Store) Close() error { return s.store.Close() }
+// Close stops any background scrubber, flushes caches, and releases the
+// underlying storage.
+func (s *Store) Close() error {
+	s.StopScrub()
+	return s.store.Close()
+}
 
 // Materialize transforms a in memory and writes the complete tiled layout,
 // including the per-tile scaling coefficients that make single-block point
@@ -314,7 +365,12 @@ func (s *Store) MaterializeOpts(a *Array, opts MaintainOptions) error {
 	if err := s.commit(); err != nil {
 		return err
 	}
-	s.materialized = true
+	// A materialize rewrites every block's frame from scratch, so whatever
+	// was quarantined is now fresh bytes: heal the registry wholesale.
+	if s.quarantine != nil && s.quarantine.Len() > 0 {
+		s.quarantine.Replace(nil)
+	}
+	s.materialized.Store(true)
 	return s.saveMeta()
 }
 
@@ -332,6 +388,9 @@ func (s *Store) TransformChunked(src *Array, chunkBits int) error {
 // order, so the resulting transform is bit-identical and the I/O counters
 // equal for every worker count.
 func (s *Store) TransformChunkedOpts(src *Array, chunkBits int, opts MaintainOptions) error {
+	if err := s.maintenanceGuard(); err != nil {
+		return err
+	}
 	if err := s.demote(); err != nil { // scaling slots are not maintained by the engines
 		return err
 	}
@@ -355,6 +414,9 @@ func (s *Store) TransformChunkedOpts(src *Array, chunkBits int, opts MaintainOpt
 // into the stored transform — the disk-resident SHIFT-SPLIT batch update.
 func (s *Store) MergeBlock(b Block, bHat *Array) error {
 	if err := b.validate(s.opts.Shape); err != nil {
+		return err
+	}
+	if err := s.maintenanceGuard(); err != nil {
 		return err
 	}
 	if err := s.demote(); err != nil {
@@ -391,6 +453,9 @@ func (s *Store) MergeBlock(b Block, bHat *Array) error {
 // and its negation merged back — two block-local passes, no global
 // reconstruction.
 func (s *Store) ClearBlock(b Block) error {
+	if err := s.maintenanceGuard(); err != nil {
+		return err
+	}
 	bHat, _, err := s.ExtractBlock(b)
 	if err != nil {
 		return err
@@ -435,7 +500,7 @@ func (s *Store) ExtractBox(start, shape []int) (*Array, int, error) {
 // exactly one block (the §3 payoff of the stored scaling coefficients);
 // otherwise it walks the root path.
 func (s *Store) Point(point ...int) (float64, int, error) {
-	if s.materialized {
+	if s.materialized.Load() {
 		if s.opts.Form == Standard {
 			return query.PointStandard(s.store, point)
 		}
@@ -502,7 +567,7 @@ func (s *Store) ReadTransform() (*Array, error) {
 // common tiles once. It returns the values in input order and the total
 // number of distinct blocks read.
 func (s *Store) Points(points [][]int) ([]float64, int, error) {
-	if s.materialized && s.opts.Form == Standard {
+	if s.materialized.Load() && s.opts.Form == Standard {
 		// Single-tile queries: distinct leaf tiles dominate the cost.
 		out := make([]float64, len(points))
 		seen := make(map[int]struct{})
