@@ -8,7 +8,7 @@ CRASH_SEED ?= 1
 STATICCHECK_VERSION ?= 2023.1.7
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet lint lint-tools fmt-check crash-campaign chaos-smoke bench-smoke ci clean
+.PHONY: all build test race vet lint lint-tools fmt-check crash-campaign chaos-smoke bench-smoke bench-ingest-smoke ci clean
 
 all: build test
 
@@ -57,7 +57,7 @@ lint-tools:
 # CRASH_SEED pins the tear/drop RNG for reproducible failures.
 crash-campaign:
 	SHIFTSPLIT_CRASH_SEED=$(CRASH_SEED) $(GO) test -v \
-		-run 'TestCrashCampaignDurable|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign' \
+		-run 'TestCrashCampaignDurable|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign|TestGroupCommitCrash' \
 		./internal/storage/ ./internal/appender/ .
 
 # The chaos harness drives a real HTTP serving process through a
@@ -82,7 +82,14 @@ bench-smoke:
 		-benchmem -benchtime 3x ./internal/storage/
 	$(GO) test -run '^$$' -bench 'BenchmarkTileFlush' -benchmem -benchtime 3x ./internal/tile/
 
-ci: fmt-check vet lint build race crash-campaign chaos-smoke
+# A short write-path run that must show group commit actually amortizing:
+# several client append calls per journal group (fsync pair). The threshold
+# is deliberately below the BENCH_ingest.json baseline (~14x with 16
+# clients) so CI catches a lost amortization, not scheduler jitter.
+bench-ingest-smoke:
+	$(GO) run ./cmd/shiftsplit bench-ingest -clients 8 -duration 500ms -min-amortization 2
+
+ci: fmt-check vet lint build race crash-campaign chaos-smoke bench-ingest-smoke
 
 clean:
 	$(GO) clean ./...

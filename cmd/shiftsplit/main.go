@@ -15,6 +15,7 @@
 //	shiftsplit approx -syn cube.syn -point 5,7
 //	shiftsplit serve -store cube.wav -addr :8080 -cache 256
 //	shiftsplit bench-serve -clients 8 -duration 3s
+//	shiftsplit bench-ingest -clients 16 -duration 3s -out BENCH_ingest.json
 package main
 
 import (
@@ -77,6 +78,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "bench-serve":
 		err = cmdBenchServe(os.Args[2:])
+	case "bench-ingest":
+		err = cmdBenchIngest(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "fsck":
@@ -114,6 +117,8 @@ commands:
   approx      answer queries from a synopsis file
   serve       expose a store over the HTTP/JSON query API
   bench-serve load-test the serving path, report qps and cache hit rate
+  bench-ingest load-test the write path (group commit), report
+              items/sec and appends per journal group
   info        print a store's geometry and metadata
   fsck        verify a durable store's checksums and journal (-scrub
               quarantines corrupt blocks); exit 0 clean, 3 needs

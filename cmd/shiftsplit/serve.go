@@ -11,13 +11,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/appender"
 	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/ingest"
 	"github.com/shiftsplit/shiftsplit/internal/server"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
@@ -36,6 +39,12 @@ func cmdServe(args []string) error {
 	scrubEvery := fs.Duration("scrub-interval", 0, "background scrub: one full verification pass per interval (0 disables)")
 	scrubRate := fs.Int("scrub-rate", 0, "scrub I/O ceiling in blocks/sec (0 = unlimited)")
 	breaker := fs.Bool("breaker", false, "trip to cache-only serving when the backend fails repeatedly")
+	ingestOn := fs.Bool("ingest", false, "mount the write path (POST /v1/ingest) over a fresh appender")
+	ingestShape := fs.String("ingest-shape", "8x8", "initial ingest domain extents (powers of two)")
+	ingestDim := fs.Int("ingest-dim", 1, "dimension ingest slabs append along")
+	ingestTile := fs.Int("ingest-tile", 2, "ingest tile edge exponent")
+	ingestDir := fs.String("ingest-dir", "", "directory for durable ingest generations (empty = in-memory)")
+	ingestFlush := fs.Duration("ingest-flush", 2*time.Millisecond, "ingest group-gathering window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,11 +62,49 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
+	// The write path rides beside the read store: a fresh appender whose
+	// admission gate defers to the serving store's health, so ingest sheds
+	// 503s while blocks are quarantined or the breaker is not closed.
+	var in *ingest.Ingester
+	if *ingestOn {
+		shape, err := parseInts(*ingestShape)
+		if err != nil {
+			return fmt.Errorf("-ingest-shape: %w", err)
+		}
+		var backing appender.Backing
+		if dir := *ingestDir; dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			backing = func(gen, bs int) (storage.BlockStore, error) {
+				return storage.CreateDurable(filepath.Join(dir, fmt.Sprintf("gen%d.wav", gen)), bs, nil)
+			}
+		}
+		app, err := appender.NewWithBacking(shape, *ingestTile, backing)
+		if err != nil {
+			return err
+		}
+		in, err = ingest.New(app, ingest.Config{
+			Dim:           *ingestDim,
+			FlushInterval: *ingestFlush,
+			Gate: func() error {
+				if h := st.Health(); h.Status != "ok" {
+					return fmt.Errorf("%w: serving store is %s", storage.ErrUnavailable, h.Status)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = in.Close() }() // drains staged slabs; the process is exiting
+	}
 	srv := server.New(st, server.Config{
 		Addr:          *addr,
 		MaxConcurrent: *maxConc,
 		QueryTimeout:  *timeout,
 		DrainTimeout:  *drain,
+		Ingest:        in,
 		Log:           log.New(os.Stderr, "serve: ", log.LstdFlags),
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

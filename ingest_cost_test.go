@@ -1,0 +1,90 @@
+package shiftsplit
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/appender"
+	"github.com/shiftsplit/shiftsplit/internal/ingest"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
+
+// ingestPerItemIO drives a 1-d ingest run of n items in B-item slabs
+// through a real Ingester (block edge 2^tileBits = B) and returns the
+// measured merge block I/O per item from the Counting stats.
+func ingestPerItemIO(t *testing.T, n, tileBits int) float64 {
+	t.Helper()
+	B := 1 << tileBits
+	app, err := appender.New([]int{B}, tileBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ingest.New(app, ingest.Config{Dim: 0, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = in.Close() }() // drained below; Close is idempotent
+	for i := 0; i < n/B; i++ {
+		vals := make([]float64, B)
+		for j := range vals {
+			vals[j] = math.Sin(float64(i*B + j))
+		}
+		if _, err := in.Enqueue(context.Background(), ndarray.FromSlice(vals, B)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := in.Stats()
+	if st.CommittedCells != int64(n) {
+		t.Fatalf("committed %d cells, want %d", st.CommittedCells, n)
+	}
+	return float64(st.MergeIO.Reads+st.MergeIO.Writes) / float64(n)
+}
+
+// TestStreamPerItemCostMatchesIngestIO ties the R3 bound to observed
+// Counting stats: the per-item coefficient cost the StreamSynopsis
+// reports (O((1/B) log(N/B)) crest updates plus the B-1 in-buffer
+// finalizations per B items) and the per-item BLOCK I/O a real B-item
+// slab ingest pays must track each other within a constant factor —
+// both are "touch the open root path once per buffer" schemes, so their
+// ratio is a block-size constant, not a function of N.
+func TestStreamPerItemCostMatchesIngestIO(t *testing.T) {
+	const tileBits = 3 // B = 8 items per block/buffer
+	const n = 1 << 10  // 1024 items
+
+	syn := NewStreamSynopsis(0, tileBits)
+	for i := 0; i < n; i++ {
+		syn.Add(math.Sin(float64(i)))
+	}
+	_, totalPerItem := syn.PerItemCost()
+	if totalPerItem <= 0 {
+		t.Fatalf("synopsis per-item cost %v", totalPerItem)
+	}
+
+	measured := ingestPerItemIO(t, n, tileBits)
+	if measured <= 0 {
+		t.Fatalf("measured per-item I/O %v", measured)
+	}
+
+	ratio := measured / totalPerItem
+	t.Logf("per item over %d items: synopsis %.3f coefficient ops, ingest %.3f block I/Os (ratio %.3f)",
+		n, totalPerItem, measured, ratio)
+	// The units differ (coefficient operations vs blocks of 2^tileBits
+	// coefficients), so the comparison is up to a block-size constant: the
+	// ratio must be a small constant, nowhere near the O(log N) or O(B)
+	// separation that would indicate one side lost its amortization.
+	if ratio < 1.0/16 || ratio > 16 {
+		t.Fatalf("per-item block I/O %.3f vs synopsis cost %.3f: ratio %.2f outside constant-factor band",
+			measured, totalPerItem, ratio)
+	}
+
+	// And the constant must not drift with N: quadrupling the stream may
+	// only move per-item I/O by the log(N/B) growth of the open path —
+	// well under 2x here — never linearly.
+	small := ingestPerItemIO(t, n/4, tileBits)
+	grow := measured / small
+	t.Logf("per-item I/O %d→%d items: %.3f → %.3f (x%.2f)", n/4, n, small, measured, grow)
+	if grow > 2 {
+		t.Fatalf("per-item I/O grew %.2fx when the stream quadrupled — amortization lost", grow)
+	}
+}

@@ -13,8 +13,10 @@
 package appender
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/dyadic"
@@ -33,18 +35,44 @@ import (
 // those boundaries.
 type Backing func(generation, blockSize int) (storage.BlockStore, error)
 
+// ErrInDoubt marks an append whose final group commit failed after the
+// journal may already have sealed the batch: the slabs are neither
+// reliably durable nor reliably absent, and only reopening the backing
+// (which replays or discards the journal) resolves the outcome. The
+// appender refuses further work once in doubt.
+var ErrInDoubt = errors.New("appender: commit outcome in doubt")
+
 // Appender maintains a growing dataset in the wavelet domain on tiled,
 // I/O-counted block storage.
+//
+// An Appender is NOT safe for concurrent use: Append/AppendBatch mutate
+// the frontier and the staged transform, and even the read-side helpers
+// (Store, Reconstruct, TotalIO) observe that state mid-mutation. Callers
+// with concurrent clients must serialize externally — the ingest
+// subsystem does so by funneling every append through one commit loop.
 type Appender struct {
 	b           int // tile parameter: blocks hold 2^(b*d) coefficients
 	shape       []int
 	used        []int
 	store       *tile.Store
+	base        storage.BlockStore // current generation's device (rollback seam)
 	counting    *storage.Counting
 	accumulated storage.Stats
 	backing     Backing
 	generation  int
 	opts        parallel.Options
+
+	// Separate attributions of the lifetime I/O (satellite of the ingest
+	// work: fsync-amortization claims need slab-write cost unpolluted by
+	// expansion cost). TotalIO remains the device truth; these two split
+	// the portion spent inside Append calls.
+	expansionTotal storage.Stats
+	mergeTotal     storage.Stats
+
+	// poisoned is set when an error left the on-store state unreliable
+	// (failed expansion, unrecoverable commit, non-transactional backing
+	// with a half-applied batch). Every later append fails with it.
+	poisoned error
 }
 
 // SetOptions configures the worker pool used to transform the dyadic pieces
@@ -54,11 +82,16 @@ type Appender struct {
 // worker count.
 func (a *Appender) SetOptions(opts parallel.Options) { a.opts = opts }
 
-// AppendStats reports the cost of one Append call.
+// AppendStats reports the cost of one Append or AppendBatch call.
+// ExpansionIO and MergeIO are disjoint windows: expansion covers the
+// domain-doubling passes (old-generation reads plus the rebuilt store's
+// writes, syncs, and commits), merge covers transforming and applying the
+// slabs plus the single group commit that seals them.
 type AppendStats struct {
 	Expansions  int           // domain doublings triggered
+	Slabs       int           // client slabs folded in
 	ExpansionIO storage.Stats // block I/O spent expanding
-	MergeIO     storage.Stats // block I/O spent merging the slab
+	MergeIO     storage.Stats // block I/O spent merging the slabs
 }
 
 // New creates an appender over an initially empty domain of the given
@@ -104,6 +137,7 @@ func (a *Appender) rebuildStore() error {
 		base = storage.NewMemStore(tiling.BlockSize())
 	}
 	a.generation++
+	a.base = base
 	a.counting = storage.NewCounting(base)
 	st, err := tile.NewStore(a.counting, tiling)
 	if err != nil {
@@ -125,59 +159,141 @@ func (a *Appender) Store() *tile.Store { return a.store }
 // TotalIO returns the cumulative block I/O across all appends and
 // expansions.
 func (a *Appender) TotalIO() storage.Stats {
-	cur := a.counting.Stats()
-	return storage.Stats{
-		Reads:   a.accumulated.Reads + cur.Reads,
-		Writes:  a.accumulated.Writes + cur.Writes,
-		Syncs:   a.accumulated.Syncs + cur.Syncs,
-		Commits: a.accumulated.Commits + cur.Commits,
-	}
+	return a.accumulated.Add(a.counting.Stats())
 }
+
+// IOBreakdown splits the lifetime I/O spent inside Append/AppendBatch
+// calls into its two phases: domain expansion and slab merging (including
+// each batch's group commit). TotalIO may exceed their sum — queries and
+// reconstruction through Store() are attributed to neither phase.
+func (a *Appender) IOBreakdown() (expansion, merge storage.Stats) {
+	return a.expansionTotal, a.mergeTotal
+}
+
+// Poisoned returns the sticky error set when a failure left the stored
+// transform unreliable, or nil while the appender is healthy.
+func (a *Appender) Poisoned() error { return a.poisoned }
 
 // Append folds slab into the dataset along dim, at offset Used()[dim]. The
 // slab must span the used extent of every other dimension. The domain is
 // expanded as needed.
 func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
+	return a.AppendBatch(dim, []*ndarray.Array{slab})
+}
+
+// AppendBatch folds a group of slabs into the dataset along dim, in
+// order, as ONE atomic batch: all needed domain expansions run first,
+// then every slab is transformed and SHIFT-SPLIT-merged into the staged
+// transform, and a single Commit seals the group. On a transactional
+// backing the whole group therefore costs one journal group — the fsync
+// amortization the ingest front door is built on — and a crash recovers
+// to either all slabs applied or none.
+//
+// Error semantics: validation errors leave the appender untouched. A
+// failure before the final commit rolls the staged writes and the
+// frontier back (the group is known not committed) when the backing
+// supports rollback; otherwise the appender is poisoned. A final-commit
+// failure is retried while the fault looks transient; if it does not
+// clear, the group's outcome is unknowable in-process and the error wraps
+// ErrInDoubt.
+func (a *Appender) AppendBatch(dim int, slabs []*ndarray.Array) (AppendStats, error) {
 	var st AppendStats
+	if a.poisoned != nil {
+		return st, a.poisoned
+	}
 	d := len(a.shape)
 	if dim < 0 || dim >= d {
 		return st, fmt.Errorf("appender: dimension %d out of range", dim)
 	}
-	if slab.Dims() != d {
-		return st, fmt.Errorf("appender: slab has %d dims, want %d", slab.Dims(), d)
+	if len(slabs) == 0 {
+		return st, nil
 	}
-	for t := 0; t < d; t++ {
-		if t == dim {
-			continue
+	// Validate the whole group up front so no slab can fail after its
+	// predecessors were staged. Cross extents chain exactly as in repeated
+	// Append calls: the first slab of an empty dimension fixes them.
+	cross := append([]int(nil), a.used...)
+	growth := 0
+	for _, slab := range slabs {
+		if slab.Dims() != d {
+			return st, fmt.Errorf("appender: slab has %d dims, want %d", slab.Dims(), d)
 		}
-		want := a.used[t]
-		if want == 0 {
-			want = slab.Extent(t) // first append fixes the cross extents
+		for t := 0; t < d; t++ {
+			if t == dim {
+				continue
+			}
+			want := cross[t]
+			if want == 0 {
+				want = slab.Extent(t) // first append fixes the cross extents
+			}
+			if slab.Extent(t) != want {
+				return st, fmt.Errorf("appender: slab extent %d in dim %d, want %d", slab.Extent(t), t, want)
+			}
+			if slab.Extent(t) > a.shape[t] {
+				return st, fmt.Errorf("appender: slab extent %d exceeds domain %d in dim %d", slab.Extent(t), a.shape[t], t)
+			}
+			// The slab spans [0, extent) in this dimension; that must be a
+			// dyadic prefix of the domain.
+			if !bitutil.IsPow2(slab.Extent(t)) {
+				return st, fmt.Errorf("appender: cross extent %d is not a power of two", slab.Extent(t))
+			}
+			cross[t] = want
 		}
-		if slab.Extent(t) != want {
-			return st, fmt.Errorf("appender: slab extent %d in dim %d, want %d", slab.Extent(t), t, want)
-		}
-		if slab.Extent(t) > a.shape[t] {
-			return st, fmt.Errorf("appender: slab extent %d exceeds domain %d in dim %d", slab.Extent(t), a.shape[t], t)
-		}
+		growth += slab.Extent(dim)
 	}
-	// Expand until the slab fits.
-	for a.used[dim]+slab.Extent(dim) > a.shape[dim] {
+	// Expand until the whole group fits, BEFORE any slab is staged. Each
+	// expansion commits on its own (it rebuilds the store on a new
+	// generation), so running them first keeps the group itself a single
+	// journal group: a crash between expansion and group commit leaves an
+	// enlarged domain holding exactly the pre-batch data — a legal
+	// pre-batch state — never a partial group.
+	for a.used[dim]+growth > a.shape[dim] {
 		expIO, err := a.expand(dim)
 		if err != nil {
+			a.poisoned = fmt.Errorf("appender: expansion failed: %w", err)
 			return st, err
 		}
 		st.Expansions++
-		st.ExpansionIO.Reads += expIO.Reads
-		st.ExpansionIO.Writes += expIO.Writes
-		st.ExpansionIO.Syncs += expIO.Syncs
-		st.ExpansionIO.Commits += expIO.Commits
+		st.ExpansionIO = st.ExpansionIO.Add(expIO)
 	}
-	// Merge the slab, one dyadic run along dim at a time. The runs'
-	// transforms and SHIFT-SPLIT bucketing fan out to the worker pool;
-	// application happens in run order on this goroutine.
+	// Merge every slab at its frontier offset; application stays on this
+	// goroutine in slab order, so the staged writes are deterministic.
 	mergeBefore := a.counting.Stats()
+	usedBefore := append([]int(nil), a.used...)
+	for _, slab := range slabs {
+		if err := a.merge(dim, slab); err != nil {
+			a.rollback(usedBefore)
+			return st, err
+		}
+	}
+	// One group = one atomic batch on transactional backings.
+	if err := a.commitRetry(); err != nil {
+		if storage.Classify(err) == storage.ClassTransient {
+			// Retries exhausted with the journal possibly sealed: the group
+			// may replay on reopen. Refuse further work.
+			err = fmt.Errorf("%w: %v", ErrInDoubt, err)
+			a.poisoned = err
+			return st, err
+		}
+		// Non-transient commit failures (simulated power cut, corruption,
+		// full medium) fail before the journal seals or are not retryable;
+		// roll the group back and stay honest about the state.
+		a.rollback(usedBefore)
+		return st, err
+	}
+	st.Slabs = len(slabs)
+	st.MergeIO = a.counting.Stats().Sub(mergeBefore)
+	a.mergeTotal = a.mergeTotal.Add(st.MergeIO)
+	return st, nil
+}
+
+// merge transforms one slab and applies its SHIFT-SPLIT deltas to the
+// staged transform, advancing the frontier. It does not commit.
+func (a *Appender) merge(dim int, slab *ndarray.Array) error {
+	d := len(a.shape)
 	start := a.used[dim]
+	// One dyadic run along dim at a time. The runs' transforms and
+	// SHIFT-SPLIT bucketing fan out to the worker pool; application
+	// happens in run order on this goroutine.
 	type run struct {
 		subStart, subShape []int
 		block              dyadic.Range
@@ -193,11 +309,6 @@ func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
 			} else {
 				r.subStart[t] = 0
 				r.subShape[t] = slab.Extent(t)
-				// The slab spans [0, extent) in this dimension; that must be
-				// a dyadic prefix of the domain.
-				if !bitutil.IsPow2(r.subShape[t]) {
-					return st, fmt.Errorf("appender: cross extent %d is not a power of two", r.subShape[t])
-				}
 				r.block[t] = dyadic.NewInterval(bitutil.Log2(r.subShape[t]), 0)
 			}
 		}
@@ -215,18 +326,7 @@ func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
 			return a.store.ApplyBuckets(buckets)
 		})
 	if err != nil {
-		return st, err
-	}
-	// One append = one atomic batch on transactional backings.
-	if err := a.store.Commit(); err != nil {
-		return st, err
-	}
-	after := a.counting.Stats()
-	st.MergeIO = storage.Stats{
-		Reads:   after.Reads - mergeBefore.Reads,
-		Writes:  after.Writes - mergeBefore.Writes,
-		Syncs:   after.Syncs - mergeBefore.Syncs,
-		Commits: after.Commits - mergeBefore.Commits,
+		return err
 	}
 	a.used[dim] += slab.Extent(dim)
 	for t := 0; t < d; t++ {
@@ -234,7 +334,41 @@ func (a *Appender) Append(dim int, slab *ndarray.Array) (AppendStats, error) {
 			a.used[t] = slab.Extent(t)
 		}
 	}
-	return st, nil
+	return nil
+}
+
+// commitRetry seals the staged group, retrying while the failure is a
+// transient media fault (Durable keeps the staged writes pending across a
+// failed Commit, so re-driving it is safe). Corruption, space exhaustion,
+// and unknown-class errors (power cuts, closed stores) are never retried.
+func (a *Appender) commitRetry() error {
+	backoff := time.Millisecond
+	var err error
+	for attempt := 0; attempt < 6; attempt++ {
+		if err = a.store.Commit(); err == nil {
+			return nil
+		}
+		if storage.Classify(err) != storage.ClassTransient {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return err
+}
+
+// rollback discards the staged (uncommitted) writes and restores the
+// frontier after a failed batch. Transactional backings expose Rollback;
+// without one the staged writes already reached the device and the
+// appender must be poisoned instead.
+func (a *Appender) rollback(used []int) {
+	copy(a.used, used)
+	type rollbacker interface{ Rollback() }
+	if rb, ok := a.base.(rollbacker); ok {
+		rb.Rollback()
+		return
+	}
+	a.poisoned = errors.New("appender: batch failed on a non-transactional backing; stored transform is partial")
 }
 
 // expand doubles the domain along dim: every coefficient of the old
@@ -340,16 +474,15 @@ func (a *Appender) expand(dim int) (storage.Stats, error) {
 		return storage.Stats{}, err
 	}
 	// Fold the old store's lifetime I/O into the running totals and report
-	// this expansion's own cost (old-store reads plus new-store writes).
+	// this expansion's own cost: the old generation's reads since the
+	// expansion began plus everything on the fresh generation's counter —
+	// the re-indexed writes and the expansion batch's sync/commit. Keeping
+	// the full cost out of MergeIO is what lets stats alone verify the
+	// fsync-amortization claims.
 	oldStats := oldCounting.Stats()
-	a.accumulated.Reads += oldStats.Reads
-	a.accumulated.Writes += oldStats.Writes
-	a.accumulated.Syncs += oldStats.Syncs
-	a.accumulated.Commits += oldStats.Commits
-	cost := storage.Stats{
-		Reads:  oldStats.Reads - preOld.Reads,
-		Writes: a.counting.Stats().Writes,
-	}
+	a.accumulated = a.accumulated.Add(oldStats)
+	cost := oldStats.Sub(preOld).Add(a.counting.Stats())
+	a.expansionTotal = a.expansionTotal.Add(cost)
 	return cost, oldStore.Close()
 }
 

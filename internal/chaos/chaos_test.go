@@ -29,6 +29,15 @@ func TestChaosSmoke(t *testing.T) {
 	if res.QuarantinedPeak < len(res.Rotted) {
 		t.Fatalf("quarantine peak %d < rotted %d", res.QuarantinedPeak, len(res.Rotted))
 	}
+	// The ingest saboteurs must have exercised the write path while the
+	// store was healthy, and every accepted slab must have survived the
+	// audit (Run fails otherwise; this asserts the phase wasn't empty).
+	if res.Phases[0].IngestAccepted == 0 {
+		t.Fatalf("healthy phase accepted no ingest slabs: %+v", res.Phases[0])
+	}
+	if res.IngestVerified == 0 {
+		t.Fatal("ingest audit verified nothing")
+	}
 }
 
 // TestChaosSeeds runs the arc under a couple more seeds so the fault

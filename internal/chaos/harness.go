@@ -32,10 +32,16 @@ import (
 	"time"
 
 	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/appender"
 	"github.com/shiftsplit/shiftsplit/internal/dataset"
+	"github.com/shiftsplit/shiftsplit/internal/ingest"
 	"github.com/shiftsplit/shiftsplit/internal/server"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
+
+// ingestCross is the cross-section extent of the saboteurs' slabs: each
+// ingest request appends one [ingestCross, 1] column.
+const ingestCross = 4
 
 // Options configures a chaos run. The zero value picks a smoke-sized run.
 type Options struct {
@@ -75,6 +81,13 @@ type PhaseReport struct {
 	Degraded int64 // 200 answers carrying the degraded flag
 	Errors   int64 // non-200 responses (4xx/5xx/503 shed)
 	Wrong    int64 // unflagged 200 answers that contradicted the oracle
+
+	// The concurrent-ingest saboteurs' tallies: accepted slabs (200,
+	// recorded in the ledger for the committed ⇒ queryable audit), shed
+	// slabs (429/503 — provably not committed), and anything else.
+	IngestAccepted int64
+	IngestShed     int64
+	IngestFailed   int64
 }
 
 // Result is the full run's outcome.
@@ -85,6 +98,9 @@ type Result struct {
 	Rotted []int
 	// QuarantinedPeak is the registry size when detection was asserted.
 	QuarantinedPeak int
+	// IngestVerified counts the cells of accepted slabs that were read
+	// back exactly through /v1/ingest/point at the end of the run.
+	IngestVerified int
 }
 
 // Run executes the harness. A non-nil error means a robustness invariant
@@ -141,7 +157,30 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		return res, err
 	}
 
-	srv := server.New(serving, server.Config{MaxConcurrent: 4 * o.Clients})
+	// The write path under sabotage: an ingester whose admission gate
+	// defers to the serving store's health, so quarantine and breaker
+	// trips shed appends with 503 instead of committing into a store the
+	// operator cannot trust.
+	app, err := appender.New([]int{ingestCross, ingestCross}, 1)
+	if err != nil {
+		return res, err
+	}
+	ingester, err := ingest.New(app, ingest.Config{
+		Dim:           1,
+		FlushInterval: time.Millisecond,
+		Gate: func() error {
+			if h := serving.Health(); h.Status != "ok" {
+				return fmt.Errorf("%w: serving store is %s", storage.ErrUnavailable, h.Status)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = ingester.Close() }() // saboteurs are joined before the audit
+
+	srv := server.New(serving, server.Config{MaxConcurrent: 4 * o.Clients, Ingest: ingester})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return res, err
@@ -152,7 +191,8 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	go func() { srvDone <- srv.Serve(srvCtx, ln) }()
 	base := "http://" + ln.Addr().String()
 
-	h := &harness{o: o, base: base, oracle: oracle, logf: logf}
+	h := &harness{o: o, base: base, oracle: oracle, logf: logf,
+		ledger: &ingestLedger{slabs: make(map[int][]float64)}}
 
 	// Phase 1: healthy. Every answer must be clean and exact.
 	if status, err := h.healthz(); err != nil || status != "ok" {
@@ -207,6 +247,16 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	}
 	logf("detection complete: %d quarantined, health degraded", res.QuarantinedPeak)
 
+	// Gate integration: with health degraded the write path must shed —
+	// and a shed answer is a guarantee of non-commitment, which the final
+	// frontier audit cross-checks.
+	body, _ := json.Marshal(map[string]any{
+		"shape": []int{ingestCross, 1}, "values": make([]float64, ingestCross),
+	})
+	if status, resp, err := h.post("/v1/ingest", body); err != nil || status != http.StatusServiceUnavailable {
+		return res, fmt.Errorf("chaos: ingest while degraded: status %d, err %v (%s)", status, err, resp)
+	}
+
 	// Phase 3: recovered. Stop injecting, heal the medium, and require
 	// convergence back to a clean, exact store.
 	faulty.FailReadsWithProbability(0, 0)
@@ -251,6 +301,17 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		return res, fmt.Errorf("chaos: no successful queries after recovery")
 	}
 
+	// The ingest audit: every accepted slab must be queryable with exact
+	// values, and the appender's frontier must equal the accepted count —
+	// a shed slab that secretly committed, or an accepted slab that
+	// vanished, both break that equality.
+	res.IngestVerified, err = h.verifyIngest(ingester)
+	if err != nil {
+		return res, fmt.Errorf("chaos: ingest audit: %w", err)
+	}
+	logf("ingest audit: %d accepted slabs, %d cells verified exact",
+		len(h.ledger.slabs), res.IngestVerified)
+
 	stopSrv()
 	if err := <-srvDone; err != nil {
 		return res, fmt.Errorf("chaos: server shutdown: %w", err)
@@ -264,6 +325,24 @@ type harness struct {
 	base   string
 	oracle *shiftsplit.Array
 	logf   func(string, ...any)
+	ledger *ingestLedger
+}
+
+// ingestLedger records what the saboteurs were told was committed: the
+// slab values by frontier offset. It is the write path's oracle.
+type ingestLedger struct {
+	mu    sync.Mutex
+	slabs map[int][]float64 // offset along the append dim → slab values
+	dup   string            // set when two 200s claimed the same offset
+}
+
+func (l *ingestLedger) record(off int, vals []float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.slabs[off]; ok && l.dup == "" {
+		l.dup = fmt.Sprintf("two accepted slabs claim offset %d", off)
+	}
+	l.slabs[off] = vals
 }
 
 func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -272,6 +351,7 @@ func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 func (h *harness) load(ctx context.Context, name string) PhaseReport {
 	rep := PhaseReport{Name: name}
 	var queries, ok, degraded, errs, wrong atomic.Int64
+	var accepted, shed, failed atomic.Int64
 	deadline := time.Now().Add(h.o.PhaseDuration)
 	var wg sync.WaitGroup
 	for c := 0; c < h.o.Clients; c++ {
@@ -294,15 +374,107 @@ func (h *harness) load(ctx context.Context, name string) PhaseReport {
 			wrong.Add(sub.Wrong)
 		}(h.o.Seed + int64(c))
 	}
+	// Two ingest saboteurs append concurrently with the query load (and
+	// the background scrubber), recording every accepted slab for the
+	// end-of-run audit.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rngFor(seed)
+			sub := PhaseReport{}
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				h.ingestSlab(rng, &sub)
+			}
+			accepted.Add(sub.IngestAccepted)
+			shed.Add(sub.IngestShed)
+			failed.Add(sub.IngestFailed)
+		}(h.o.Seed + 500 + int64(c))
+	}
 	wg.Wait()
 	rep.Queries = queries.Load()
 	rep.OK = ok.Load()
 	rep.Degraded = degraded.Load()
 	rep.Errors = errs.Load()
 	rep.Wrong = wrong.Load()
-	h.logf("phase %-9s %5d queries: %d ok, %d degraded, %d errors, %d WRONG",
-		name, rep.Queries, rep.OK, rep.Degraded, rep.Errors, rep.Wrong)
+	rep.IngestAccepted = accepted.Load()
+	rep.IngestShed = shed.Load()
+	rep.IngestFailed = failed.Load()
+	h.logf("phase %-9s %5d queries: %d ok, %d degraded, %d errors, %d WRONG; ingest %d accepted, %d shed, %d failed",
+		name, rep.Queries, rep.OK, rep.Degraded, rep.Errors, rep.Wrong,
+		rep.IngestAccepted, rep.IngestShed, rep.IngestFailed)
 	return rep
+}
+
+// ingestSlab posts one random [ingestCross, 1] slab. A 200 is recorded in
+// the ledger (the server promised durability); 429/503 promise
+// non-commitment and are tallied as shed; anything else is a failure.
+func (h *harness) ingestSlab(rng *rand.Rand, rep *PhaseReport) {
+	vals := make([]float64, ingestCross)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(2000)-1000) / 8
+	}
+	body, _ := json.Marshal(map[string]any{"shape": []int{ingestCross, 1}, "values": vals})
+	status, resp, err := h.post("/v1/ingest", body)
+	if err != nil {
+		rep.IngestFailed++
+		return
+	}
+	switch status {
+	case http.StatusOK:
+		var res struct {
+			Offset []int `json:"offset"`
+		}
+		if jerr := json.Unmarshal(resp, &res); jerr != nil || len(res.Offset) != 2 {
+			rep.IngestFailed++
+			return
+		}
+		h.ledger.record(res.Offset[1], vals)
+		rep.IngestAccepted++
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		rep.IngestShed++
+	default:
+		rep.IngestFailed++
+	}
+}
+
+// verifyIngest is the committed ⇒ queryable audit: the appender frontier
+// must equal the accepted slab count exactly (so no shed slab committed
+// and no accepted slab vanished), and every recorded cell must read back
+// exactly through /v1/ingest/point.
+func (h *harness) verifyIngest(in *ingest.Ingester) (int, error) {
+	h.ledger.mu.Lock()
+	defer h.ledger.mu.Unlock()
+	if h.ledger.dup != "" {
+		return 0, fmt.Errorf("%s", h.ledger.dup)
+	}
+	used := in.Used()
+	if used[1] != len(h.ledger.slabs) {
+		return 0, fmt.Errorf("frontier %d != %d accepted slabs — a shed slab committed or an accepted one vanished",
+			used[1], len(h.ledger.slabs))
+	}
+	verified := 0
+	for off, vals := range h.ledger.slabs {
+		for r := 0; r < ingestCross; r++ {
+			body, _ := json.Marshal(map[string]any{"point": []int{r, off}})
+			status, resp, err := h.post("/v1/ingest/point", body)
+			if err != nil || status != http.StatusOK {
+				return verified, fmt.Errorf("accepted slab at offset %d not queryable: status %d, err %v", off, status, err)
+			}
+			var pr struct {
+				Value float64 `json:"value"`
+			}
+			if err := json.Unmarshal(resp, &pr); err != nil {
+				return verified, err
+			}
+			want := vals[r]
+			if math.Abs(pr.Value-want) > tolerance*math.Max(1, math.Abs(want)) {
+				return verified, fmt.Errorf("cell [%d %d] = %v, ingest promised %v", r, off, pr.Value, want)
+			}
+			verified++
+		}
+	}
+	return verified, nil
 }
 
 // answer is the slice of the JSON responses the oracle check needs.

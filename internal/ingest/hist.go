@@ -1,0 +1,95 @@
+package ingest
+
+import "time"
+
+// histBounds are the fixed upper bounds of the commit-latency histogram
+// buckets (a final implicit bucket catches everything slower). Fixed
+// buckets keep observation O(1) and lock-cheap; quantiles are read off
+// the cumulative counts, so they are exact to bucket resolution.
+var histBounds = []time.Duration{
+	100 * time.Microsecond,
+	200 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2 * time.Second,
+	5 * time.Second,
+}
+
+// numHistBuckets is len(histBounds) plus the overflow bucket.
+const numHistBuckets = 16
+
+// latencyHist is a fixed-bucket latency histogram. Not self-locking: the
+// Ingester guards it with its counter mutex.
+type latencyHist struct {
+	n   [numHistBuckets]int64
+	tot int64
+	max time.Duration
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	i := 0
+	for i < len(histBounds) && d > histBounds[i] {
+		i++
+	}
+	h.n[i]++
+	h.tot++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-th sample
+// (the overflow bucket reports the maximum observed). Zero samples → 0.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	if h.tot == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.tot-1))
+	var seen int64
+	for i, c := range h.n {
+		seen += c
+		if seen > rank {
+			if i < len(histBounds) {
+				return histBounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// LatencyCount is one histogram bucket on the wire: the count of commits
+// at most LEMillis (the overflow bucket has LEMillis = +Inf encoded as 0
+// with Overflow set).
+type LatencyCount struct {
+	LEMillis float64 `json:"le_ms,omitempty"`
+	Overflow bool    `json:"overflow,omitempty"`
+	N        int64   `json:"n"`
+}
+
+// counts returns the non-empty buckets.
+func (h *latencyHist) counts() []LatencyCount {
+	var out []LatencyCount
+	for i, c := range h.n {
+		if c == 0 {
+			continue
+		}
+		b := LatencyCount{N: c}
+		if i < len(histBounds) {
+			b.LEMillis = histBounds[i].Seconds() * 1e3
+		} else {
+			b.Overflow = true
+		}
+		out = append(out, b)
+	}
+	return out
+}

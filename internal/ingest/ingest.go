@@ -1,0 +1,608 @@
+// Package ingest is the write-path counterpart of the serving subsystem:
+// a front door that accepts append slabs (and scalar stream items) from
+// many concurrent clients and turns them into the batched maintenance
+// operations the SHIFT-SPLIT engines are built for.
+//
+// The paper's appending result makes a single slab cheap; what a
+// production write path needs on top is amortization ACROSS clients. The
+// Ingester stages incoming slabs in a bounded queue and a single commit
+// loop group-commits them: every queued slab is folded into one
+// Appender.AppendBatch call, so domain expansion runs once for the whole
+// group and the durable backing seals all of it with one journal group
+// (one fsync pair) instead of one per client. Group size is driven by two
+// thresholds — a slab-count cap and a short gathering window — mirroring
+// classic WAL group commit.
+//
+// Ingestion is bounded the same way the read path is: when the staging
+// queue is full new requests are shed immediately with ErrBacklog (the
+// HTTP layer maps it to 429), and a request abandoned by its deadline
+// before the commit loop picked it is removed from the queue, so a
+// non-200 answer is a guarantee the slab was NOT committed. Conversely a
+// success is returned only after the group commit sealed, so a 200 answer
+// is a guarantee the slab IS durable and queryable. The only escape from
+// this dichotomy is a commit whose outcome the process cannot know
+// (appender.ErrInDoubt); it is surfaced as its own error class and the
+// ingester refuses further work.
+//
+// The Appender itself is not concurrency-safe; the Ingester serializes
+// every appender access (group commits, point queries, stats snapshots)
+// behind one mutex, with the commit loop as the only writer.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/shiftsplit/shiftsplit/internal/appender"
+	"github.com/shiftsplit/shiftsplit/internal/bitutil"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/query"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+	"github.com/shiftsplit/shiftsplit/internal/stream"
+)
+
+// ErrBacklog is returned when the staging queue is full: the client
+// should back off and retry (HTTP 429).
+var ErrBacklog = errors.New("ingest: staging queue full")
+
+// ErrClosed is returned by operations on a closed Ingester.
+var ErrClosed = errors.New("ingest: closed")
+
+// Config bounds an Ingester. Zero values pick sensible defaults.
+type Config struct {
+	// Dim is the dimension slabs append along (the growing frontier).
+	Dim int
+	// MaxQueueSlabs / MaxQueueCells bound the staging queue; requests
+	// beyond either bound are shed with ErrBacklog (defaults 256 slabs,
+	// 1<<22 cells).
+	MaxQueueSlabs int
+	MaxQueueCells int
+	// MaxBatchSlabs caps one group commit (default 64).
+	MaxBatchSlabs int
+	// FlushInterval is the group-gathering window: after the first slab
+	// of a group arrives the commit loop waits this long for companions
+	// before committing (default 2ms). Negative disables the window
+	// (commit as soon as the loop wakes).
+	FlushInterval time.Duration
+	// Gate, when non-nil, is consulted before admitting an append; a
+	// non-nil error sheds the request with that error (the degraded /
+	// breaker integration seam: wire it to the serving store's health).
+	Gate func() error
+	// StreamK / StreamBufBits size the Result-3 synopsis fed by stream
+	// items (defaults 64 coefficients, 2^6-item buffer).
+	StreamK       int
+	StreamBufBits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueueSlabs <= 0 {
+		c.MaxQueueSlabs = 256
+	}
+	if c.MaxQueueCells <= 0 {
+		c.MaxQueueCells = 1 << 22
+	}
+	if c.MaxBatchSlabs <= 0 {
+		c.MaxBatchSlabs = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.StreamK <= 0 {
+		c.StreamK = 64
+	}
+	if c.StreamBufBits <= 0 {
+		c.StreamBufBits = 6
+	}
+	return c
+}
+
+// Result reports where a committed slab landed.
+type Result struct {
+	// Offset is the domain coordinate of the slab's origin cell.
+	Offset []int
+	// Cells is the slab's cell count.
+	Cells int
+	// Group is the sequence number of the group commit that sealed the
+	// slab; Slabs is how many client slabs shared it.
+	Group int64
+	Slabs int
+}
+
+// pending is one staged slab waiting for its group commit.
+type pending struct {
+	slab   *ndarray.Array
+	cells  int
+	picked bool // claimed by the commit loop; no longer removable
+	res    Result
+	err    error
+	done   chan struct{}
+}
+
+// Ingester is the group-committing write front door over one Appender.
+// Create with New; it owns a background commit loop until Close.
+type Ingester struct {
+	cfg Config
+
+	// appMu serializes all appender access: the commit loop's batches,
+	// point queries, and stats snapshots.
+	appMu sync.Mutex
+	app   *appender.Appender
+
+	mu          sync.Mutex
+	queue       []*pending
+	queuedCells int
+	cross       []int // cross-section extents fixed by the first slab (0 = not yet)
+	closed      bool
+
+	// Counters (mu-guarded).
+	committedSlabs int64
+	committedCells int64
+	groups         int64
+	expansions     int64
+	shed           int64
+	timedOut       int64
+	failedSlabs    int64
+	failedGroups   int64
+	streamItems    int64
+	hist           latencyHist
+
+	stream *stream.Buffered
+	start  time.Time
+
+	kickc chan struct{}
+	stopc chan struct{}
+	donec chan struct{}
+}
+
+// New starts an Ingester over app. The appender (and its backing store)
+// stays owned by the caller: Close drains and stops the commit loop but
+// does not close the store.
+func New(app *appender.Appender, cfg Config) (*Ingester, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim < 0 || cfg.Dim >= len(app.Shape()) {
+		return nil, fmt.Errorf("ingest: append dimension %d out of range for shape %v", cfg.Dim, app.Shape())
+	}
+	in := &Ingester{
+		cfg:    cfg,
+		app:    app,
+		stream: stream.NewBuffered(cfg.StreamK, cfg.StreamBufBits),
+		start:  time.Now(),
+		kickc:  make(chan struct{}, 1),
+		stopc:  make(chan struct{}),
+		donec:  make(chan struct{}),
+	}
+	used := app.Used()
+	in.cross = make([]int, len(used))
+	for t, u := range used {
+		if t != cfg.Dim {
+			in.cross[t] = u
+		}
+	}
+	go in.loop()
+	return in, nil
+}
+
+// NewSlab validates a wire-format slab (shape + row-major values) and
+// wraps it as an array. Structural problems — shape/values mismatch,
+// non-positive extents, NaN/Inf cells — are query.ErrInvalid: the
+// client's fault, never a panic.
+func NewSlab(shape []int, values []float64) (*ndarray.Array, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("%w: slab has no shape", query.ErrInvalid)
+	}
+	size := 1
+	for i, s := range shape {
+		if s <= 0 {
+			return nil, fmt.Errorf("%w: slab extent %d along dimension %d", query.ErrInvalid, s, i)
+		}
+		if size > (1<<31)/s {
+			return nil, fmt.Errorf("%w: slab shape %v overflows", query.ErrInvalid, shape)
+		}
+		size *= s
+	}
+	if size != len(values) {
+		return nil, fmt.Errorf("%w: slab shape %v wants %d values, got %d", query.ErrInvalid, shape, size, len(values))
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite cell at index %d", query.ErrInvalid, i)
+		}
+	}
+	return ndarray.FromSlice(values, shape...), nil
+}
+
+// Enqueue stages slab for the next group commit and blocks until that
+// commit seals (success: the slab is durable at Result.Offset) or fails.
+// If ctx expires while the slab is still removable it is withdrawn and
+// the error guarantees the slab was not committed; once the commit loop
+// has claimed it, Enqueue waits out the commit and reports its true
+// outcome.
+func (in *Ingester) Enqueue(ctx context.Context, slab *ndarray.Array) (Result, error) {
+	p, err := in.admit(slab)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case <-p.done:
+		return p.res, p.err
+	case <-ctx.Done():
+		in.mu.Lock()
+		if !p.picked {
+			in.removeLocked(p)
+			in.timedOut++
+			in.mu.Unlock()
+			return Result{}, fmt.Errorf("ingest: abandoned before commit: %w", ctx.Err())
+		}
+		in.mu.Unlock()
+		<-p.done // group already committing; its outcome is authoritative
+		return p.res, p.err
+	}
+}
+
+// admit validates slab against the ingester's fixed geometry and stages
+// it, enforcing the queue bounds.
+func (in *Ingester) admit(slab *ndarray.Array) (*pending, error) {
+	d := len(in.cross)
+	if slab.Dims() != d {
+		return nil, fmt.Errorf("%w: slab has %d dims, domain has %d", query.ErrInvalid, slab.Dims(), d)
+	}
+	shape := in.shapeSnapshot()
+	for t := 0; t < d; t++ {
+		if t == in.cfg.Dim {
+			continue
+		}
+		if !bitutil.IsPow2(slab.Extent(t)) {
+			return nil, fmt.Errorf("%w: cross extent %d along dimension %d is not a power of two", query.ErrInvalid, slab.Extent(t), t)
+		}
+		if slab.Extent(t) > shape[t] {
+			return nil, fmt.Errorf("%w: cross extent %d exceeds domain %d along dimension %d", query.ErrInvalid, slab.Extent(t), shape[t], t)
+		}
+	}
+	cells := slab.Size()
+	if cells > in.cfg.MaxQueueCells {
+		return nil, fmt.Errorf("%w: slab of %d cells exceeds the staging budget (%d)", query.ErrInvalid, cells, in.cfg.MaxQueueCells)
+	}
+	p := &pending{slab: slab, cells: cells, done: make(chan struct{})}
+
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if gate := in.cfg.Gate; gate != nil {
+		if err := gate(); err != nil {
+			in.shed++
+			in.mu.Unlock()
+			return nil, err
+		}
+	}
+	for t := 0; t < d; t++ {
+		if t == in.cfg.Dim {
+			continue
+		}
+		if in.cross[t] != 0 && slab.Extent(t) != in.cross[t] {
+			in.mu.Unlock()
+			return nil, fmt.Errorf("%w: cross extent %d along dimension %d, ingest expects %d", query.ErrInvalid, slab.Extent(t), t, in.cross[t])
+		}
+	}
+	if len(in.queue) >= in.cfg.MaxQueueSlabs || in.queuedCells+cells > in.cfg.MaxQueueCells {
+		in.shed++
+		in.mu.Unlock()
+		return nil, ErrBacklog
+	}
+	for t := 0; t < d; t++ {
+		if t != in.cfg.Dim && in.cross[t] == 0 {
+			in.cross[t] = slab.Extent(t) // first slab fixes the cross-section
+		}
+	}
+	in.queue = append(in.queue, p)
+	in.queuedCells += cells
+	in.mu.Unlock()
+
+	select {
+	case in.kickc <- struct{}{}:
+	default:
+	}
+	return p, nil
+}
+
+func (in *Ingester) shapeSnapshot() []int {
+	in.appMu.Lock()
+	defer in.appMu.Unlock()
+	return in.app.Shape()
+}
+
+// removeLocked withdraws an unpicked entry (deadline abandonment).
+func (in *Ingester) removeLocked(p *pending) {
+	for i, q := range in.queue {
+		if q == p {
+			in.queue = append(in.queue[:i], in.queue[i+1:]...)
+			in.queuedCells -= p.cells
+			return
+		}
+	}
+}
+
+// loop is the commit loop: woken by the first slab of a group, it gathers
+// companions for FlushInterval (unless a full batch is already waiting),
+// then commits groups until the queue is empty.
+func (in *Ingester) loop() {
+	defer close(in.donec)
+	for {
+		select {
+		case <-in.kickc:
+		case <-in.stopc:
+			in.drainQueue()
+			return
+		}
+		if in.cfg.FlushInterval > 0 && !in.batchReady() {
+			t := time.NewTimer(in.cfg.FlushInterval)
+			select {
+			case <-t.C:
+			case <-in.stopc:
+				t.Stop()
+				in.drainQueue()
+				return
+			}
+		}
+		in.drainQueue()
+	}
+}
+
+func (in *Ingester) batchReady() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.queue) >= in.cfg.MaxBatchSlabs
+}
+
+func (in *Ingester) drainQueue() {
+	for {
+		group := in.take()
+		if len(group) == 0 {
+			return
+		}
+		in.commitGroup(group)
+	}
+}
+
+// take claims up to MaxBatchSlabs staged slabs; claimed entries can no
+// longer be withdrawn by their deadlines.
+func (in *Ingester) take() []*pending {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := len(in.queue)
+	if n > in.cfg.MaxBatchSlabs {
+		n = in.cfg.MaxBatchSlabs
+	}
+	if n == 0 {
+		return nil
+	}
+	group := make([]*pending, n)
+	copy(group, in.queue[:n])
+	in.queue = append(in.queue[:0:0], in.queue[n:]...)
+	for _, p := range group {
+		p.picked = true
+		in.queuedCells -= p.cells
+	}
+	return group
+}
+
+// commitGroup folds one claimed group into the appender as a single
+// atomic batch and wakes every waiter with the outcome.
+func (in *Ingester) commitGroup(group []*pending) {
+	slabs := make([]*ndarray.Array, len(group))
+	cells := 0
+	for i, p := range group {
+		slabs[i] = p.slab
+		cells += p.cells
+	}
+	in.appMu.Lock()
+	base := in.app.Used()
+	begin := time.Now()
+	st, err := in.app.AppendBatch(in.cfg.Dim, slabs)
+	elapsed := time.Since(begin)
+	in.appMu.Unlock()
+
+	in.mu.Lock()
+	var seq int64
+	if err == nil {
+		in.groups++
+		seq = in.groups
+		in.committedSlabs += int64(len(group))
+		in.committedCells += int64(cells)
+		in.expansions += int64(st.Expansions)
+		in.hist.observe(elapsed)
+	} else {
+		in.failedGroups++
+		in.failedSlabs += int64(len(group))
+	}
+	in.mu.Unlock()
+
+	off := base[in.cfg.Dim]
+	for i, p := range group {
+		if err == nil {
+			offset := make([]int, len(base))
+			offset[in.cfg.Dim] = off
+			p.res = Result{Offset: offset, Cells: p.cells, Group: seq, Slabs: len(group)}
+			off += slabs[i].Extent(in.cfg.Dim)
+		} else {
+			p.err = err
+		}
+		close(p.done)
+	}
+}
+
+// AddStream feeds scalar items into the Result-3 stream synopsis. Items
+// are absorbed in memory (the synopsis IS the state); non-finite values
+// are rejected with query.ErrInvalid.
+func (in *Ingester) AddStream(values []float64) (int64, error) {
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%w: non-finite stream item at index %d", query.ErrInvalid, i)
+		}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return 0, ErrClosed
+	}
+	for _, v := range values {
+		in.stream.Add(v)
+	}
+	in.streamItems += int64(len(values))
+	return in.streamItems, nil
+}
+
+// Point answers a point query against the ingested transform — the
+// committed ⇒ queryable check. It serializes with the commit loop, so it
+// never observes a half-applied group.
+func (in *Ingester) Point(point []int) (float64, error) {
+	in.appMu.Lock()
+	defer in.appMu.Unlock()
+	// Root-path reconstruction: the appender maintains raw standard-form
+	// coefficients (not the materialized per-tile scaling slots
+	// PointStandard shortcuts through).
+	v, _, err := query.PointViaRootPath(in.app.Store(), in.app.Shape(), point)
+	return v, err
+}
+
+// Used returns the extents occupied by committed data.
+func (in *Ingester) Used() []int {
+	in.appMu.Lock()
+	defer in.appMu.Unlock()
+	return in.app.Used()
+}
+
+// Shape returns the current (expanded) domain extents.
+func (in *Ingester) Shape() []int { return in.shapeSnapshot() }
+
+// Reconstruct reads the committed dataset back (tests and audits; it
+// serializes with the commit loop like any other appender access).
+func (in *Ingester) Reconstruct() (*ndarray.Array, error) {
+	in.appMu.Lock()
+	defer in.appMu.Unlock()
+	return in.app.Reconstruct()
+}
+
+// Close stops admitting, drains the staged queue through a final group
+// commit, and waits for the commit loop to exit. The appender's backing
+// store remains open (the caller owns it).
+func (in *Ingester) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		<-in.donec
+		return nil
+	}
+	in.closed = true
+	in.mu.Unlock()
+	close(in.stopc)
+	<-in.donec
+	return nil
+}
+
+// Stats snapshots the ingest counters. See the field comments for the
+// amortization arithmetic.
+type Stats struct {
+	Dim   int   `json:"dim"`
+	Shape []int `json:"shape"`
+	Used  []int `json:"used"`
+
+	// CommittedSlabs / CommittedCells are the client appends that reached
+	// a sealed group commit; Groups counts those commits — the first
+	// amortization ratio. Expansions counts domain doublings.
+	CommittedSlabs int64 `json:"committed_slabs"`
+	CommittedCells int64 `json:"committed_cells"`
+	Groups         int64 `json:"groups"`
+	Expansions     int64 `json:"expansions"`
+
+	// Shed (backpressure / gate), TimedOut (abandoned before pick), and
+	// Failed* (group commits that errored) all guarantee non-commitment.
+	Shed         int64 `json:"shed"`
+	TimedOut     int64 `json:"timed_out"`
+	FailedSlabs  int64 `json:"failed_slabs"`
+	FailedGroups int64 `json:"failed_groups"`
+
+	StreamItems int64 `json:"stream_items"`
+
+	QueueSlabs int `json:"queue_slabs"`
+	QueueCells int `json:"queue_cells"`
+
+	// AppendsPerJournalGroup is CommittedSlabs over the device's journal
+	// groups (Commits counter) — the fsync-amortization figure. ItemsPerSec
+	// is committed cells plus stream items over the ingester's lifetime.
+	AppendsPerJournalGroup float64 `json:"appends_per_journal_group"`
+	ItemsPerSec            float64 `json:"items_per_sec"`
+
+	// Commit latency distribution over sealed group commits.
+	CommitP50Millis float64        `json:"commit_p50_ms"`
+	CommitP99Millis float64        `json:"commit_p99_ms"`
+	CommitHistogram []LatencyCount `json:"commit_histogram,omitempty"`
+
+	// Device truth and its attribution (satellite: expansion vs merge I/O
+	// reported separately so the amortization is verifiable from stats).
+	DeviceIO    storage.Stats `json:"device_io"`
+	ExpansionIO storage.Stats `json:"expansion_io"`
+	MergeIO     storage.Stats `json:"merge_io"`
+
+	// Poisoned carries the sticky appender failure, "" while healthy.
+	Poisoned string `json:"poisoned,omitempty"`
+
+	// Per-item costs of the stream synopsis (Result 3).
+	StreamCrestPerItem float64 `json:"stream_crest_per_item"`
+	StreamTotalPerItem float64 `json:"stream_total_per_item"`
+}
+
+// Stats assembles a consistent snapshot.
+func (in *Ingester) Stats() Stats {
+	in.appMu.Lock()
+	shape := in.app.Shape()
+	used := in.app.Used()
+	device := in.app.TotalIO()
+	expIO, mergeIO := in.app.IOBreakdown()
+	var poisoned string
+	if err := in.app.Poisoned(); err != nil {
+		poisoned = err.Error()
+	}
+	in.appMu.Unlock()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := Stats{
+		Dim:            in.cfg.Dim,
+		Shape:          shape,
+		Used:           used,
+		CommittedSlabs: in.committedSlabs,
+		CommittedCells: in.committedCells,
+		Groups:         in.groups,
+		Expansions:     in.expansions,
+		Shed:           in.shed,
+		TimedOut:       in.timedOut,
+		FailedSlabs:    in.failedSlabs,
+		FailedGroups:   in.failedGroups,
+		StreamItems:    in.streamItems,
+		QueueSlabs:     len(in.queue),
+		QueueCells:     in.queuedCells,
+		DeviceIO:       device,
+		ExpansionIO:    expIO,
+		MergeIO:        mergeIO,
+		Poisoned:       poisoned,
+	}
+	if device.Commits > 0 {
+		st.AppendsPerJournalGroup = float64(in.committedSlabs) / float64(device.Commits)
+	}
+	if elapsed := time.Since(in.start).Seconds(); elapsed > 0 {
+		st.ItemsPerSec = float64(in.committedCells+in.streamItems) / elapsed
+	}
+	st.CommitP50Millis = in.hist.quantile(0.50).Seconds() * 1e3
+	st.CommitP99Millis = in.hist.quantile(0.99).Seconds() * 1e3
+	st.CommitHistogram = in.hist.counts()
+	costs := in.stream.Costs()
+	st.StreamCrestPerItem = costs.PerItemCrest()
+	st.StreamTotalPerItem = costs.PerItemTotal()
+	return st
+}

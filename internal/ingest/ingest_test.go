@@ -1,0 +1,371 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/shiftsplit/shiftsplit/internal/appender"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/query"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+func newTestIngester(t *testing.T, cfg Config) *Ingester {
+	t.Helper()
+	app, err := appender.New([]int{4, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := New(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = in.Close() }) // idempotent; tests may close early
+	return in
+}
+
+// slabCol builds a 4x1 slab (a column appended along dim 1) whose cells
+// are seeded deterministically.
+func slabCol(seed int) *ndarray.Array {
+	vals := make([]float64, 4)
+	for i := range vals {
+		vals[i] = float64(seed*10 + i + 1)
+	}
+	return ndarray.FromSlice(vals, 4, 1)
+}
+
+// TestGroupCommitAmortization is the tentpole property: many concurrent
+// client appends collapse into few group commits, visible in the device's
+// Commits counter.
+func TestGroupCommitAmortization(t *testing.T) {
+	in := newTestIngester(t, Config{Dim: 1, FlushInterval: 20 * time.Millisecond})
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, errs[c] = in.Enqueue(context.Background(), slabCol(c))
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	st := in.Stats()
+	if st.CommittedSlabs != clients {
+		t.Fatalf("committed %d slabs, want %d", st.CommittedSlabs, clients)
+	}
+	if st.Groups >= clients/4 {
+		t.Errorf("%d groups for %d appends: amortization below 4x", st.Groups, clients)
+	}
+	if st.AppendsPerJournalGroup <= 0 {
+		t.Errorf("appends-per-journal-group not computed: %+v", st)
+	}
+	// Device truth: merge commits = group commits, so the ratio holds at
+	// the Commits counter too (expansions commit separately).
+	if st.MergeIO.Commits != st.Groups {
+		t.Errorf("merge commits %d != groups %d", st.MergeIO.Commits, st.Groups)
+	}
+	if got := st.Used[1]; got != clients {
+		t.Errorf("used[1] = %d, want %d", got, clients)
+	}
+	if st.CommitP99Millis < st.CommitP50Millis {
+		t.Errorf("p99 %v < p50 %v", st.CommitP99Millis, st.CommitP50Millis)
+	}
+}
+
+// TestReconstructMatchesOracle checks committed ⇒ queryable: every
+// Result.Offset points at exactly the cells the client sent.
+func TestReconstructMatchesOracle(t *testing.T) {
+	in := newTestIngester(t, Config{Dim: 1, FlushInterval: time.Millisecond})
+	rng := rand.New(rand.NewSource(7))
+	const clients = 24
+	type sent struct {
+		slab *ndarray.Array
+		res  Result
+	}
+	out := make([]sent, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		vals := make([]float64, 4*2)
+		for i := range vals {
+			vals[i] = math.Round(rng.Float64()*100) / 4
+		}
+		slab := ndarray.FromSlice(vals, 4, 2)
+		out[c].slab = slab
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res, err := in.Enqueue(context.Background(), out[c].slab)
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			out[c].res = res
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	got, err := in.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range out {
+		off := s.res.Offset
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 2; j++ {
+				want := s.slab.At(i, j)
+				have := got.At(off[0]+i, off[1]+j)
+				if math.Abs(want-have) > 1e-9 {
+					t.Fatalf("client %d cell (%d,%d): got %g want %g", c, i, j, have, want)
+				}
+			}
+		}
+		if v, err := in.Point([]int{0, off[1]}); err != nil {
+			t.Fatalf("point: %v", err)
+		} else if math.Abs(v-s.slab.At(0, 0)) > 1e-9 {
+			t.Fatalf("client %d point query: got %g want %g", c, v, s.slab.At(0, 0))
+		}
+	}
+}
+
+// TestBackpressure checks the queue bound sheds with ErrBacklog while
+// staged requests still commit.
+func TestBackpressure(t *testing.T) {
+	in := newTestIngester(t, Config{
+		Dim:           1,
+		MaxQueueSlabs: 2,
+		FlushInterval: 200 * time.Millisecond,
+	})
+	done := make(chan error, 2)
+	for c := 0; c < 2; c++ {
+		go func(c int) {
+			_, err := in.Enqueue(context.Background(), slabCol(c))
+			done <- err
+		}(c)
+	}
+	waitFor(t, func() bool { return in.Stats().QueueSlabs == 2 })
+	if _, err := in.Enqueue(context.Background(), slabCol(9)); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("enqueue into a full queue: err = %v, want ErrBacklog", err)
+	}
+	for c := 0; c < 2; c++ {
+		if err := <-done; err != nil {
+			t.Fatalf("staged request failed: %v", err)
+		}
+	}
+	st := in.Stats()
+	if st.Shed != 1 || st.CommittedSlabs != 2 {
+		t.Fatalf("shed=%d committed=%d, want 1 and 2", st.Shed, st.CommittedSlabs)
+	}
+}
+
+// TestDeadlineWithdrawsUnpicked checks the 503 guarantee: a request
+// abandoned before the commit loop claims it is withdrawn and provably
+// not committed.
+func TestDeadlineWithdrawsUnpicked(t *testing.T) {
+	in := newTestIngester(t, Config{Dim: 1, FlushInterval: 300 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := in.Enqueue(ctx, slabCol(1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The withdrawn slab must not surface later: the next append lands at
+	// the untouched frontier.
+	res, err := in.Enqueue(context.Background(), slabCol(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offset[1] != 0 {
+		t.Fatalf("offset %v after a withdrawn request, want frontier 0", res.Offset)
+	}
+	st := in.Stats()
+	if st.TimedOut != 1 || st.CommittedSlabs != 1 || st.Used[1] != 1 {
+		t.Fatalf("timedOut=%d committed=%d used=%v", st.TimedOut, st.CommittedSlabs, st.Used)
+	}
+}
+
+// TestGateSheds checks the degraded/breaker seam: a failing gate sheds
+// before staging, with the gate's own error.
+func TestGateSheds(t *testing.T) {
+	gateErr := fmt.Errorf("serving: %w", storage.ErrUnavailable)
+	var allow bool
+	in := newTestIngester(t, Config{
+		Dim:           1,
+		FlushInterval: time.Millisecond,
+		Gate: func() error {
+			if !allow {
+				return gateErr
+			}
+			return nil
+		},
+	})
+	if _, err := in.Enqueue(context.Background(), slabCol(1)); !errors.Is(err, storage.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	allow = true
+	if _, err := in.Enqueue(context.Background(), slabCol(1)); err != nil {
+		t.Fatalf("gate open: %v", err)
+	}
+	st := in.Stats()
+	if st.Shed != 1 || st.CommittedSlabs != 1 {
+		t.Fatalf("shed=%d committed=%d", st.Shed, st.CommittedSlabs)
+	}
+}
+
+// TestValidationRejects checks malformed slabs fail fast as ErrInvalid
+// without reaching the appender.
+func TestValidationRejects(t *testing.T) {
+	in := newTestIngester(t, Config{Dim: 1, FlushInterval: time.Millisecond})
+	cases := []struct {
+		name string
+		slab *ndarray.Array
+	}{
+		{"wrong dims", ndarray.FromSlice([]float64{1, 2}, 2)},
+		{"cross not pow2", ndarray.FromSlice(make([]float64, 3), 3, 1)},
+		{"cross exceeds domain", ndarray.FromSlice(make([]float64, 8), 8, 1)},
+	}
+	for _, tc := range cases {
+		if _, err := in.Enqueue(context.Background(), tc.slab); !errors.Is(err, query.ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", tc.name, err)
+		}
+	}
+	// Fix the cross-section at 4, then offer a mismatching one.
+	if _, err := in.Enqueue(context.Background(), slabCol(0)); err != nil {
+		t.Fatal(err)
+	}
+	bad := ndarray.FromSlice(make([]float64, 2), 2, 1)
+	if _, err := in.Enqueue(context.Background(), bad); !errors.Is(err, query.ErrInvalid) {
+		t.Errorf("cross mismatch: err = %v, want ErrInvalid", err)
+	}
+	if st := in.Stats(); st.CommittedSlabs != 1 {
+		t.Fatalf("committed %d, want 1", st.CommittedSlabs)
+	}
+}
+
+func TestNewSlab(t *testing.T) {
+	if _, err := NewSlab([]int{2, 2}, []float64{1, 2, 3}); !errors.Is(err, query.ErrInvalid) {
+		t.Errorf("shape/values mismatch: %v", err)
+	}
+	if _, err := NewSlab([]int{0, 2}, nil); !errors.Is(err, query.ErrInvalid) {
+		t.Errorf("zero extent: %v", err)
+	}
+	if _, err := NewSlab(nil, nil); !errors.Is(err, query.ErrInvalid) {
+		t.Errorf("no shape: %v", err)
+	}
+	if _, err := NewSlab([]int{2}, []float64{1, math.NaN()}); !errors.Is(err, query.ErrInvalid) {
+		t.Errorf("NaN cell: %v", err)
+	}
+	if _, err := NewSlab([]int{2}, []float64{1, math.Inf(1)}); !errors.Is(err, query.ErrInvalid) {
+		t.Errorf("Inf cell: %v", err)
+	}
+	if _, err := NewSlab([]int{1 << 20, 1 << 20}, nil); !errors.Is(err, query.ErrInvalid) {
+		t.Errorf("overflowing shape: %v", err)
+	}
+	a, err := NewSlab([]int{2, 2}, []float64{1, 2, 3, 4})
+	if err != nil || a.At(1, 1) != 4 {
+		t.Fatalf("valid slab: %v, %v", a, err)
+	}
+}
+
+// TestStream checks stream items feed the synopsis and reject non-finite
+// values, and that per-item costs surface in stats.
+func TestStream(t *testing.T) {
+	in := newTestIngester(t, Config{Dim: 1, StreamK: 8, StreamBufBits: 2})
+	if _, err := in.AddStream([]float64{1, math.Inf(-1)}); !errors.Is(err, query.ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i))
+	}
+	n, err := in.AddStream(vals)
+	if err != nil || n != 64 {
+		t.Fatalf("AddStream: n=%d err=%v", n, err)
+	}
+	st := in.Stats()
+	if st.StreamItems != 64 {
+		t.Fatalf("stream items %d, want 64", st.StreamItems)
+	}
+	if st.StreamTotalPerItem <= 0 || st.StreamCrestPerItem < 0 {
+		t.Fatalf("per-item costs not surfaced: %+v", st)
+	}
+	if st.ItemsPerSec <= 0 {
+		t.Fatalf("items/sec not computed")
+	}
+}
+
+// TestCloseDrains checks Close commits everything already admitted and
+// subsequent operations fail with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	in := newTestIngester(t, Config{Dim: 1, FlushInterval: 100 * time.Millisecond})
+	done := make(chan Result, 1)
+	go func() {
+		res, err := in.Enqueue(context.Background(), slabCol(1))
+		if err != nil {
+			t.Errorf("enqueue during close: %v", err)
+		}
+		done <- res
+	}()
+	waitFor(t, func() bool { return in.Stats().QueueSlabs == 1 })
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.Cells != 4 {
+		t.Fatalf("drained result %+v", res)
+	}
+	if _, err := in.Enqueue(context.Background(), slabCol(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, err := in.AddStream([]float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("stream after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if numHistBuckets != len(histBounds)+1 {
+		t.Fatalf("numHistBuckets = %d, want %d", numHistBuckets, len(histBounds)+1)
+	}
+	var h latencyHist
+	if h.quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile")
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(10 * time.Second) // overflow bucket
+	}
+	if got := h.quantile(0.50); got != time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.quantile(0.99); got != 10*time.Second {
+		t.Fatalf("p99 = %v (overflow should report the observed max)", got)
+	}
+	if cs := h.counts(); len(cs) != 2 || cs[0].N != 90 || !cs[1].Overflow {
+		t.Fatalf("counts = %+v", cs)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

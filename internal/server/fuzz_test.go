@@ -14,14 +14,12 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/dataset"
 )
 
-// fuzzHandler builds one shared 16x16 server for the whole fuzz run; the
-// store is immutable, so reuse across inputs is safe and keeps iterations
-// fast. The temp directory leaks for the process lifetime, which is fine
-// for a test binary.
-var fuzzHandler = sync.OnceValue(func() http.Handler {
+// fuzzServingStore materializes a 16x16 serving store in a temp directory
+// that leaks for the process lifetime, which is fine for a test binary.
+func fuzzServingStore() (*shiftsplit.Store, error) {
 	dir, err := os.MkdirTemp("", "shiftsplit-fuzz")
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	path := filepath.Join(dir, "fuzz.wav")
 	shape := []int{16, 16}
@@ -29,15 +27,22 @@ var fuzzHandler = sync.OnceValue(func() http.Handler {
 		Shape: shape, Form: shiftsplit.Standard, TileBits: 2, Path: path,
 	})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	if err := st.Materialize(dataset.Dense(shape, 7)); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if err := st.Close(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	serving, err := shiftsplit.OpenServing(path, 32, 4)
+	return shiftsplit.OpenServing(path, 32, 4)
+}
+
+// fuzzHandler builds one shared 16x16 server for the whole fuzz run; the
+// store is immutable, so reuse across inputs is safe and keeps iterations
+// fast.
+var fuzzHandler = sync.OnceValue(func() http.Handler {
+	serving, err := fuzzServingStore()
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/ingest"
 	"github.com/shiftsplit/shiftsplit/internal/query"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
@@ -276,6 +277,10 @@ type statsResponse struct {
 	Quarantined   []storage.QuarantineRecord `json:"quarantined,omitempty"`
 	Scrub         *storage.ScrubStats        `json:"scrub,omitempty"`
 	Breaker       *breakerStats              `json:"breaker,omitempty"`
+	// Ingest carries the write path's fsync-amortization accounting
+	// (appends-per-journal-group, items/sec, commit latency histogram)
+	// when the server mounts an ingester.
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
 }
 
 type breakerStats struct {
@@ -333,6 +338,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if state, trips, rejected, ok := s.st.BreakerStats(); ok {
 		resp.Breaker = &breakerStats{State: state, Trips: trips, Rejected: rejected}
+	}
+	if s.cfg.Ingest != nil {
+		ist := s.cfg.Ingest.Stats()
+		resp.Ingest = &ist
 	}
 	writeJSON(w, resp)
 }

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"mime"
+	"net/http"
+	"sync"
+
+	"github.com/shiftsplit/shiftsplit/internal/ingest"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+)
+
+// maxNDJSONSlabs caps the slab lines one NDJSON ingest request may carry
+// (each line becomes a concurrent enqueue; MaxBodyBytes bounds total
+// payload, this bounds the fan-out).
+const maxNDJSONSlabs = 1024
+
+type ingestSlabRequest struct {
+	// Shape gives the slab's extents; Values its cells in row-major order.
+	Shape  []int     `json:"shape"`
+	Values []float64 `json:"values"`
+}
+
+type ingestResult struct {
+	// Offset is the domain coordinate where the slab's origin landed;
+	// Group/Slabs identify the group commit that sealed it and how many
+	// client slabs shared it (the amortization, per response).
+	Offset []int `json:"offset,omitempty"`
+	Cells  int   `json:"cells,omitempty"`
+	Group  int64 `json:"group,omitempty"`
+	Slabs  int   `json:"slabs,omitempty"`
+	// Error marks a slab line that was NOT committed (NDJSON bodies only;
+	// single-slab requests report errors via the HTTP status instead).
+	Error string `json:"error,omitempty"`
+}
+
+// ingestFail maps write-path errors onto the read path's status contract,
+// preserving the ingest guarantee: 429 and 503 are only ever returned for
+// requests that provably did not commit. An in-doubt commit falls through
+// to 500 (ambiguous by nature — only reopening the backing resolves it).
+func (s *Server) ingestFail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ingest.ErrBacklog):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, ingest.ErrClosed):
+		s.failed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		s.fail(w, err)
+	}
+}
+
+func isNDJSON(r *http.Request) bool {
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && (ct == "application/x-ndjson" || ct == "application/ndjson")
+}
+
+// handleIngest accepts one slab (JSON body) or many (NDJSON body, one
+// slab per line) and blocks until their group commit seals, so a 200
+// means durable and queryable.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if isNDJSON(r) {
+		s.handleIngestNDJSON(w, r)
+		return
+	}
+	var req ingestSlabRequest
+	if err := decode(r, &req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	slab, err := ingest.NewSlab(req.Shape, req.Values)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	res, err := s.cfg.Ingest.Enqueue(r.Context(), slab)
+	if err != nil {
+		s.ingestFail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, ingestResult{Offset: res.Offset, Cells: res.Cells, Group: res.Group, Slabs: res.Slabs})
+}
+
+// handleIngestNDJSON decodes every slab line up front (any malformed line
+// fails the whole request with 400 before anything is enqueued), then
+// enqueues the lines concurrently — deliberately, so one network client
+// still benefits from group commit across its own lines. The NDJSON
+// response carries one result line per slab line, in order; lines with an
+// error field were not committed.
+func (s *Server) handleIngestNDJSON(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var slabs []*ndarray.Array
+	for {
+		var req ingestSlabRequest
+		if err := dec.Decode(&req); err == io.EOF {
+			break
+		} else if err != nil {
+			s.failed.Add(1)
+			writeError(w, http.StatusBadRequest, "bad request line: "+err.Error())
+			return
+		}
+		slab, err := ingest.NewSlab(req.Shape, req.Values)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		if len(slabs) >= maxNDJSONSlabs {
+			s.failed.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, "too many slab lines in one request")
+			return
+		}
+		slabs = append(slabs, slab)
+	}
+	if len(slabs) == 0 {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "empty ingest body")
+		return
+	}
+	results := make([]ingestResult, len(slabs))
+	errs := make([]error, len(slabs))
+	var wg sync.WaitGroup
+	for i := range slabs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.cfg.Ingest.Enqueue(r.Context(), slabs[i])
+			if err != nil {
+				errs[i] = err
+				results[i] = ingestResult{Error: err.Error()}
+				return
+			}
+			results[i] = ingestResult{Offset: res.Offset, Cells: res.Cells, Group: res.Group, Slabs: res.Slabs}
+		}(i)
+	}
+	wg.Wait()
+	// All lines rejected: surface the first error as the request's status
+	// so shed load is visible at the HTTP layer (429/503), not buried in a
+	// 200 body.
+	allFailed := true
+	for _, err := range errs {
+		if err == nil {
+			allFailed = false
+			break
+		}
+	}
+	if allFailed {
+		s.ingestFail(w, errs[0])
+		return
+	}
+	s.served.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, res := range results {
+		enc.Encode(res)
+	}
+}
+
+type ingestStreamRequest struct {
+	Values []float64 `json:"values"`
+}
+
+type ingestStreamResponse struct {
+	// Items is the total stream items absorbed by the synopsis so far.
+	Items int64 `json:"items"`
+}
+
+func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	var req ingestStreamRequest
+	if err := decode(r, &req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Values) == 0 {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "empty stream batch")
+		return
+	}
+	items, err := s.cfg.Ingest.AddStream(req.Values)
+	if err != nil {
+		s.ingestFail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, ingestStreamResponse{Items: items})
+}
+
+type ingestPointResponse struct {
+	Point []int   `json:"point"`
+	Value float64 `json:"value"`
+}
+
+// handleIngestPoint answers a point query against the INGESTED transform
+// (the serving store is a separate read-optimized dataset) — this is the
+// committed ⇒ queryable oracle the chaos harness leans on.
+func (s *Server) handleIngestPoint(w http.ResponseWriter, r *http.Request) {
+	var req pointRequest
+	if err := decode(r, &req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := s.cfg.Ingest.Point(req.Point)
+	if err != nil {
+		s.ingestFail(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, ingestPointResponse{Point: req.Point, Value: v})
+}

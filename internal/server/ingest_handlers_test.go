@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/shiftsplit/shiftsplit/internal/appender"
+	"github.com/shiftsplit/shiftsplit/internal/ingest"
+	"github.com/shiftsplit/shiftsplit/internal/ndarray"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+// newIngestServer mounts an ingester (4x4 domain growing along dim 1)
+// beside a small read store.
+func newIngestServer(t testing.TB, icfg ingest.Config) (*httptest.Server, *ingest.Ingester) {
+	t.Helper()
+	app, err := appender.New([]int{4, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icfg.Dim = 1
+	in, err := ingest.New(app, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = in.Close() }) // idempotent; tests may close early
+	st := buildStore(t, []int{16, 16}, 0)
+	ts := newTestServer(t, st, Config{Ingest: in})
+	return ts, in
+}
+
+func TestIngestSingleSlab(t *testing.T) {
+	ts, _ := newIngestServer(t, ingest.Config{FlushInterval: time.Millisecond})
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", `{"shape":[4,1],"values":[1,2,3,4]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res ingestResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("response %q: %v", body, err)
+	}
+	if res.Offset[1] != 0 || res.Cells != 4 || res.Group != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	// Committed ⇒ queryable through the ingest point endpoint.
+	resp, body = postJSON(t, ts.URL+"/v1/ingest/point", `{"point":[2,0]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("point status %d: %s", resp.StatusCode, body)
+	}
+	var pr ingestPointResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr.Value-3) > 1e-9 {
+		t.Fatalf("point value %v, want 3", pr.Value)
+	}
+}
+
+func TestIngestNDJSON(t *testing.T) {
+	ts, in := newIngestServer(t, ingest.Config{FlushInterval: 5 * time.Millisecond})
+	lines := `{"shape":[4,1],"values":[1,1,1,1]}
+{"shape":[4,1],"values":[2,2,2,2]}
+{"shape":[4,1],"values":[3,3,3,3]}`
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	offs := map[int]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	n := 0
+	for sc.Scan() {
+		var res ingestResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		if res.Error != "" {
+			t.Fatalf("line error: %s", res.Error)
+		}
+		offs[res.Offset[1]] = true
+		n++
+	}
+	if n != 3 || !offs[0] || !offs[1] || !offs[2] {
+		t.Fatalf("results n=%d offsets=%v", n, offs)
+	}
+	// All three lines of one request should have shared group commits.
+	st := in.Stats()
+	if st.CommittedSlabs != 3 {
+		t.Fatalf("committed %d", st.CommittedSlabs)
+	}
+	if st.Groups > 3 {
+		t.Fatalf("groups %d > slabs", st.Groups)
+	}
+}
+
+func TestIngestBadRequests(t *testing.T) {
+	ts, _ := newIngestServer(t, ingest.Config{FlushInterval: time.Millisecond})
+	cases := []struct{ name, ct, body string }{
+		{"malformed json", "application/json", `{"shape":[4,1]`},
+		{"shape values mismatch", "application/json", `{"shape":[4,1],"values":[1]}`},
+		{"inf cell", "application/json", `{"shape":[1,1],"values":[1e999]}`},
+		{"unknown field", "application/json", `{"shape":[4,1],"values":[1,2,3,4],"x":1}`},
+		{"wrong dims", "application/json", `{"shape":[4],"values":[1,2,3,4]}`},
+		{"negative extent", "application/json", `{"shape":[-4,1],"values":[]}`},
+		{"empty ndjson", "application/x-ndjson", ``},
+		{"bad ndjson line", "application/x-ndjson", `{"shape":[4,1],"values":[1,2,3,4]}` + "\n" + `{"shape":`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/ingest", tc.ct, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, buf.String())
+		}
+	}
+	// Nothing above may have committed — a bad NDJSON line fails the whole
+	// request before any enqueue.
+	stats := getStats(t, ts.URL)
+	if stats.Ingest == nil || stats.Ingest.CommittedSlabs != 0 {
+		t.Fatalf("ingest stats after bad requests: %+v", stats.Ingest)
+	}
+}
+
+func getStats(t testing.TB, base string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestIngestBackpressure429(t *testing.T) {
+	ts, in := newIngestServer(t, ingest.Config{
+		MaxQueueSlabs: 1,
+		FlushInterval: 300 * time.Millisecond,
+	})
+	// Occupy the queue directly, then hit the HTTP endpoint.
+	done := make(chan error, 1)
+	go func() {
+		_, err := in.Enqueue(context.Background(), ndarray.FromSlice([]float64{1, 2, 3, 4}, 4, 1))
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Stats().QueueSlabs != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", `{"shape":[4,1],"values":[5,6,7,8]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("staged append failed: %v", err)
+	}
+}
+
+func TestIngestGate503(t *testing.T) {
+	gateErr := storage.ErrUnavailable
+	ts, _ := newIngestServer(t, ingest.Config{
+		FlushInterval: time.Millisecond,
+		Gate:          func() error { return gateErr },
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", `{"shape":[4,1],"values":[1,2,3,4]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+}
+
+func TestIngestStreamEndpoint(t *testing.T) {
+	ts, _ := newIngestServer(t, ingest.Config{FlushInterval: time.Millisecond})
+	resp, body := postJSON(t, ts.URL+"/v1/ingest/stream", `{"values":[1,2,3,4,5,6,7,8]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr ingestStreamResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Items != 8 {
+		t.Fatalf("items %d, want 8", sr.Items)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/ingest/stream", `{"values":[1,"x"]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad stream status %d: %s", resp.StatusCode, body)
+	}
+	// Stats surface the ingest section with stream accounting.
+	stats := getStats(t, ts.URL)
+	if stats.Ingest == nil || stats.Ingest.StreamItems != 8 {
+		t.Fatalf("stats ingest section: %+v", stats.Ingest)
+	}
+}
+
+// TestIngestRouteAbsentWithoutIngester: a server without an ingester must
+// 404 the write path, not panic on a nil ingester.
+func TestIngestRouteAbsentWithoutIngester(t *testing.T) {
+	st := buildStore(t, []int{16, 16}, 0)
+	ts := newTestServer(t, st, Config{})
+	resp, _ := postJSON(t, ts.URL+"/v1/ingest", `{"shape":[4,1],"values":[1,2,3,4]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}

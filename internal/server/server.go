@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/ingest"
 	"github.com/shiftsplit/shiftsplit/internal/query"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
 )
@@ -53,6 +54,11 @@ type Config struct {
 	MaxResultCells int
 	// MaxBodyBytes caps the request body (default 1 MiB).
 	MaxBodyBytes int64
+	// Ingest, when non-nil, mounts the write path: POST /v1/ingest (JSON
+	// and NDJSON slabs), /v1/ingest/stream, and /v1/ingest/point, plus an
+	// ingest section in /v1/stats. The server borrows the ingester; the
+	// caller closes it after shutdown.
+	Ingest *ingest.Ingester
 	// Log receives serving lifecycle messages; nil discards them.
 	Log *log.Logger
 }
@@ -116,6 +122,11 @@ func New(st *shiftsplit.Store, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/olap/dice", s.limited(s.handleOLAP))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if cfg.Ingest != nil {
+		mux.HandleFunc("POST /v1/ingest", s.limited(s.handleIngest))
+		mux.HandleFunc("POST /v1/ingest/stream", s.limited(s.handleIngestStream))
+		mux.HandleFunc("POST /v1/ingest/point", s.limited(s.handleIngestPoint))
+	}
 	s.handler = recoverJSON(mux)
 	return s
 }

@@ -224,6 +224,27 @@ type Stats struct {
 // not included).
 func (s Stats) Total() int64 { return s.Reads + s.Writes }
 
+// Add returns s with o's counters added.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Reads:   s.Reads + o.Reads,
+		Writes:  s.Writes + o.Writes,
+		Syncs:   s.Syncs + o.Syncs,
+		Commits: s.Commits + o.Commits,
+	}
+}
+
+// Sub returns s with o's counters subtracted — the delta of two samples
+// bracketing an I/O window.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:   s.Reads - o.Reads,
+		Writes:  s.Writes - o.Writes,
+		Syncs:   s.Syncs - o.Syncs,
+		Commits: s.Commits - o.Commits,
+	}
+}
+
 // Counting wraps a BlockStore and counts every read and write that reaches
 // the underlying store, plus the Sync/Commit durability points forwarded
 // through it. This is the measurement instrument behind every figure in

@@ -4,6 +4,7 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/appender"
 	"github.com/shiftsplit/shiftsplit/internal/core"
 	"github.com/shiftsplit/shiftsplit/internal/parallel"
+	"github.com/shiftsplit/shiftsplit/internal/storage"
 	"github.com/shiftsplit/shiftsplit/internal/stream"
 )
 
@@ -26,10 +27,17 @@ type Appender struct {
 	inner *appender.Appender
 }
 
-// AppendResult reports the cost of one append.
+// AppendResult reports the cost of one append or append batch. The two
+// I/O windows are disjoint: ExpansionIO covers the domain doublings
+// (including their own commits), MergeIO covers transforming and applying
+// the slabs plus the single group commit that seals them — so the
+// journal-group amortization of a batch is readable directly from
+// MergeIO.Commits.
 type AppendResult struct {
-	// Expansions is how many times the domain doubled to fit the slab.
+	// Expansions is how many times the domain doubled to fit the slabs.
 	Expansions int
+	// Slabs is how many client slabs the call folded in.
+	Slabs int
 	// ExpansionIO and MergeIO are the block I/O spent on each phase.
 	ExpansionIO IOStats
 	MergeIO     IOStats
@@ -58,15 +66,38 @@ func NewAppenderOpts(shape []int, tileBits int, opts MaintainOptions) (*Appender
 // Append folds slab into the dataset along dim at the current frontier,
 // expanding the domain as needed.
 func (a *Appender) Append(dim int, slab *Array) (AppendResult, error) {
-	st, err := a.inner.Append(dim, slab)
+	return a.AppendBatch(dim, []*Array{slab})
+}
+
+// AppendBatch folds a group of slabs into the dataset along dim, in
+// order, as one atomic batch sealed by a single commit: on a durable
+// backing many client appends cost one journal group. All needed domain
+// expansions run before any slab is staged, so a crash never exposes a
+// partial group.
+func (a *Appender) AppendBatch(dim int, slabs []*Array) (AppendResult, error) {
+	st, err := a.inner.AppendBatch(dim, slabs)
 	if err != nil {
 		return AppendResult{}, err
 	}
 	return AppendResult{
 		Expansions:  st.Expansions,
-		ExpansionIO: IOStats{Reads: st.ExpansionIO.Reads, Writes: st.ExpansionIO.Writes},
-		MergeIO:     IOStats{Reads: st.MergeIO.Reads, Writes: st.MergeIO.Writes},
+		Slabs:       st.Slabs,
+		ExpansionIO: ioStatsOf(st.ExpansionIO),
+		MergeIO:     ioStatsOf(st.MergeIO),
 	}, nil
+}
+
+// IOBreakdown splits the lifetime append I/O into its two phases —
+// domain expansion vs slab merging — so fsync-amortization claims are
+// verifiable from stats alone (TotalIO may exceed the sum: queries and
+// reconstruction belong to neither phase).
+func (a *Appender) IOBreakdown() (expansion, merge IOStats) {
+	e, m := a.inner.IOBreakdown()
+	return ioStatsOf(e), ioStatsOf(m)
+}
+
+func ioStatsOf(st storage.Stats) IOStats {
+	return IOStats{Reads: st.Reads, Writes: st.Writes, Syncs: st.Syncs, Commits: st.Commits}
 }
 
 // Shape returns the current transformed domain extents.
@@ -76,10 +107,7 @@ func (a *Appender) Shape() []int { return a.inner.Shape() }
 func (a *Appender) Used() []int { return a.inner.Used() }
 
 // TotalIO returns the cumulative block I/O.
-func (a *Appender) TotalIO() IOStats {
-	st := a.inner.TotalIO()
-	return IOStats{Reads: st.Reads, Writes: st.Writes}
-}
+func (a *Appender) TotalIO() IOStats { return ioStatsOf(a.inner.TotalIO()) }
 
 // Reconstruct reads the transform back and inverts it.
 func (a *Appender) Reconstruct() (*Array, error) { return a.inner.Reconstruct() }
@@ -186,7 +214,4 @@ func (a *NonStdAppender) RangeSum(start, shape []int) (float64, error) {
 func (a *NonStdAppender) Reconstruct() (*Array, error) { return a.inner.Reconstruct() }
 
 // TotalIO returns the cumulative block I/O.
-func (a *NonStdAppender) TotalIO() IOStats {
-	st := a.inner.TotalIO()
-	return IOStats{Reads: st.Reads, Writes: st.Writes}
-}
+func (a *NonStdAppender) TotalIO() IOStats { return ioStatsOf(a.inner.TotalIO()) }
