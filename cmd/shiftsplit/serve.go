@@ -57,8 +57,12 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer st.Close()
+	// The signal context is the process lifetime: the server drains on it,
+	// and the background scrubber nests inside it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *scrubEvery > 0 {
-		if err := st.StartScrub(*scrubEvery, *scrubRate); err != nil {
+		if err := st.StartScrub(ctx, *scrubEvery, *scrubRate); err != nil {
 			return err
 		}
 	}
@@ -107,8 +111,6 @@ func cmdServe(args []string) error {
 		Ingest:        in,
 		Log:           log.New(os.Stderr, "serve: ", log.LstdFlags),
 	})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	return srv.ListenAndServe(ctx)
 }
 

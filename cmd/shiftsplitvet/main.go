@@ -9,6 +9,15 @@
 //	lockedstore    stateful stores need storage.Locked on concurrent paths
 //	batchio        engine I/O loops must use the vectored batch calls
 //	errclass       error handling must branch on the typed taxonomy, not message text
+//	ctxflow        serving/maintenance paths must thread a Context and select on cancellation
+//	lockorder      consistent lock acquisition order; no self-deadlock, leaked locks, or channel ops under a lock
+//	atomicfield    a field accessed via sync/atomic anywhere must be atomic everywhere
+//	resourceleak   tickers/timers/files/handles must reach Stop/Close on every path; goroutines must be joinable
+//
+// The last four are CFG-based: they run dataflow analyses over
+// internal/analyzers/cfg control-flow graphs instead of matching syntax,
+// and share cross-package facts (lock acquisition sets, atomic fields)
+// through the multichecker's fact store.
 //
 // Usage:
 //
@@ -21,12 +30,16 @@
 package main
 
 import (
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/atomicfield"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/batchio"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/ctxflow"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/errclass"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/journalwrite"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/lockedstore"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/lockorder"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/maprangefloat"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/multichecker"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/resourceleak"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/scratchescape"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/storageerr"
 )
@@ -40,5 +53,9 @@ func main() {
 		lockedstore.Analyzer,
 		batchio.Analyzer,
 		errclass.Analyzer,
+		ctxflow.Analyzer,
+		lockorder.Analyzer,
+		atomicfield.Analyzer,
+		resourceleak.Analyzer,
 	)
 }

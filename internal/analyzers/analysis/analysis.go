@@ -37,7 +37,59 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts  *Facts
 	report func(Diagnostic)
+}
+
+// Facts is the cross-package side channel of one checker run: analyzers
+// export summaries (e.g. "this function acquires these locks") keyed by
+// stable strings while analyzing a package, and import them when analyzing
+// its dependents. The driver hands the same Facts to every pass and loads
+// packages in dependency order, so a dependency's facts are always present
+// before its importers are analyzed.
+//
+// Keys are analyzer-namespaced automatically; analyzers only agree with
+// themselves. Keys must be position-independent and stable across
+// source/export-data views of a package — by convention
+// "pkgpath.Type.Member" or "pkgpath.Func" (see vetutil for helpers) —
+// because a dependency analyzed from source and later imported from export
+// data yields distinct go/types objects for the same entity.
+type Facts struct {
+	m map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	key      string
+}
+
+// NewFacts returns an empty fact store for one checker run.
+func NewFacts() *Facts { return &Facts{m: make(map[factKey]any)} }
+
+// WithFacts attaches a fact store to the pass and returns it.
+func (p *Pass) WithFacts(f *Facts) *Pass {
+	p.facts = f
+	return p
+}
+
+// ExportFact records fact under key for this analyzer. Without an attached
+// fact store (single-package analysistest runs construct one implicitly via
+// the driver) it is a no-op.
+func (p *Pass) ExportFact(key string, fact any) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.m[factKey{p.Analyzer.Name, key}] = fact
+}
+
+// ImportFact looks up the fact stored under key by this analyzer in an
+// earlier pass and returns it (nil, false when absent).
+func (p *Pass) ImportFact(key string) (any, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	v, ok := p.facts.m[factKey{p.Analyzer.Name, key}]
+	return v, ok
 }
 
 // NewPass binds an analyzer to a package; sink receives the diagnostics.

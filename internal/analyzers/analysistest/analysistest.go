@@ -65,17 +65,21 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	if len(pkgs) == 0 {
 		t.Fatalf("no packages matched %v", patterns)
 	}
+	// One fact store spans the whole Run, and load returns packages in
+	// dependency order, so fixtures exercise cross-package facts exactly
+	// the way the multichecker does.
+	facts := analysis.NewFacts()
 	for _, pkg := range pkgs {
-		runOne(t, a, pkg)
+		runOne(t, a, pkg, facts)
 	}
 }
 
-func runOne(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+func runOne(t *testing.T, a *analysis.Analyzer, pkg *load.Package, facts *analysis.Facts) {
 	t.Helper()
 	var diags []analysis.Diagnostic
 	pass := analysis.NewPass(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, func(d analysis.Diagnostic) {
 		diags = append(diags, d)
-	})
+	}).WithFacts(facts)
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer %s: %v", pkg.PkgPath, a.Name, err)
 	}

@@ -1,0 +1,100 @@
+// Package atomicfield enforces all-or-nothing atomicity per field: a
+// struct field that any code accesses through sync/atomic may never be
+// read or written plainly. A single plain load of such a field is a data
+// race — the exact race the degraded-mode flag shipped with before it
+// moved to atomic.Bool — and the racy read is legal-looking enough to
+// survive review, so the rule is mechanical.
+//
+// The field set is collected per package and exported as facts keyed by
+// the field's stable "pkg.Owner.field" key, so a dependent package reading
+// an upstream field plainly is caught even though the atomic accesses live
+// upstream. Composite-literal initialization (S{flag: 0}) is not a
+// concurrent access and never matches: literal keys are bare identifiers,
+// not selector accesses.
+//
+// The sanctioned fix is either routing every access through sync/atomic or
+// — better — giving the field a typed wrapper (atomic.Int64, atomic.Bool)
+// so the compiler enforces what this analyzer checks.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/vetutil"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed via sync/atomic everywhere",
+	Run:  run,
+}
+
+// atomicFact marks one field as atomically accessed; exported under the
+// field's FieldKey.
+type atomicFact struct{}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: find every &x.f handed to a sync/atomic call. The selector
+	// nodes themselves are sanctioned accesses.
+	local := make(map[string]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := vetutil.Callee(info, call)
+			if fn == nil || vetutil.DeclPkgPath(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := vetutil.FieldKey(info, sel); ok {
+					local[key] = true
+					sanctioned[sel] = true
+					pass.ExportFact(key, atomicFact{})
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other selector that resolves to an atomic field — local
+	// or imported-fact — is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key, ok := vetutil.FieldKey(info, sel)
+			if !ok {
+				return true
+			}
+			atomic := local[key]
+			if !atomic {
+				_, atomic = pass.ImportFact(key)
+			}
+			if atomic {
+				pass.Reportf(sel.Pos(),
+					"plain access to %s, which is accessed with sync/atomic elsewhere; every access must go through sync/atomic (or make the field a typed atomic.Int64/atomic.Bool)",
+					key)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "a")
+}
+
+// TestAtomicFieldCrossPackage drives the facts path: xa marks Gate.Flag
+// atomic; ya's plain read of it is caught through the imported fact.
+func TestAtomicFieldCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "xa", "ya")
+}
+
+// TestAtomicFieldDegradedRegression is the seeded regression: the
+// degraded-mode flag read plainly on the serve path while the scrub path
+// stored it atomically (the PR 6 race, caught statically).
+func TestAtomicFieldDegradedRegression(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "internal/storage")
+}

@@ -1,0 +1,31 @@
+// Package a exercises the same-package atomicfield rules.
+package a
+
+import "sync/atomic"
+
+type C struct {
+	flag uint32
+	n    int64
+	ok   uint32 // never touched atomically: plain access is fine
+	hits atomic.Int64
+}
+
+func (c *C) set() { atomic.StoreUint32(&c.flag, 1) }
+
+func (c *C) get() bool { return atomic.LoadUint32(&c.flag) == 1 }
+
+func (c *C) bad() bool { return c.flag == 1 } // want `plain access to .*C\.flag`
+
+func (c *C) add() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) write() { c.n = 0 } // want `plain access to .*C\.n`
+
+func (c *C) plainOnly() { c.ok = 1 }
+
+// fresh initializes by composite literal: the key is a bare identifier,
+// not an access, and must not be flagged.
+func fresh() *C { return &C{flag: 0, n: 0} }
+
+// typed uses the compiler-enforced wrapper — the fix the analyzer steers
+// toward; method calls on it are not plain accesses of an atomic scalar.
+func (c *C) typed() int64 { return c.hits.Add(1) }

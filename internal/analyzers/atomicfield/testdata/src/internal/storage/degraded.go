@@ -1,0 +1,25 @@
+// Package storage carries atomicfield's seeded regression: the
+// degraded-mode flag race. The scrubber set the flag with an atomic store,
+// but the hot read path loaded it plainly — a data race the -race suite
+// only caught under a lucky interleaving (PR 6). The repaired code loads
+// atomically; production code now uses atomic.Bool so the compiler
+// enforces it.
+package storage
+
+import "sync/atomic"
+
+type state struct {
+	degraded uint32
+}
+
+func (s *state) markDegraded() { atomic.StoreUint32(&s.degraded, 1) }
+
+// serveBroken is the pre-repair read path.
+func (s *state) serveBroken() bool {
+	return s.degraded == 1 // want `plain access to .*state\.degraded`
+}
+
+// serve is the repaired read path.
+func (s *state) serve() bool {
+	return atomic.LoadUint32(&s.degraded) == 1
+}

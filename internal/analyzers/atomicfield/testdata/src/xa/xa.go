@@ -1,0 +1,13 @@
+// Package xa is the upstream side of the cross-package test: it accesses
+// Gate.Flag atomically, which exports the field's atomic fact.
+package xa
+
+import "sync/atomic"
+
+type Gate struct {
+	Flag uint32
+}
+
+func (g *Gate) Raise() { atomic.StoreUint32(&g.Flag, 1) }
+
+func (g *Gate) Raised() bool { return atomic.LoadUint32(&g.Flag) == 1 }

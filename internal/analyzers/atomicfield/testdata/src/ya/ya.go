@@ -1,0 +1,13 @@
+// Package ya reads an upstream atomic field plainly; the violation is
+// only visible through xa's exported fact.
+package ya
+
+import "github.com/shiftsplit/shiftsplit/vettest/xa"
+
+func Check(g *xa.Gate) bool {
+	return g.Flag == 1 // want `plain access to .*Gate\.Flag`
+}
+
+func CheckRight(g *xa.Gate) bool {
+	return g.Raised()
+}

@@ -1,0 +1,395 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs fixed-point dataflow analyses over them — the
+// engine beneath the shiftsplitvet analyzers that must see ACROSS
+// statements (lockorder, resourceleak), where AST pattern matching cannot.
+//
+// It is a deliberately small, offline re-implementation of the
+// golang.org/x/tools/go/cfg idea on the standard library only, matching the
+// repository's no-external-modules rule. The graph is statement-granular:
+// each Block holds the ast.Nodes that execute in order when control reaches
+// it (statements, plus loop/if condition expressions), and Succs are the
+// places control may go next. Function literals nested in a body are NOT
+// part of the enclosing graph — analyzers build separate graphs for them,
+// because a closure's body runs on its own goroutine's schedule.
+//
+// panic() and calls that never return are treated as terminating the
+// function without reaching Exit: leak- and lock-style analyses deliberately
+// reason about ordinary returns, matching how defers are modeled (a
+// DeferStmt node guards every exit downstream of its registration).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first. Exit is the single
+	// synthetic block every return (and the fall-off-the-end path)
+	// flows to; it holds no nodes.
+	Entry, Exit *Block
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+}
+
+// A Block is a straight-line run of AST nodes with no internal branching.
+type Block struct {
+	Index int
+	// Nodes execute in order: statements, plus the condition expressions
+	// of if/for statements (so analyzers see receives in conditions).
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// unreachable marks blocks synthesized for statements that follow a
+	// terminating statement (return/break/goto); they have no Preds.
+	unreachable bool
+}
+
+// New builds the CFG of body. A nil body (declarations without bodies)
+// yields a two-block graph with Entry wired straight to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = &Block{}
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmt(body)
+	}
+	b.edge(b.cur, b.g.Exit) // fall off the end
+	b.patchGotos()
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// Reachable reports whether blk can be reached from Entry.
+func (g *Graph) Reachable(blk *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen[blk.Index]
+}
+
+// frame tracks where break and continue jump inside one loop, switch, or
+// select statement, and the label (if any) naming it.
+type frame struct {
+	label      string
+	brk, cont  *Block // cont is nil for switch/select frames
+	isLoop     bool
+	fallTarget *Block // next case body, for fallthrough (switch only)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil is never stored; unreachable code gets a fresh orphan block
+	frames []frame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel names the next loop/switch built, so `continue L` works.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startUnreachable begins a fresh block with no predecessors, for code
+// following a terminating statement.
+func (b *builder) startUnreachable() {
+	blk := b.newBlock()
+	blk.unreachable = true
+	b.cur = blk
+}
+
+func (b *builder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// takeLabel consumes the pending label for a loop/switch/select frame.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		post := b.newBlock() // continue target; wired to head below
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.pushFrame(frame{label: label, brk: after, cont: post, isLoop: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.popFrame()
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		b.edge(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		// The RangeStmt itself sits in the head so analyzers see the
+		// ranged expression (and key/value assignment) once per iteration.
+		head.Nodes = append(head.Nodes, s)
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushFrame(frame{label: label, brk: after, cont: head, isLoop: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.popFrame()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s) // the select node itself: analyzers see "a blocking select happens here"
+		sel := b.cur
+		after := b.newBlock()
+		b.pushFrame(frame{label: label, brk: after})
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(sel, blk)
+			b.cur = blk
+			if clause.Comm != nil {
+				b.stmt(clause.Comm)
+			}
+			for _, st := range clause.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, after)
+		}
+		if len(s.Body.List) == 0 {
+			// `select {}` blocks forever: no edge to after.
+			after.unreachable = true
+		}
+		b.popFrame()
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lbl := b.newBlock()
+		b.edge(b.cur, lbl)
+		b.cur = lbl
+		if b.labels == nil {
+			b.labels = make(map[string]*Block)
+		}
+		b.labels[s.Label.Name] = lbl
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.startUnreachable()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(labelName(s)); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.findContinue(labelName(s)); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: labelName(s)})
+		case token.FALLTHROUGH:
+			if t := b.fallTarget(); t != nil {
+				b.edge(b.cur, t)
+			}
+		}
+		b.startUnreachable()
+
+	default:
+		// Straight-line statements: assignments, declarations, sends,
+		// expression statements, go, defer, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+// switchStmt builds expression and type switches: the head flows to every
+// case body (and to after when there is no default); case bodies flow to
+// after, or to the next body on fallthrough.
+func (b *builder) switchStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.stmt(s.Assign)
+		body = s.Body
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, cc := range body.List {
+		clauses = append(clauses, cc.(*ast.CaseClause))
+	}
+	blks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blks[i] = b.newBlock()
+		b.edge(head, blks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		var fall *Block
+		if i+1 < len(blks) {
+			fall = blks[i+1]
+		}
+		b.pushFrame(frame{label: label, brk: after, fallTarget: fall})
+		b.cur = blks[i]
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+		b.popFrame()
+	}
+	b.cur = after
+}
+
+func (b *builder) pushFrame(f frame) { b.frames = append(b.frames, f) }
+func (b *builder) popFrame()         { b.frames = b.frames[:len(b.frames)-1] }
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+func (b *builder) findBreak(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == "" || f.label == label {
+			return f.brk
+		}
+	}
+	return nil
+}
+
+func (b *builder) findContinue(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if !f.isLoop {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f.cont
+		}
+	}
+	return nil
+}
+
+func (b *builder) fallTarget() *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if b.frames[i].fallTarget != nil || b.frames[i].brk != nil {
+			return b.frames[i].fallTarget
+		}
+	}
+	return nil
+}
+
+// patchGotos wires goto edges once every label block exists.
+func (b *builder) patchGotos() {
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			b.edge(g.from, t)
+		}
+	}
+}

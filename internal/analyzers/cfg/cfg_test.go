@@ -1,0 +1,249 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src (a file fragment containing one function f) and
+// returns the CFG of f's body.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// callNames walks the graph and returns, per block index, the names of
+// functions called in that block (idents only).
+func callNames(g *Graph) map[string]int {
+	out := make(map[string]int)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						out[id.Name] = b.Index
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func TestStraightLineReachesExit(t *testing.T) {
+	g := buildFunc(t, "a(); b()")
+	if !g.Reachable(g.Exit) {
+		t.Fatal("exit unreachable in straight-line code")
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry block has %d nodes, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfJoins(t *testing.T) {
+	g := buildFunc(t, "if c() { a() } else { b() }\nd()")
+	names := callNames(g)
+	if names["a"] == names["b"] {
+		t.Fatal("then and else share a block")
+	}
+	// d's block must be a successor of both branches.
+	dBlk := g.Blocks[names["d"]]
+	if len(dBlk.Preds) != 2 {
+		t.Fatalf("join block has %d preds, want 2", len(dBlk.Preds))
+	}
+}
+
+func TestInfiniteLoopDoesNotReachExit(t *testing.T) {
+	g := buildFunc(t, "for { a() }")
+	if g.Reachable(g.Exit) {
+		t.Fatal("for{} should not reach exit")
+	}
+	g = buildFunc(t, "for { if c() { break }; a() }")
+	if !g.Reachable(g.Exit) {
+		t.Fatal("loop with break must reach exit")
+	}
+}
+
+func TestForLoopHasBackEdge(t *testing.T) {
+	g := buildFunc(t, "for i := 0; i < n; i++ { a() }\nb()")
+	if !g.Reachable(g.Exit) {
+		t.Fatal("bounded loop must reach exit")
+	}
+	names := callNames(g)
+	aBlk := g.Blocks[names["a"]]
+	// From a's block we must be able to get back to a's block (the loop).
+	seen := make(map[*Block]bool)
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s == aBlk || walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(aBlk) {
+		t.Fatal("no back edge to loop body")
+	}
+}
+
+func TestReturnCutsFlow(t *testing.T) {
+	g := buildFunc(t, "a(); return\nb()")
+	names := callNames(g)
+	bBlk := g.Blocks[names["b"]]
+	if g.Reachable(bBlk) {
+		t.Fatal("code after return must be unreachable")
+	}
+}
+
+func TestSelectFansOut(t *testing.T) {
+	g := buildFunc(t, "select {\ncase <-c1:\n\ta()\ncase <-c2:\n\tb()\n}\nd()")
+	names := callNames(g)
+	if names["a"] == names["b"] {
+		t.Fatal("select clauses share a block")
+	}
+	dBlk := g.Blocks[names["d"]]
+	if len(dBlk.Preds) != 2 {
+		t.Fatalf("post-select block has %d preds, want 2", len(dBlk.Preds))
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	// Without default, the head can skip every case.
+	g := buildFunc(t, "switch x() {\ncase 1:\n\ta()\n}\nd()")
+	names := callNames(g)
+	dBlk := g.Blocks[names["d"]]
+	if len(dBlk.Preds) != 2 { // case body + head skip edge
+		t.Fatalf("post-switch block has %d preds, want 2", len(dBlk.Preds))
+	}
+	// Fallthrough chains case bodies.
+	g = buildFunc(t, "switch x() {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\n}")
+	names = callNames(g)
+	aBlk, bBlk := g.Blocks[names["a"]], g.Blocks[names["b"]]
+	found := false
+	for _, s := range aBlk.Succs {
+		if s == bBlk {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fallthrough edge missing")
+	}
+}
+
+func TestLabeledContinueAndGoto(t *testing.T) {
+	g := buildFunc(t, "outer:\nfor {\n\tfor {\n\t\tcontinue outer\n\t}\n}")
+	if g.Reachable(g.Exit) {
+		t.Fatal("labeled continue loop must not reach exit")
+	}
+	g = buildFunc(t, "a()\ngoto done\nb()\ndone:\nc()")
+	names := callNames(g)
+	if g.Reachable(g.Blocks[names["b"]]) {
+		t.Fatal("statement jumped over by goto must be unreachable")
+	}
+	if !g.Reachable(g.Blocks[names["c"]]) {
+		t.Fatal("goto target must be reachable")
+	}
+}
+
+// lockTransfer is a toy transfer for the dataflow tests: lock()/unlock()
+// calls add and remove the fact "L".
+func lockTransfer(n ast.Node, s Set) Set {
+	out := s
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "lock":
+				out = out.With("L")
+			case "unlock":
+				out = out.Without("L")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestForwardMustHeld(t *testing.T) {
+	// The lock is held at a() only when acquired on every path in.
+	g := buildFunc(t, "if c() { lock() } else { lock() }\na()\nunlock()")
+	res := Forward[Set](g, MustSets{}, lockTransfer)
+	names := callNames(g)
+	aBlk := g.Blocks[names["a"]]
+	if !res.In[aBlk].Has("L") {
+		t.Fatal("must-analysis should prove L held at a()")
+	}
+
+	// Acquired on only one path: not must-held.
+	g = buildFunc(t, "if c() { lock() }\na()\nunlock()")
+	res = Forward[Set](g, MustSets{}, lockTransfer)
+	names = callNames(g)
+	aBlk = g.Blocks[names["a"]]
+	if res.In[aBlk].Has("L") {
+		t.Fatal("must-analysis must not claim L held after a conditional lock")
+	}
+}
+
+func TestForwardMayHeldAtExit(t *testing.T) {
+	// One path leaks the lock: may-analysis sees it at exit.
+	g := buildFunc(t, "lock()\nif c() { return }\nunlock()")
+	res := Forward[Set](g, MaySets{}, lockTransfer)
+	if !res.In[g.Exit].Has("L") {
+		t.Fatal("may-analysis should see the leaked lock at exit")
+	}
+	// Balanced on all paths: clean at exit.
+	g = buildFunc(t, "lock()\nif c() { unlock(); return }\nunlock()")
+	res = Forward[Set](g, MaySets{}, lockTransfer)
+	if res.In[g.Exit].Has("L") {
+		t.Fatal("balanced lock should not be held at exit")
+	}
+}
+
+func TestBackwardMustReach(t *testing.T) {
+	// release() reaches every exit from the creation point only when
+	// both branches release.
+	tf := func(n ast.Node, s Set) Set {
+		out := s
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "release" {
+					out = out.With("R")
+				}
+			}
+			return true
+		})
+		return out
+	}
+	g := buildFunc(t, "create()\nif c() { release(); return }\nrelease()")
+	res := Backward[Set](g, MustSets{}, tf)
+	names := callNames(g)
+	createBlk := g.Blocks[names["create"]]
+	if !res.Out[createBlk].Has("R") {
+		t.Fatal("release on both paths should be must-reached from create")
+	}
+	g = buildFunc(t, "create()\nif c() { return }\nrelease()")
+	res = Backward[Set](g, MustSets{}, tf)
+	names = callNames(g)
+	createBlk = g.Blocks[names["create"]]
+	if res.Out[createBlk].Has("R") {
+		t.Fatal("early return without release must break must-reach")
+	}
+}

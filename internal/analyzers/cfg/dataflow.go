@@ -1,0 +1,257 @@
+package cfg
+
+import "go/ast"
+
+// This file is the fixed-point engine: a generic forward/backward worklist
+// solver over a Graph, plus the small set lattice the shiftsplitvet
+// analyzers share (may-sets for "could hold on some path", must-sets for
+// "holds on every path" — the taint/must-reach pair the lock and lifecycle
+// checks are built from).
+
+// A Lattice describes one analysis domain.
+type Lattice[S any] interface {
+	// Boundary is the state at the analysis boundary: function entry for
+	// a forward analysis, function exit for a backward one.
+	Boundary() S
+	// Bottom is the identity of Join — the initial state of every other
+	// block (empty set for may-analyses, the universal set for must).
+	Bottom() S
+	Join(a, b S) S
+	Equal(a, b S) bool
+	Clone(a S) S
+}
+
+// A Transfer applies one node's effect to the state flowing through it.
+type Transfer[S any] func(n ast.Node, state S) S
+
+// Result holds the fixed-point states at each block boundary. For a
+// forward analysis In is the state before the block's first node and Out
+// the state after its last; for a backward analysis In is the state after
+// the block (join over successors) and Out the state before it.
+type Result[S any] struct {
+	In, Out map[*Block]S
+}
+
+// Forward solves a forward dataflow problem to its fixed point.
+func Forward[S any](g *Graph, lat Lattice[S], tf Transfer[S]) Result[S] {
+	return solve(g, lat, tf, true)
+}
+
+// Backward solves a backward dataflow problem to its fixed point.
+func Backward[S any](g *Graph, lat Lattice[S], tf Transfer[S]) Result[S] {
+	return solve(g, lat, tf, false)
+}
+
+func solve[S any](g *Graph, lat Lattice[S], tf Transfer[S], forward bool) Result[S] {
+	res := Result[S]{In: make(map[*Block]S), Out: make(map[*Block]S)}
+	boundary := g.Entry
+	if !forward {
+		boundary = g.Exit
+	}
+	for _, b := range g.Blocks {
+		if b == boundary {
+			res.In[b] = lat.Boundary()
+		} else {
+			res.In[b] = lat.Bottom()
+		}
+		res.Out[b] = applyBlock(b, lat.Clone(res.In[b]), tf, forward)
+	}
+
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make([]bool, len(g.Blocks)+1)
+	for i := range inWork {
+		inWork[i] = true
+	}
+	pop := func() *Block {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+		return b
+	}
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+
+	for len(work) > 0 {
+		b := pop()
+		preds := b.Preds
+		deps := b.Succs
+		if !forward {
+			preds, deps = b.Succs, b.Preds
+		}
+		in := res.In[b]
+		if b != boundary {
+			in = lat.Bottom()
+			for _, p := range preds {
+				in = lat.Join(in, res.Out[p])
+			}
+		}
+		out := applyBlock(b, lat.Clone(in), tf, forward)
+		if lat.Equal(in, res.In[b]) && lat.Equal(out, res.Out[b]) {
+			continue
+		}
+		res.In[b], res.Out[b] = in, out
+		for _, d := range deps {
+			push(d)
+		}
+	}
+	return res
+}
+
+func applyBlock[S any](b *Block, state S, tf Transfer[S], forward bool) S {
+	if forward {
+		for _, n := range b.Nodes {
+			state = tf(n, state)
+		}
+		return state
+	}
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		state = tf(b.Nodes[i], state)
+	}
+	return state
+}
+
+// Set is the shared dataflow domain: a set of string facts (lock classes,
+// tracked resources, taint marks) with an explicit universal element so the
+// same type serves both may- and must-analyses.
+type Set struct {
+	// Universal marks the must-analysis bottom: the set of all facts.
+	Universal bool
+	Elems     map[string]bool
+}
+
+// NewSet returns a set holding elems.
+func NewSet(elems ...string) Set {
+	m := make(map[string]bool, len(elems))
+	for _, e := range elems {
+		m[e] = true
+	}
+	return Set{Elems: m}
+}
+
+// Has reports membership (a universal set has everything).
+func (s Set) Has(e string) bool { return s.Universal || s.Elems[e] }
+
+// Empty reports whether the set holds nothing.
+func (s Set) Empty() bool { return !s.Universal && len(s.Elems) == 0 }
+
+// Len returns the cardinality; a universal set reports -1.
+func (s Set) Len() int {
+	if s.Universal {
+		return -1
+	}
+	return len(s.Elems)
+}
+
+// With returns a copy including e.
+func (s Set) With(e string) Set {
+	if s.Universal {
+		return s
+	}
+	out := s.clone()
+	out.Elems[e] = true
+	return out
+}
+
+// Without returns a copy excluding e.
+func (s Set) Without(e string) Set {
+	if s.Universal {
+		// Removing from the universal set only happens once a transfer
+		// touches it; materialize as empty-with-note is unsound, so keep
+		// universal minus one as just universal (transfer functions in
+		// this package only run on reachable states, which are never
+		// universal).
+		return s
+	}
+	out := s.clone()
+	delete(out.Elems, e)
+	return out
+}
+
+// Sorted returns the elements in stable order (nil when universal).
+func (s Set) Sorted() []string {
+	if s.Universal {
+		return nil
+	}
+	out := make([]string, 0, len(s.Elems))
+	for e := range s.Elems {
+		out = append(out, e)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (s Set) clone() Set {
+	m := make(map[string]bool, len(s.Elems))
+	for e := range s.Elems {
+		m[e] = true
+	}
+	return Set{Universal: s.Universal, Elems: m}
+}
+
+func setsEqual(a, b Set) bool {
+	if a.Universal != b.Universal {
+		return false
+	}
+	if len(a.Elems) != len(b.Elems) {
+		return false
+	}
+	for e := range a.Elems {
+		if !b.Elems[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaySets is the union lattice: a fact holds if it holds on SOME path.
+// Boundary and Bottom are both empty.
+type MaySets struct{}
+
+func (MaySets) Boundary() Set { return NewSet() }
+func (MaySets) Bottom() Set   { return NewSet() }
+func (MaySets) Join(a, b Set) Set {
+	if a.Universal || b.Universal {
+		return Set{Universal: true}
+	}
+	out := a.clone()
+	for e := range b.Elems {
+		out.Elems[e] = true
+	}
+	return out
+}
+func (MaySets) Equal(a, b Set) bool { return setsEqual(a, b) }
+func (MaySets) Clone(a Set) Set     { return a.clone() }
+
+// MustSets is the intersection lattice: a fact holds only if it holds on
+// EVERY path. Boundary is empty (nothing holds at entry/exit); Bottom is
+// the universal set (join identity).
+type MustSets struct{}
+
+func (MustSets) Boundary() Set { return NewSet() }
+func (MustSets) Bottom() Set   { return Set{Universal: true} }
+func (MustSets) Join(a, b Set) Set {
+	if a.Universal {
+		return b.clone()
+	}
+	if b.Universal {
+		return a.clone()
+	}
+	out := NewSet()
+	for e := range a.Elems {
+		if b.Elems[e] {
+			out.Elems[e] = true
+		}
+	}
+	return out
+}
+func (MustSets) Equal(a, b Set) bool { return setsEqual(a, b) }
+func (MustSets) Clone(a Set) Set     { return a.clone() }

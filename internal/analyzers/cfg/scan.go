@@ -1,0 +1,58 @@
+package cfg
+
+import "go/ast"
+
+// ScanNode visits the parts of a block node that execute WHEN CONTROL
+// PASSES THROUGH THAT NODE, in a CFG-consistent way. It is the walker
+// analyzers should use instead of ast.Inspect when sweeping Block.Nodes,
+// because a block node can syntactically contain code that the builder
+// gave its own blocks (select clause bodies, range bodies) or that runs on
+// another schedule entirely (function literals, deferred calls):
+//
+//   - FuncLit: visited, not descended — a closure's body runs elsewhere;
+//     analyze it as its own graph.
+//   - SelectStmt: visited, not descended — its comm statements and clause
+//     bodies live in the select's clause blocks.
+//   - RangeStmt: visited, then only the ranged expression X is descended —
+//     key/value and body live in the loop's own blocks.
+//   - DeferStmt: visited, then only the call's fun/args are descended as
+//     VALUES (a deferred call's effect happens at function exit, and its
+//     arguments are evaluated now); the handler decides what a
+//     registration means.
+//
+// visit returning false prunes descent, as with ast.Inspect.
+func ScanNode(n ast.Node, visit func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			visit(m)
+			return false
+		case *ast.SelectStmt:
+			visit(m)
+			return false
+		case *ast.RangeStmt:
+			if !visit(m) {
+				return false
+			}
+			ScanNode(m.X, visit)
+			return false
+		case *ast.DeferStmt:
+			if !visit(m) {
+				return false
+			}
+			// Argument expressions evaluate at registration time; the
+			// call itself does not.
+			for _, arg := range m.Call.Args {
+				ScanNode(arg, visit)
+			}
+			return false
+		}
+		return visit(m)
+	})
+}

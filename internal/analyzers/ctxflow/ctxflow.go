@@ -1,0 +1,180 @@
+// Package ctxflow enforces the cancellation discipline of the long-lived
+// serving, ingest, and scrub paths.
+//
+// Three subsystems now run goroutines for the life of the process — the
+// scrub loop, the ingest commit loop, and the HTTP serving tier — and the
+// parallel maintenance engine multiplies them per operation. A loop that
+// blocks without a cancellation path is a goroutine the process cannot
+// shut down (PR 6's scrub lifecycle originally hung exactly this way), and
+// a context.Context minted from context.Background() deep inside a library
+// detaches that lifetime from the caller that must control it.
+//
+// Two rules, applied only to the watched packages (the root store API,
+// internal/server, internal/ingest, internal/storage) and never to main
+// packages (the process root legitimately creates the root context):
+//
+//  1. context.Background() and context.TODO() are banned. Thread the
+//     caller's Context; a lifetime that must outlive a canceled request
+//     derives from it with context.WithoutCancel.
+//  2. An unconditional `for` loop that performs blocking channel
+//     operations must have a cancellation path: a receive from ctx.Done()
+//     or from a stop/done/quit channel (by conventional name), directly or
+//     as a select case.
+//
+// Loops with no channel operations (compute loops) and bounded loops are
+// not "blocking loops" and are exempt from rule 2.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/vetutil"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "serving/ingest/scrub paths must thread a Context: no context.Background(), and blocking loops must select on a cancellation signal",
+	Run:  run,
+}
+
+// watchedPkgs are the long-lived subsystems the rules apply to.
+var watchedPkgs = []string{
+	"internal/server",
+	"internal/ingest",
+	"internal/storage",
+}
+
+func watched(pkgPath string) bool {
+	return pkgPath == vetutil.RootPkgPath || vetutil.HasAnyPathSuffix(pkgPath, watchedPkgs...)
+}
+
+func run(pass *analysis.Pass) error {
+	if !watched(pass.Pkg.Path()) || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBackground(pass, n)
+			case *ast.ForStmt:
+				if n.Cond == nil {
+					checkBlockingLoop(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBackground flags context.Background() and context.TODO().
+func checkBackground(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil || vetutil.DeclPkgPath(fn) != "context" {
+		return
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"context.%s() in a serving/maintenance path detaches this lifetime from its caller; thread the caller's Context (use context.WithoutCancel to outlive a canceled request)",
+		fn.Name())
+}
+
+// checkBlockingLoop flags unconditional loops that block on channels with
+// no cancellation path.
+func checkBlockingLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	blocking := false
+	cancellable := false
+	// Receives appearing as select comm clauses are accounted for by the
+	// SelectStmt case (a select with a default does not block); remember
+	// them so the direct-receive case below does not recount them.
+	commRecv := make(map[ast.Node]bool)
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			switch s := cc.(*ast.CommClause).Comm.(type) {
+			case *ast.ExprStmt:
+				commRecv[ast.Unparen(s.X)] = true
+			case *ast.AssignStmt:
+				if len(s.Rhs) == 1 {
+					commRecv[ast.Unparen(s.Rhs[0])] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure runs on its own schedule; its ops are not this
+			// loop's, and its body is checked when the walk reaches it.
+			return false
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !commRecv[n] {
+				blocking = true
+				if vetutil.CancellationExpr(pass.TypesInfo, n.X) {
+					cancellable = true
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cc := range n.Body.List {
+				if cc.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, cc := range n.Body.List {
+				clause := cc.(*ast.CommClause)
+				if clause.Comm == nil {
+					continue
+				}
+				// A select with a default never blocks, but a
+				// cancellation case in it still counts as a way out.
+				if !hasDefault {
+					blocking = true
+				}
+				if recvFrom(pass, clause.Comm) {
+					cancellable = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					blocking = true
+					// Ranging over a channel terminates when the channel
+					// closes; a close-managed worker feed is a
+					// cancellation path of its own.
+					cancellable = true
+				}
+			}
+		}
+		return true
+	})
+	if blocking && !cancellable {
+		pass.Reportf(loop.Pos(),
+			"blocking loop has no cancellation path; select on ctx.Done() or a stop channel so shutdown can reach it")
+	}
+}
+
+// recvFrom reports whether a select comm clause receives from a
+// cancellation signal.
+func recvFrom(pass *analysis.Pass, comm ast.Stmt) bool {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		return vetutil.CancellationRecv(pass.TypesInfo, s.X)
+	case *ast.AssignStmt:
+		return len(s.Rhs) == 1 && vetutil.CancellationRecv(pass.TypesInfo, s.Rhs[0])
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "internal/ingest")
+}
+
+// TestCtxFlowScrubRegression is the seeded regression: the scrub
+// lifecycle's context.WithCancel(context.Background()) (robust.go pre-PR 8)
+// must be caught in a watched storage path.
+func TestCtxFlowScrubRegression(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "internal/storage")
+}

@@ -1,0 +1,108 @@
+// Package ingest exercises the ctxflow rules inside a watched package
+// path (the fixture module rewrites it under .../vettest/internal/ingest,
+// which suffix-matches the real watched set).
+package ingest
+
+import (
+	"context"
+	"time"
+)
+
+type loopState struct {
+	kickc chan struct{}
+	stopc chan struct{}
+	jobs  chan int
+	out   chan int
+}
+
+// background mints a detached context in a library path.
+func background() context.Context {
+	return context.Background() // want `context.Background\(\) in a serving/maintenance path`
+}
+
+// todo is just as detached.
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) in a serving/maintenance path`
+}
+
+// derived threads the caller's context: clean.
+func derived(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.WithoutCancel(ctx), time.Second)
+}
+
+// uncancellableLoop blocks on channels with no way out.
+func (s *loopState) uncancellableLoop() {
+	for { // want `blocking loop has no cancellation path`
+		select {
+		case <-s.kickc:
+		case j := <-s.jobs:
+			s.out <- j
+		}
+	}
+}
+
+// stopChannelLoop selects on a conventional stop channel: clean.
+func (s *loopState) stopChannelLoop() {
+	for {
+		select {
+		case <-s.kickc:
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// ctxLoop selects on ctx.Done(): clean.
+func (s *loopState) ctxLoop(ctx context.Context) {
+	for {
+		select {
+		case j := <-s.jobs:
+			s.out <- j
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// sendLoop blocks on a bare send forever.
+func (s *loopState) sendLoop() {
+	for { // want `blocking loop has no cancellation path`
+		s.out <- 1
+	}
+}
+
+// computeLoop has no channel operations: not a blocking loop, exempt.
+func computeLoop() int {
+	n := 0
+	for {
+		n++
+		if n > 1<<20 {
+			return n
+		}
+	}
+}
+
+// rangeWorker drains a close-managed feed: the close IS the cancellation.
+func (s *loopState) rangeWorker() {
+	for {
+		for j := range s.jobs {
+			s.out <- j
+		}
+		return
+	}
+}
+
+// defaultOnlySelect never blocks (default case): exempt.
+func (s *loopState) defaultOnlySelect() {
+	n := 0
+	for {
+		select {
+		case <-s.kickc:
+		default:
+			n++
+		}
+		if n > 10 {
+			return
+		}
+	}
+}

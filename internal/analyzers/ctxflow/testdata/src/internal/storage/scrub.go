@@ -1,0 +1,46 @@
+// Package storage carries ctxflow's seeded regression: the scrub
+// lifecycle shipped with a context.WithCancel(context.Background()) inside
+// StartScrub (robust.go, PR 6), which detached the background scrubber
+// from the process context — shutdown had to know to call StopScrub, and a
+// caller canceling its own context left the scrub goroutine running. The
+// repaired API threads the caller's context instead.
+package storage
+
+import "context"
+
+type scrubber struct {
+	stop context.CancelFunc
+	done chan struct{}
+}
+
+func (s *scrubber) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// startScrubBroken is the pre-repair shape.
+func (s *scrubber) startScrubBroken() {
+	ctx, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) in a serving/maintenance path`
+	done := make(chan struct{})
+	s.stop, s.done = cancel, done
+	go func() {
+		defer close(done)
+		s.run(ctx)
+	}()
+}
+
+// startScrub is the repaired shape: the scrub lifetime nests inside the
+// caller's.
+func (s *scrubber) startScrub(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	done := make(chan struct{})
+	s.stop, s.done = cancel, done
+	go func() {
+		defer close(done)
+		s.run(ctx)
+	}()
+}

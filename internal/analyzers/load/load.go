@@ -53,6 +53,7 @@ type listedPackage struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
@@ -79,7 +80,7 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 			roots = append(roots, p)
 		}
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	sortRoots(roots)
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -142,6 +143,69 @@ func check(fset *token.FileSet, imp types.Importer, root *listedPackage) (*Packa
 	}, nil
 }
 
+// sortRoots orders the target packages in dependency order (a package
+// after everything it imports), with import-path order breaking ties, so
+// cross-package analyzer facts are always exported before they are needed.
+func sortRoots(roots []*listedPackage) {
+	byPath := make(map[string]*listedPackage, len(roots))
+	for _, r := range roots {
+		byPath[r.ImportPath] = r
+	}
+	indegree := make(map[string]int, len(roots))
+	dependents := make(map[string][]string, len(roots))
+	for _, r := range roots {
+		indegree[r.ImportPath] += 0
+		for _, imp := range r.Imports {
+			if _, ok := byPath[imp]; ok {
+				indegree[r.ImportPath]++
+				dependents[imp] = append(dependents[imp], r.ImportPath)
+			}
+		}
+	}
+	var ready []string
+	for path, d := range indegree {
+		if d == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+	var order []*listedPackage
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		order = append(order, byPath[path])
+		changed := false
+		for _, dep := range dependents[path] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				ready = append(ready, dep)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Strings(ready)
+		}
+	}
+	// Import cycles cannot happen in compiling Go; if go list handed us
+	// one anyway, keep the stragglers in path order rather than dropping
+	// them.
+	if len(order) < len(roots) {
+		in := make(map[string]bool, len(order))
+		for _, r := range order {
+			in[r.ImportPath] = true
+		}
+		var rest []*listedPackage
+		for _, r := range roots {
+			if !in[r.ImportPath] {
+				rest = append(rest, r)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].ImportPath < rest[j].ImportPath })
+		order = append(order, rest...)
+	}
+	copy(roots, order)
+}
+
 // goList runs `go list -e -export -deps -json` over patterns. CGO is
 // disabled so every listed package (including net) is pure Go and carries
 // export data, and GOWORK is off so a surrounding workspace file cannot
@@ -149,7 +213,7 @@ func check(fset *token.FileSet, imp types.Importer, root *listedPackage) (*Packa
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard,Incomplete,Error",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,Export,DepOnly,Standard,Incomplete,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

@@ -1,0 +1,533 @@
+// Package lockorder checks the mutex discipline the concurrent subsystems
+// (storage.Locked, the cache shards, ingest staging, the appender
+// serialization lock) must all agree on, using the cfg dataflow engine:
+//
+//   - acquisition ordering: holding lock A while acquiring lock B puts the
+//     edge A→B into a global (cross-package, via analyzer facts)
+//     acquisition graph; an edge that completes a cycle is a potential
+//     deadlock and is rejected. Calls are followed through their exported
+//     "acquires" facts, so ingest holding appMu while the appender locks
+//     the device lock contributes ingest.appMu → storage.Locked.mu.
+//   - self-deadlock: re-locking a mutex that a must-analysis proves is
+//     already held on every path to the Lock call.
+//   - leaked locks: a mutex a may-analysis shows still held on some path
+//     at function exit (and not released by a defer) is a missing Unlock
+//     on an early return.
+//   - blocking under a lock: a channel operation (send, receive, select)
+//     executed while a mutex is provably held keeps every other contender
+//     blocked for an unbounded wait — the shape of the classic "shutdown
+//     waits on the worker that waits on the shutdown lock" deadlock.
+//
+// Lock identity is type-level ("pkg.Type.field"); self-deadlock reports
+// additionally require the same receiver expression, so sharded locks
+// (cache shards locked one after another) do not trip it. The must-held
+// state is intersection over paths: a conditionally-taken lock never
+// produces a report.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/cfg"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/vetutil"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex discipline: consistent acquisition order, no self-deadlock, no leaked locks, no channel ops under a lock",
+	Run:  run,
+}
+
+// acquiresFact summarizes the lock classes a function may acquire,
+// transitively through its callees. Exported under the function's FuncKey.
+type acquiresFact struct {
+	Classes []string
+}
+
+// lockGraph is the global acquisition-order graph, shared across packages
+// through the fact store under graphKey.
+type lockGraph struct {
+	// edges[a][b] holds the position that first established "b acquired
+	// while a held".
+	edges map[string]map[string]string
+}
+
+const graphKey = "#acquisition-graph"
+
+func (g *lockGraph) has(a, b string) bool {
+	return g.edges[a] != nil && g.edges[a][b] != ""
+}
+
+func (g *lockGraph) add(a, b, at string) {
+	if g.edges == nil {
+		g.edges = make(map[string]map[string]string)
+	}
+	if g.edges[a] == nil {
+		g.edges[a] = make(map[string]string)
+	}
+	g.edges[a][b] = at
+}
+
+// pathFrom returns a lock-class path a→...→b in the graph, or nil.
+func (g *lockGraph) pathFrom(a, b string) []string {
+	seen := map[string]bool{a: true}
+	var dfs func(cur string, path []string) []string
+	dfs = func(cur string, path []string) []string {
+		if cur == b {
+			return path
+		}
+		nexts := make([]string, 0, len(g.edges[cur]))
+		for n := range g.edges[cur] {
+			nexts = append(nexts, n)
+		}
+		sort.Strings(nexts)
+		for _, n := range nexts {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			if p := dfs(n, append(path, n)); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	return dfs(a, []string{a})
+}
+
+// lockOp classifies one mutex method call.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// mutexCall recognizes calls to sync.Mutex/RWMutex Lock/Unlock/RLock/
+// RUnlock (including promoted methods of embedded mutexes) and returns the
+// operation, the type-level lock class, and the receiver expression text
+// (the instance, for self-deadlock precision).
+func mutexCall(info *types.Info, call *ast.CallExpr) (op lockOp, class, instance string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, "", ""
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return opNone, "", ""
+	}
+	switch fn.Name() {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return opNone, "", ""
+	}
+	class = lockClass(info, sel.X)
+	if class == "" {
+		return opNone, "", ""
+	}
+	return op, class, types.ExprString(sel.X)
+}
+
+// lockClass names the mutex a receiver expression denotes, type-level:
+// "pkg.Owner.field" for struct fields, "pkg.var" for variables, and
+// "pkg.Owner.<embedded>" for promoted methods.
+func lockClass(info *types.Info, recv ast.Expr) string {
+	recv = ast.Unparen(recv)
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if key, ok := vetutil.FieldKey(info, sel); ok {
+			return key
+		}
+		if obj, ok := info.Uses[sel.Sel]; ok && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return ""
+		}
+		// A bare receiver with a promoted Lock method: class by type.
+		if t := obj.Type(); t != nil {
+			tt := t
+			if ptr, ok := tt.(*types.Pointer); ok {
+				tt = ptr.Elem()
+			}
+			if named, ok := tt.(*types.Named); ok && named.Obj().Pkg() != nil {
+				if named.Obj().Pkg().Path() == "sync" {
+					// A plain sync.Mutex variable: identify by the object.
+					if obj.Pkg() != nil {
+						return obj.Pkg().Path() + "." + obj.Name()
+					}
+					return ""
+				}
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + ".<embedded>"
+			}
+		}
+		if obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// funcInfo is one function (or function literal) under analysis.
+type funcInfo struct {
+	name string // diagnostic label
+	key  string // fact key ("" for literals)
+	body *ast.BlockStmt
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	var fns []funcInfo
+	calls := make(map[string][]string) // fact key -> same-package callee fact keys
+	direct := make(map[string][]string)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			key := vetutil.FuncKey(fn)
+			fns = append(fns, funcInfo{name: fd.Name.Name, key: key, body: fd.Body})
+			// Function literals are their own schedulable units: collect
+			// them for independent CFG analysis.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fns = append(fns, funcInfo{name: fd.Name.Name + ".func", body: lit.Body})
+				}
+				return true
+			})
+			if key == "" {
+				continue
+			}
+			direct[key] = directAcquires(info, fd.Body)
+			calls[key] = sameePackageCallees(pass, fd.Body)
+		}
+	}
+
+	acquires := closeAcquires(pass, direct, calls)
+	for key, classes := range acquires {
+		if len(classes) > 0 {
+			pass.ExportFact(key, acquiresFact{Classes: classes})
+		}
+	}
+
+	graph := sharedGraph(pass)
+	for _, fn := range fns {
+		checkFunc(pass, fn, acquires, graph)
+	}
+	return nil
+}
+
+// sharedGraph fetches (or creates) the cross-package acquisition graph.
+func sharedGraph(pass *analysis.Pass) *lockGraph {
+	if v, ok := pass.ImportFact(graphKey); ok {
+		return v.(*lockGraph)
+	}
+	g := &lockGraph{}
+	pass.ExportFact(graphKey, g)
+	return g
+}
+
+// directAcquires lists the lock classes a body Lock/RLocks outside
+// function literals.
+func directAcquires(info *types.Info, body *ast.BlockStmt) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, class, _ := mutexCall(info, call); op == opLock || op == opRLock {
+				seen[class] = true
+			}
+		}
+		return true
+	})
+	return sortedKeys(seen)
+}
+
+// sameePackageCallees lists the fact keys of same-package functions the
+// body calls outside function literals.
+func sameePackageCallees(pass *analysis.Pass, body *ast.BlockStmt) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := vetutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() != pass.Pkg {
+			return true
+		}
+		seen[vetutil.FuncKey(fn)] = true
+		return true
+	})
+	return sortedKeys(seen)
+}
+
+// closeAcquires computes each function's transitive acquire set: its own
+// locks, same-package callees to a fixed point, and imported facts for
+// dependency callees (already transitive).
+func closeAcquires(pass *analysis.Pass, direct, calls map[string][]string) map[string][]string {
+	cur := make(map[string]map[string]bool, len(direct))
+	for key, classes := range direct {
+		cur[key] = make(map[string]bool)
+		for _, c := range classes {
+			cur[key][c] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, callees := range calls {
+			for _, callee := range callees {
+				var add []string
+				if set, ok := cur[callee]; ok {
+					add = sortedKeys(set)
+				} else if v, ok := pass.ImportFact(callee); ok {
+					add = v.(acquiresFact).Classes
+				}
+				for _, c := range add {
+					if !cur[key][c] {
+						cur[key][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make(map[string][]string, len(cur))
+	for key, set := range cur {
+		out[key] = sortedKeys(set)
+	}
+	return out
+}
+
+// calleeAcquires resolves what a call may acquire: same-package functions
+// from the in-progress closure, imports from facts.
+func calleeAcquires(pass *analysis.Pass, acquires map[string][]string, call *ast.CallExpr) []string {
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	key := vetutil.FuncKey(fn)
+	if fn.Pkg() == pass.Pkg {
+		return acquires[key]
+	}
+	if v, ok := pass.ImportFact(key); ok {
+		return v.(acquiresFact).Classes
+	}
+	return nil
+}
+
+// checkFunc runs the CFG analyses over one function body.
+func checkFunc(pass *analysis.Pass, fn funcInfo, acquires map[string][]string, graph *lockGraph) {
+	info := pass.TypesInfo
+	g := cfg.New(fn.body)
+
+	transfer := func(n ast.Node, s cfg.Set) cfg.Set {
+		out := s
+		cfg.ScanNode(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch op, class, _ := mutexCall(info, call); op {
+			case opLock, opRLock:
+				out = out.With(class)
+			case opUnlock, opRUnlock:
+				out = out.Without(class)
+			}
+			return true
+		})
+		return out
+	}
+
+	must := cfg.Forward[cfg.Set](g, cfg.MustSets{}, transfer)
+	may := cfg.Forward[cfg.Set](g, cfg.MaySets{}, transfer)
+
+	// Deterministic report sweep: walk reachable blocks in index order,
+	// replaying the must-held state through each node's events.
+	lockPos := make(map[string]token.Pos) // class -> first Lock site
+	deferred := make(map[string]bool)     // classes released by defers
+	reported := make(map[token.Pos]bool)
+
+	for _, b := range g.Blocks {
+		if !g.Reachable(b) {
+			continue
+		}
+		held := must.In[b]
+		mustInstances := make(map[string]bool)
+		// Rebuild the instance view for this block from scratch is not
+		// path-sensitive; instead track instances only within a block run,
+		// seeded from the class view (conservative: an instance report
+		// additionally requires the class to be must-held).
+		for _, n := range b.Nodes {
+			cfg.ScanNode(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.DeferStmt:
+					for _, class := range deferredReleases(info, m) {
+						deferred[class] = true
+					}
+					return true
+				case *ast.SendStmt:
+					reportBlocked(pass, fn, m.Pos(), "channel send", held, reported)
+				case *ast.UnaryExpr:
+					if m.Op == token.ARROW {
+						reportBlocked(pass, fn, m.Pos(), "channel receive", held, reported)
+					}
+				case *ast.SelectStmt:
+					if selectBlocks(m) {
+						reportBlocked(pass, fn, m.Pos(), "select", held, reported)
+					}
+				case *ast.CallExpr:
+					op, class, inst := mutexCall(info, m)
+					switch op {
+					case opLock, opRLock:
+						if op == opLock && held.Has(class) && mustInstances[inst] && !reported[m.Pos()] {
+							reported[m.Pos()] = true
+							pass.Reportf(m.Pos(), "%s: %s is already held here; second Lock self-deadlocks", fn.name, class)
+						}
+						for _, h := range held.Sorted() {
+							if h != class {
+								addEdge(pass, graph, h, class, m.Pos(), reported)
+							}
+						}
+						held = held.With(class)
+						mustInstances[inst] = true
+						if _, ok := lockPos[class]; !ok {
+							lockPos[class] = m.Pos()
+						}
+					case opUnlock, opRUnlock:
+						held = held.Without(class)
+						delete(mustInstances, inst)
+					case opNone:
+						for _, acq := range calleeAcquires(pass, acquires, m) {
+							for _, h := range held.Sorted() {
+								if h != acq {
+									addEdge(pass, graph, h, acq, m.Pos(), reported)
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Leaked locks: may-held at exit, not covered by a deferred release.
+	for _, class := range may.In[g.Exit].Sorted() {
+		if deferred[class] {
+			continue
+		}
+		pos := lockPos[class]
+		if pos == token.NoPos || reported[pos] {
+			continue
+		}
+		reported[pos] = true
+		pass.Reportf(pos, "%s: %s may still be held at return on some path (missing Unlock on an early exit?)", fn.name, class)
+	}
+}
+
+// deferredReleases lists lock classes a defer statement releases, either
+// directly (defer mu.Unlock()) or through a literal body.
+func deferredReleases(info *types.Info, d *ast.DeferStmt) []string {
+	var out []string
+	if op, class, _ := mutexCall(info, d.Call); op == opUnlock || op == opRUnlock {
+		out = append(out, class)
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, class, _ := mutexCall(info, call); op == opUnlock || op == opRUnlock {
+					out = append(out, class)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// selectBlocks reports whether a select statement can block (no default).
+func selectBlocks(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if cc.(*ast.CommClause).Comm == nil {
+			return false
+		}
+	}
+	return len(s.Body.List) > 0
+}
+
+func reportBlocked(pass *analysis.Pass, fn funcInfo, pos token.Pos, what string, held cfg.Set, reported map[token.Pos]bool) {
+	if held.Empty() || held.Universal || reported[pos] {
+		return
+	}
+	reported[pos] = true
+	pass.Reportf(pos, "%s: %s while holding %s blocks every contender for an unbounded wait; release the lock first",
+		fn.name, what, joinClasses(held.Sorted()))
+}
+
+// addEdge records a→b in the acquisition graph and reports if it completes
+// a cycle.
+func addEdge(pass *analysis.Pass, graph *lockGraph, a, b string, pos token.Pos, reported map[token.Pos]bool) {
+	at := pass.Fset.Position(pos).String()
+	if path := graph.pathFrom(b, a); path != nil {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, "acquiring %s while holding %s completes a lock-order cycle: %s (first reverse edge at %s)",
+				b, a, joinClasses(append(path, b)), graph.edges[path[0]][path[1]])
+		}
+		return
+	}
+	if !graph.has(a, b) {
+		graph.add(a, b, at)
+	}
+}
+
+func joinClasses(classes []string) string {
+	out := ""
+	for i, c := range classes {
+		if i > 0 {
+			out += " -> "
+		}
+		out += c
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,26 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "a")
+}
+
+// TestLockOrderCrossPackage drives the facts path: x is checked first and
+// exports its acquire set; y's call into x contributes the y.mu -> x.Mu
+// edge that the direct reverse acquisition then contradicts.
+func TestLockOrderCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "x", "y")
+}
+
+// TestLockOrderScrubRegression is the seeded regression: holding the
+// lifecycle mutex across the worker's done-channel wait (the StopScrub
+// teardown deadlock shape).
+func TestLockOrderScrubRegression(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "internal/storage")
+}

@@ -1,0 +1,90 @@
+// Package a exercises the single-package lockorder rules: acquisition
+// ordering, self-deadlock, leaked locks, and channel operations under a
+// held mutex.
+package a
+
+import "sync"
+
+type S struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	mu sync.Mutex
+	c  chan int
+	n  int
+}
+
+// ab establishes the canonical order a before b.
+func (s *S) ab() {
+	s.a.Lock()
+	s.b.Lock()
+	s.n++
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// ba inverts it: acquiring a while b is held closes the cycle.
+func (s *S) ba() {
+	s.b.Lock()
+	s.a.Lock() // want `completes a lock-order cycle`
+	s.n++
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// double re-locks a mutex that is provably held.
+func (s *S) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `second Lock self-deadlocks`
+	s.n++
+	s.mu.Unlock()
+}
+
+// leak forgets the unlock on the early-return path.
+func (s *S) leak(cond bool) bool {
+	s.mu.Lock() // want `may still be held at return on some path`
+	if cond {
+		return false
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// sendUnderLock performs a channel send while the mutex is held.
+func (s *S) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.c <- v // want `channel send while holding .*S\.mu`
+	s.mu.Unlock()
+}
+
+// clean is the idiomatic shape: defer covers every path.
+func (s *S) clean() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// cleanClosure releases through a deferred closure.
+func (s *S) cleanClosure() {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+
+// condSend only may-holds the lock at the send: the must-analysis keeps
+// the conditional acquisition from reporting.
+func (s *S) condSend(c bool) {
+	if c {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.c <- 1
+}
+
+// rlocks shows read-side recursion is tolerated (no double-RLock report).
+func (s *S) rlocked(mu *sync.RWMutex) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s.n++
+}

@@ -1,0 +1,31 @@
+// Package storage carries lockorder's seeded regression: a StopScrub-shaped
+// lifecycle that waits on the worker's done channel while still holding the
+// lifecycle mutex. The worker's shutdown path may need that same mutex, so
+// the wait can never complete — the deadlock PR 6's scrub teardown had to
+// dodge by hand.
+package storage
+
+import "sync"
+
+type lifecycle struct {
+	mu   sync.Mutex
+	done chan struct{}
+	stop func()
+}
+
+// stopBroken waits for the worker under the lock.
+func (l *lifecycle) stopBroken() {
+	l.mu.Lock()
+	l.stop()
+	<-l.done // want `channel receive while holding .*lifecycle\.mu`
+	l.mu.Unlock()
+}
+
+// stopFixed snapshots the handles under the lock, then waits outside it.
+func (l *lifecycle) stopFixed() {
+	l.mu.Lock()
+	stop, done := l.stop, l.done
+	l.mu.Unlock()
+	stop()
+	<-done
+}

@@ -1,0 +1,18 @@
+// Package x is the callee side of the cross-package ordering test: its
+// exported helpers acquire x.Mu, and lockorder exports that as an
+// "acquires" fact for callers in dependent packages.
+package x
+
+import "sync"
+
+var Mu sync.Mutex
+
+var n int
+
+// LockedOp acquires Mu; callers holding their own lock create an
+// ordering edge caller-lock -> x.Mu through the exported fact.
+func LockedOp() {
+	Mu.Lock()
+	defer Mu.Unlock()
+	n++
+}

@@ -1,0 +1,30 @@
+// Package y closes a lock-order cycle across a package boundary: the
+// y.mu -> x.Mu edge comes from a call resolved through x's exported
+// acquires fact, and the reverse x.Mu -> y.mu edge is direct.
+package y
+
+import (
+	"sync"
+
+	"github.com/shiftsplit/shiftsplit/vettest/x"
+)
+
+var mu sync.Mutex
+
+var n int
+
+// aThenB holds mu across a call that acquires x.Mu (fact-derived edge).
+func aThenB() {
+	mu.Lock()
+	defer mu.Unlock()
+	x.LockedOp()
+}
+
+// bThenA inverts the order directly.
+func bThenA() {
+	x.Mu.Lock()
+	mu.Lock() // want `completes a lock-order cycle`
+	n++
+	mu.Unlock()
+	x.Mu.Unlock()
+}

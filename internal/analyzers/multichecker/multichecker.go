@@ -5,6 +5,7 @@
 package multichecker
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,11 +19,28 @@ import (
 )
 
 // Exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage or load error.
+// They are part of the CI contract (-json consumers branch on them) and
+// must not change.
 const (
 	ExitClean       = 0
 	ExitDiagnostics = 1
 	ExitError       = 2
 )
+
+// Finding is the machine-readable form of one diagnostic (-json output).
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Report is the top-level -json document.
+type Report struct {
+	Findings []Finding `json:"findings"`
+	Count    int       `json:"count"`
+}
 
 // Main runs the analyzers against os.Args and exits with the run's code.
 func Main(analyzers ...*analysis.Analyzer) {
@@ -37,6 +55,7 @@ func Run(args []string, stdout, stderr io.Writer, analyzers ...*analysis.Analyze
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	dir := fs.String("dir", "", "directory to resolve patterns from (default: current directory)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON report on stdout (exit codes unchanged: 0 clean, 1 findings, 2 load error)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: shiftsplitvet [flags] [packages]\n\n"+
 			"Static checks for the shiftsplit storage, concurrency, and\n"+
@@ -70,18 +89,25 @@ func Run(args []string, stdout, stderr io.Writer, analyzers ...*analysis.Analyze
 		}
 	}
 
+	// Packages arrive in dependency order, so the shared fact store is
+	// populated by a dependency's pass before its importers run.
 	pkgs, err := load.Load(load.Config{Dir: *dir}, fs.Args()...)
 	if err != nil {
 		fmt.Fprintf(stderr, "shiftsplitvet: %v\n", err)
 		return ExitError
 	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "shiftsplitvet: no packages matched %s\n", strings.Join(fs.Args(), " "))
+		return ExitError
+	}
 
+	facts := analysis.NewFacts()
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range selected {
 			pass := analysis.NewPass(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, func(d analysis.Diagnostic) {
 				diags = append(diags, d)
-			})
+			}).WithFacts(facts)
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(stderr, "shiftsplitvet: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
 				return ExitError
@@ -89,6 +115,9 @@ func Run(args []string, stdout, stderr io.Writer, analyzers ...*analysis.Analyze
 		}
 	}
 	if len(diags) == 0 {
+		if *jsonOut {
+			writeJSON(stdout, stderr, nil)
+		}
 		return ExitClean
 	}
 
@@ -104,6 +133,7 @@ func Run(args []string, stdout, stderr io.Writer, analyzers ...*analysis.Analyze
 		return diags[i].Message < diags[j].Message
 	})
 	cwd, _ := os.Getwd()
+	findings := make([]Finding, 0, len(diags))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		name := pos.Filename
@@ -112,10 +142,34 @@ func Run(args []string, stdout, stderr io.Writer, analyzers ...*analysis.Analyze
 				name = rel
 			}
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer.Name)
+		findings = append(findings, Finding{
+			Analyzer: d.Analyzer.Name,
+			File:     name,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  d.Message,
+		})
 	}
-	fmt.Fprintf(stderr, "shiftsplitvet: %d finding(s)\n", len(diags))
+	if *jsonOut {
+		writeJSON(stdout, stderr, findings)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	fmt.Fprintf(stderr, "shiftsplitvet: %d finding(s)\n", len(findings))
 	return ExitDiagnostics
+}
+
+func writeJSON(stdout, stderr io.Writer, findings []Finding) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Report{Findings: findings, Count: len(findings)}); err != nil {
+		fmt.Fprintf(stderr, "shiftsplitvet: encode report: %v\n", err)
+	}
 }
 
 func writeAnalyzerList(w io.Writer, analyzers []*analysis.Analyzer) {

@@ -1,0 +1,19 @@
+package resourceleak_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/resourceleak"
+)
+
+func TestResourceLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), resourceleak.Analyzer, "a")
+}
+
+// TestResourceLeakIngestRegression is the seeded regression: the ingest
+// commit loop's ticker leaking across shutdown, and an unjoinable
+// fire-and-forget goroutine in a long-lived package.
+func TestResourceLeakIngestRegression(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), resourceleak.Analyzer, "internal/ingest")
+}

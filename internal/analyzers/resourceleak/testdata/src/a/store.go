@@ -1,0 +1,34 @@
+package a
+
+// store mimics the module's own handle shape: an Open* constructor
+// returning a closeable handle.
+type store struct{ open bool }
+
+func (s *store) Close() error { s.open = false; return nil }
+
+func OpenStore(path string) (*store, error) {
+	return &store{open: true}, nil
+}
+
+// storeLeak forgets Close on the early return.
+func storeLeak(path string) error {
+	s, err := OpenStore(path) // want `store handle may reach a return without Close`
+	if err != nil {
+		return err
+	}
+	if cond() {
+		return nil
+	}
+	return s.Close()
+}
+
+// storeClean defers the close.
+func storeClean(path string) error {
+	s, err := OpenStore(path)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	work()
+	return nil
+}

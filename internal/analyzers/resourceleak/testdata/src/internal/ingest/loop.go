@@ -1,0 +1,72 @@
+// Package ingest carries resourceleak's seeded regressions: the commit
+// loop's flush ticker outliving shutdown (the loop returned on stop
+// without Stop()ing the ticker), and a fire-and-forget goroutine that
+// nothing can join.
+package ingest
+
+import "time"
+
+type worker struct {
+	stopc chan struct{}
+}
+
+func (w *worker) flush() {}
+
+// runBroken is the pre-repair commit loop: return leaves the ticker
+// running.
+func (w *worker) runBroken() {
+	t := time.NewTicker(time.Second) // want `time\.Ticker may reach a return without Stop`
+	for {
+		select {
+		case <-w.stopc:
+			return
+		case <-t.C:
+			w.flush()
+		}
+	}
+}
+
+// run is the repaired loop.
+func (w *worker) run() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopc:
+			return
+		case <-t.C:
+			w.flush()
+		}
+	}
+}
+
+// spawnBroken fires a goroutine nothing can join or stop.
+func (w *worker) spawnBroken() {
+	go func() { // want `goroutine is unjoinable`
+		for i := 0; i < 10; i++ {
+			w.flush()
+		}
+	}()
+}
+
+// spawnJoined signals completion through a done channel.
+func (w *worker) spawnJoined(done chan struct{}) {
+	go func() {
+		defer close(done)
+		w.flush()
+	}()
+}
+
+// spawnCancellable watches the stop channel.
+func (w *worker) spawnCancellable() {
+	go func() {
+		for {
+			select {
+			case <-w.stopc:
+				return
+			default:
+				w.flush()
+			}
+		}
+	}()
+}

@@ -6,6 +6,7 @@ package vetutil
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -105,6 +106,111 @@ func NamedIn(t types.Type, pkgSuffix string) (string, bool) {
 		return "", false
 	}
 	return obj.Name(), true
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// stopishFragments are the name fragments that mark a channel as a
+// lifecycle/cancellation signal by convention (stopc, done, quit, ...).
+var stopishFragments = []string{"stop", "done", "quit", "exit", "close", "closing", "shutdown", "halt", "cancel", "kill"}
+
+// StopishName reports whether name reads as a stop/cancellation channel.
+func StopishName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, f := range stopishFragments {
+		if strings.Contains(lower, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// CancellationExpr reports whether e (the operand of a receive, or a
+// select case channel) is a cancellation signal: a ctx.Done() call on a
+// context.Context, or a channel whose terminal name is stopish.
+func CancellationExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return false
+		}
+		tv, ok := info.Types[sel.X]
+		return ok && IsContextType(tv.Type)
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return StopishName(e.Name)
+	case *ast.SelectorExpr:
+		return StopishName(e.Sel.Name)
+	}
+	return false
+}
+
+// CancellationRecv reports whether expr is a receive (`<-c`) from a
+// cancellation signal.
+func CancellationRecv(info *types.Info, expr ast.Expr) bool {
+	u, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	return CancellationExpr(info, u.X)
+}
+
+// FuncKey returns a stable, position-independent fact key for fn:
+// "pkgpath.Func" for package functions, "pkgpath.Recv.Method" for methods.
+// It is identical whether fn came from source or from export data.
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	var b strings.Builder
+	if fn.Pkg() != nil {
+		b.WriteString(fn.Pkg().Path())
+		b.WriteByte('.')
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			b.WriteString(named.Obj().Name())
+			b.WriteByte('.')
+		}
+	}
+	b.WriteString(fn.Name())
+	return b.String()
+}
+
+// FieldKey returns the stable fact key of a field selection x.f:
+// "pkgpath.Owner.field". ok is false when the selector does not resolve to
+// a named struct's field.
+func FieldKey(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() || obj.Pkg() == nil {
+		return "", false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return obj.Pkg().Path() + "." + named.Obj().Name() + "." + obj.Name(), true
 }
 
 // ReceiverType returns the static type of the receiver expression of a

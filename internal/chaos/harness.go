@@ -153,7 +153,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		return res, err
 	}
 	defer serving.Close()
-	if err := serving.StartScrub(25*time.Millisecond, 0); err != nil {
+	if err := serving.StartScrub(ctx, 25*time.Millisecond, 0); err != nil {
 		return res, err
 	}
 

@@ -158,7 +158,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 		s.logf("shutdown requested, draining %d in-flight queries", s.inflight.Load())
-		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		// The drain deadline must keep running after ctx — the trigger for
+		// this shutdown — is already canceled, so derive from ctx without
+		// inheriting its cancellation rather than minting a detached context.
+		drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.DrainTimeout)
 		defer cancel()
 		err := srv.Shutdown(drainCtx)
 		<-errc // Serve has returned http.ErrServerClosed

@@ -333,3 +333,61 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Errorf("GET /v1/point status %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestDrainOutlivesCanceledContext is the regression test for the drain
+// context fix: the drain deadline used to be minted from a detached
+// context (and a careless "fix" would derive it from ctx directly, which
+// is already canceled when the drain starts — Shutdown would then abandon
+// in-flight requests immediately). The drain must keep serving an
+// in-flight request after ctx is canceled and still finish cleanly.
+func TestDrainOutlivesCanceledContext(t *testing.T) {
+	st := buildStore(t, []int{16, 16}, 0)
+	srv := New(st, Config{DrainTimeout: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	url := "http://" + ln.Addr().String()
+	if resp, body := postJSON(t, url+"/v1/point", `{"point":[2,2]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	// Put a request in flight by sending only its headers: the connection
+	// is active, so a graceful drain must wait for it.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reqBody := `{"point":[1,1]}`
+	fmt.Fprintf(conn, "POST /v1/point HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(reqBody))
+	time.Sleep(50 * time.Millisecond) // let the server start reading the request
+
+	cancel()
+	time.Sleep(100 * time.Millisecond) // the drain is now racing our laggard
+
+	// Finish the request: it must still be answered, mid-drain.
+	if _, err := fmt.Fprint(conn, reqBody); err != nil {
+		t.Fatalf("request connection was dropped during drain: %v", err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("no response during drain: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request got %d during drain", resp.StatusCode)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+}

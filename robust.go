@@ -142,8 +142,11 @@ func (s *Store) ScrubStats() (stats storage.ScrubStats, ok bool) {
 // interval, at most rateBlocksPerSec verified blocks per second (0 =
 // unlimited). It requires a store whose device layer is safe for
 // concurrent use (OpenServing); maintenance stores must scrub with
-// ScrubOnce between operations instead. Stop with StopScrub or Close.
-func (s *Store) StartScrub(interval time.Duration, rateBlocksPerSec int) error {
+// ScrubOnce between operations instead. The scrubber's lifetime nests
+// inside ctx: canceling it stops the scrubber just like StopScrub or
+// Close (after which StartScrub reports already-running until StopScrub
+// clears the slot).
+func (s *Store) StartScrub(ctx context.Context, interval time.Duration, rateBlocksPerSec int) error {
 	if !s.scrubSafe {
 		return fmt.Errorf("shiftsplit: background scrub needs a concurrency-safe store (OpenServing); use ScrubOnce")
 	}
@@ -156,7 +159,7 @@ func (s *Store) StartScrub(interval time.Duration, rateBlocksPerSec int) error {
 	if s.scrubStop != nil {
 		return fmt.Errorf("shiftsplit: scrub already running")
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	done := make(chan struct{})
 	s.scrubStop, s.scrubDone = cancel, done
 	go func() {

@@ -47,7 +47,7 @@ func TestScrubMaintenanceServingRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer serving.Close()
-	if err := serving.StartScrub(5*time.Millisecond, 0); err != nil {
+	if err := serving.StartScrub(context.Background(), 5*time.Millisecond, 0); err != nil {
 		t.Fatal(err)
 	}
 

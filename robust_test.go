@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/shiftsplit/shiftsplit/internal/ndarray"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
@@ -295,4 +296,42 @@ func TestFlipFrameByteHelper(t *testing.T) {
 	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != bad {
 		t.Fatalf("fsck corrupt = %v, want [%d]", rep.Corrupt, bad)
 	}
+}
+
+// TestStartScrubStopsOnContextCancel is the regression test for the scrub
+// lifecycle fix: StartScrub used to mint its context from
+// context.Background(), detaching the scrubber from the caller — shutdown
+// had to know to call StopScrub, and a caller canceling its own context
+// left the scrub goroutine running. The scrubber's lifetime now nests
+// inside the caller's context.
+func TestStartScrubStopsOnContextCancel(t *testing.T) {
+	path, _ := makeDurableStore(t)
+	st, err := OpenServing(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := st.StartScrub(ctx, time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	st.scrubMu.Lock()
+	done := st.scrubDone
+	st.scrubMu.Unlock()
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrubber still running after parent context cancel")
+	}
+
+	// StopScrub after a context-driven stop must not hang, and must clear
+	// the slot so a fresh scrubber can start.
+	st.StopScrub()
+	if err := st.StartScrub(context.Background(), time.Millisecond, 0); err != nil {
+		t.Fatalf("restart after canceled scrub: %v", err)
+	}
+	st.StopScrub()
 }
