@@ -82,7 +82,7 @@ lint-tools:
 # CRASH_SEED pins the tear/drop RNG for reproducible failures.
 crash-campaign:
 	SHIFTSPLIT_CRASH_SEED=$(CRASH_SEED) $(GO) test -v \
-		-run 'TestCrashCampaignDurable|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign|TestGroupCommitCrash' \
+		-run 'TestCrashCampaignDurable|TestCrashCampaignMappedStore|TestCrashCampaignBatchedCommit|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign|TestGroupCommitCrash' \
 		./internal/storage/ ./internal/appender/ .
 
 # The chaos harness drives a real HTTP serving process through a
@@ -98,12 +98,17 @@ chaos-smoke:
 # the chunked transforms and the appender) with -benchmem, so CI catches
 # per-coefficient allocation regressions in the flat kernels and gross
 # slowdowns without a full benchmark run. BENCH_maintain.json records a
-# longer baseline.
+# longer baseline. TestAllocBudget is the hard allocation gate: it fails
+# outright when ChunkedStandard/ChunkedNonStandard allocs/op drift >20%
+# past the budgets recorded in BENCH_maintain.json.
 bench-smoke:
+	$(GO) test -run 'TestAllocBudget' -count=1 -v ./internal/transform/
 	$(GO) test -run '^$$' -bench 'BenchmarkChunkedStandard|BenchmarkChunkedNonStandard' \
 		-benchmem -benchtime 3x ./internal/transform/
 	$(GO) test -run '^$$' -bench 'BenchmarkAppender$$' -benchmem -benchtime 3x ./internal/appender/
 	$(GO) test -run '^$$' -bench 'BenchmarkFileStoreRead|BenchmarkFileStoreWrite' \
+		-benchmem -benchtime 3x ./internal/storage/
+	$(GO) test -run '^$$' -bench 'BenchmarkMappedStoreRead|BenchmarkMappedVsFileWarmRead' \
 		-benchmem -benchtime 3x ./internal/storage/
 	$(GO) test -run '^$$' -bench 'BenchmarkTileFlush' -benchmem -benchtime 3x ./internal/tile/
 

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
@@ -73,6 +74,20 @@ type Appender struct {
 	// (failed expansion, unrecoverable commit, non-transactional backing
 	// with a half-applied batch). Every later append fails with it.
 	poisoned error
+
+	// scratch pools the per-run merge state (wavelet scratch + delta
+	// buckets) across slabs, so steady-state appends stop allocating
+	// tile-sized buffers. Holds *mergeScratch.
+	scratch sync.Pool
+}
+
+// mergeScratch is one worker's reusable transform/bucket state. The slab
+// sub-copies themselves still allocate (their shapes vary per dyadic run),
+// but the wavelet working buffers and the per-tile delta slices — the bulk
+// of the merge's allocation profile — are recycled.
+type mergeScratch struct {
+	ws  *wavelet.Scratch
+	set *tile.BucketSet
 }
 
 // SetOptions configures the worker pool used to transform the dyadic pieces
@@ -314,16 +329,27 @@ func (a *Appender) merge(dim int, slab *ndarray.Array) error {
 		}
 		runs = append(runs, r)
 	}
+	type runResult struct {
+		buckets []tile.Bucket
+		sc      *mergeScratch
+	}
 	err := parallel.Run(len(runs), a.opts,
-		func(seq int) ([]tile.Bucket, error) {
+		func(seq int) (runResult, error) {
 			r := runs[seq]
-			bHat := wavelet.TransformStandard(slab.SubCopy(r.subStart, r.subShape))
-			bs := tile.NewBucketSet(a.store.Tiling().BlockSize())
-			tile.AccumulateEmbedStandard(a.store.Tiling(), a.shape, r.block, bHat, bs)
-			return bs.Buckets(), nil
+			sc, ok := a.scratch.Get().(*mergeScratch)
+			if !ok {
+				sc = &mergeScratch{ws: wavelet.NewScratch(), set: tile.NewBucketSet(a.store.Tiling().BlockSize())}
+			}
+			bHat := slab.SubCopy(r.subStart, r.subShape)
+			wavelet.TransformStandardInPlace(bHat, sc.ws)
+			tile.AccumulateEmbedStandard(a.store.Tiling(), a.shape, r.block, bHat, sc.set)
+			return runResult{buckets: sc.set.Buckets(), sc: sc}, nil
 		},
-		func(seq int, buckets []tile.Bucket) error {
-			return a.store.ApplyBuckets(buckets)
+		func(seq int, res runResult) error {
+			err := a.store.ApplyBuckets(res.buckets)
+			res.sc.set.Reset()
+			a.scratch.Put(res.sc)
+			return err
 		})
 	if err != nil {
 		return err

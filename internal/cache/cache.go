@@ -154,8 +154,19 @@ func (c *Sharded) ReadBlock(id int, buf []float64) error {
 		if cl.err != nil {
 			return cl.err
 		}
-		copy(buf, cl.data)
-		return nil
+		if c.freshLoad(id, cl) {
+			copy(buf, cl.data)
+			return nil
+		}
+		// A write landed after that load was issued, so its result may
+		// predate the write. Joining it would lose the write for a caller
+		// doing read-modify-write (the maintenance engines); re-read
+		// directly instead. The writer already invalidated the entry.
+		c.loads.Add(1)
+		c.inflight.Add(1)
+		err := c.inner.ReadBlock(id, buf)
+		c.inflight.Add(-1)
+		return err
 	}
 	cl := &call{gen: sh.gen}
 	cl.wg.Add(1)
@@ -243,6 +254,8 @@ func (c *Sharded) ReadBlocks(ids []int, bufs [][]float64) error {
 			cl.wg.Done()
 		}
 	}
+	var retryIDs []int
+	var retryBufs [][]float64
 	for i, cl := range calls {
 		if cl == nil {
 			continue
@@ -251,9 +264,39 @@ func (c *Sharded) ReadBlocks(ids []int, bufs [][]float64) error {
 		if cl.err != nil {
 			return cl.err
 		}
-		copy(bufs[i], cl.data)
+		if c.freshLoad(ids[i], cl) {
+			copy(bufs[i], cl.data)
+			continue
+		}
+		// Stale in-flight result (a write intervened); re-read below.
+		retryIDs = append(retryIDs, ids[i])
+		retryBufs = append(retryBufs, bufs[i])
+	}
+	if len(retryIDs) > 0 {
+		c.loads.Add(int64(len(retryIDs)))
+		c.inflight.Add(int64(len(retryIDs)))
+		err := storage.ReadBlocksOf(c.inner, retryIDs, retryBufs)
+		c.inflight.Add(int64(-len(retryIDs)))
+		if err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// freshLoad reports whether a completed singleflight load is still
+// current: no write to its shard has landed since the load registered.
+// A load that raced a write may carry the pre-write value — installing
+// it is already prevented by the generation check, but a waiter copying
+// cl.data would still see stale data, which breaks read-your-writes for
+// the one caller that requires it (maintenance's read-modify-write of
+// delta tiles joining a load started by a concurrent serving read).
+func (c *Sharded) freshLoad(id int, cl *call) bool {
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	fresh := cl.gen == sh.gen
+	sh.mu.Unlock()
+	return fresh
 }
 
 // WriteBlocks implements storage.BatchWriter: one vectored write-through,
@@ -377,3 +420,7 @@ func (c *Sharded) Commit() error { return storage.CommitIfAble(c.inner) }
 
 // Close closes the wrapped store.
 func (c *Sharded) Close() error { return c.inner.Close() }
+
+// MappedReads forwards the inner stack's mapped-read counter (cache
+// hits touch no device and so do not move it).
+func (c *Sharded) MappedReads() int64 { return storage.MappedReadsOf(c.inner) }

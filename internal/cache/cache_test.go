@@ -254,3 +254,62 @@ func TestConcurrentMixedAccessRace(t *testing.T) {
 		t.Errorf("inflight = %d after quiesce", st.Inflight)
 	}
 }
+
+// TestWaiterJoiningStaleLoadRereads pins the read-your-writes guarantee
+// for singleflight WAITERS: a load is registered, a write to the same
+// block lands while it is in flight, and then a new reader joins the
+// still-unfinished load. The joiner must observe the post-write value —
+// re-reading the device rather than copying the stale in-flight result.
+// This is the maintenance engine's read-modify-write pattern: losing the
+// write here silently corrupts delta accumulation (caught originally by
+// TestParallelMaintenanceUnderConcurrentReads under -race).
+func TestWaiterJoiningStaleLoadRereads(t *testing.T) {
+	for _, mode := range []string{"single", "batch"} {
+		t.Run(mode, func(t *testing.T) {
+			mem := storage.NewMemStore(1)
+			fill(t, mem, 1)
+			release := make(chan struct{})
+			gate := &gatedStore{BlockStore: mem, release: release}
+			gate.entered.Add(1)
+			c, err := New(gate, 4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ownerDone := make(chan struct{})
+			go func() {
+				defer close(ownerDone)
+				buf := make([]float64, 1)
+				if err := c.ReadBlock(0, buf); err != nil {
+					t.Error(err)
+				}
+			}()
+			gate.entered.Wait() // owner has read the old value and is parked
+			if err := c.WriteBlock(0, []float64{42}); err != nil {
+				t.Fatal(err)
+			}
+			waiterVal := make(chan float64)
+			go func() {
+				buf := make([]float64, 1)
+				if mode == "batch" {
+					if err := c.ReadBlocks([]int{0}, [][]float64{buf}); err != nil {
+						t.Error(err)
+					}
+				} else {
+					if err := c.ReadBlock(0, buf); err != nil {
+						t.Error(err)
+					}
+				}
+				waiterVal <- buf[0]
+			}()
+			// Give the waiter time to join the parked load before letting
+			// the owner finish; if it registers its own load instead it
+			// reads fresh data and the assertion still holds.
+			time.Sleep(50 * time.Millisecond)
+			close(release)
+			<-ownerDone
+			if got := <-waiterVal; got != 42 {
+				t.Errorf("waiter joining a stale in-flight load read %v, want 42 (lost write)", got)
+			}
+		})
+	}
+}

@@ -177,6 +177,16 @@ func (a *Array) SubCopy(start, shape []int) *Array {
 	return out
 }
 
+// SubCopyInto extracts the sub-hypercube starting at start into out, whose
+// shape fixes the region's extents. Every cell of out is overwritten. It is
+// the allocation-free form of SubCopy for callers that reuse a chunk buffer.
+func (a *Array) SubCopyInto(out *Array, start []int) {
+	a.checkSub(start, out.shape)
+	a.walkSub(start, out.shape, func(srcOff, dstOff int) {
+		out.data[dstOff] = a.data[srcOff]
+	})
+}
+
 // SubPaste writes sub into the region of a starting at start.
 func (a *Array) SubPaste(sub *Array, start []int) {
 	a.checkSub(start, sub.shape)
@@ -249,6 +259,26 @@ func (a *Array) Fiber(dim int, fixed []int) []float64 {
 		out[i] = a.data[base+i*stride]
 	}
 	return out
+}
+
+// FiberInto copies the 1-d line along dimension dim into dst, whose length
+// must equal the dimension's extent. It is the allocation-free form of Fiber.
+func (a *Array) FiberInto(dst []float64, dim int, fixed []int) {
+	base, stride, n := a.fiberSpec(dim, fixed)
+	if len(dst) != n {
+		panic(fmt.Sprintf("ndarray: FiberInto dst length %d for extent %d", len(dst), n))
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = a.data[base+i*stride]
+	}
+}
+
+// FiberSpan exposes the strided layout of the 1-d line along dimension dim:
+// the line's cells live at Data()[base + i*stride] for i in [0, n). The
+// in-place transforms use it to read and write fibers without copying
+// through an intermediate slice.
+func (a *Array) FiberSpan(dim int, fixed []int) (base, stride, n int) {
+	return a.fiberSpec(dim, fixed)
 }
 
 // SetFiber writes values along the 1-d line described by dim and fixed.

@@ -205,12 +205,19 @@ func Run[T any](n int, opts Options, produce func(seq int) (T, error), consume f
 // write-order-deterministic path SerialApply approximates with one shard.
 type Applier struct {
 	st     *tile.Store
-	shards []chan []tile.Bucket
+	shards []chan applyJob
 	ioMu   sync.Mutex
 	wg     sync.WaitGroup
 	failed atomic.Bool
 	errMu  sync.Mutex
 	err    error
+}
+
+// applyJob is one shard's portion of a chunk's buckets plus the countdown
+// hook that fires the chunk's release once every portion has landed.
+type applyJob struct {
+	buckets []tile.Bucket
+	done    func() // nil when the caller passed no release
 }
 
 // NewApplier creates an applier for the options' shard count and starts its
@@ -222,9 +229,9 @@ func NewApplier(st *tile.Store, opts Options) *Applier {
 		return a
 	}
 	depth := opts.queueDepth(opts.WorkerCount())
-	a.shards = make([]chan []tile.Bucket, n)
+	a.shards = make([]chan applyJob, n)
 	for i := range a.shards {
-		ch := make(chan []tile.Bucket, depth)
+		ch := make(chan applyJob, depth)
 		a.shards[i] = ch
 		a.wg.Add(1)
 		go a.runShard(ch)
@@ -232,14 +239,19 @@ func NewApplier(st *tile.Store, opts Options) *Applier {
 	return a
 }
 
-func (a *Applier) runShard(ch chan []tile.Bucket) {
+func (a *Applier) runShard(ch chan applyJob) {
 	defer a.wg.Done()
 	for job := range ch {
-		if a.failed.Load() {
-			continue // drain so senders never block after a failure
+		if !a.failed.Load() {
+			if err := a.applyJob(job.buckets); err != nil {
+				a.setErr(err)
+			}
 		}
-		if err := a.applyJob(job); err != nil {
-			a.setErr(err)
+		// The release hook fires whether the job applied or was drained
+		// after a failure: either way the shard holds no further reference
+		// to the buckets, so their owner may recycle them.
+		if job.done != nil {
+			job.done()
 		}
 	}
 }
@@ -294,27 +306,66 @@ func (a *Applier) Err() error {
 // BucketSet.Buckets). It must be called from a single goroutine, in chunk
 // order. A previously recorded shard error is returned immediately.
 func (a *Applier) Apply(buckets []tile.Bucket) error {
+	return a.ApplyReleasing(buckets, nil)
+}
+
+// ApplyReleasing is Apply with an ownership hand-back: release (when
+// non-nil) is called exactly once, after every shard has finished with the
+// buckets — on the inline path synchronously, on the sharded path from
+// whichever shard goroutine lands the last portion. The engines use it to
+// return pooled per-chunk scratch (the BucketSet backing these buckets)
+// without waiting for the asynchronous application to drain.
+func (a *Applier) ApplyReleasing(buckets []tile.Bucket, release func()) error {
 	if len(a.shards) == 0 {
-		return a.st.ApplyBuckets(buckets)
+		err := a.st.ApplyBuckets(buckets)
+		if release != nil {
+			release()
+		}
+		return err
 	}
 	if a.failed.Load() {
+		if release != nil {
+			release()
+		}
 		return a.Err()
 	}
 	if len(a.shards) == 1 {
 		if len(buckets) > 0 {
-			a.shards[0] <- buckets
+			a.shards[0] <- applyJob{buckets: buckets, done: release}
+		} else if release != nil {
+			release()
 		}
 		return nil
 	}
 	n := len(a.shards)
 	parts := make([][]tile.Bucket, n)
+	sent := 0
 	for i := range buckets {
 		s := buckets[i].Block % n
+		if parts[s] == nil {
+			sent++
+		}
 		parts[s] = append(parts[s], buckets[i])
+	}
+	if sent == 0 {
+		if release != nil {
+			release()
+		}
+		return nil
+	}
+	var done func()
+	if release != nil {
+		var remaining atomic.Int32
+		remaining.Store(int32(sent))
+		done = func() {
+			if remaining.Add(-1) == 0 {
+				release()
+			}
+		}
 	}
 	for s, part := range parts {
 		if len(part) > 0 {
-			a.shards[s] <- part
+			a.shards[s] <- applyJob{buckets: part, done: done}
 		}
 	}
 	return nil

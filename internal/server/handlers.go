@@ -305,6 +305,9 @@ type storeStats struct {
 	Writes    int64  `json:"writes"`
 	Syncs     int64  `json:"syncs"`
 	Commits   int64  `json:"commits"`
+	// MappedReads is the subset of reads served zero-syscall from a
+	// memory mapping (stores opened with Mapped).
+	MappedReads int64 `json:"mapped_reads"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -318,14 +321,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Inflight: s.inflight.Load(),
 		},
 		Store: storeStats{
-			Shape:     s.st.Shape(),
-			Form:      s.st.Form().String(),
-			Blocks:    s.st.NumBlocks(),
-			BlockSize: s.st.BlockSize(),
-			Reads:     io.Reads,
-			Writes:    io.Writes,
-			Syncs:     io.Syncs,
-			Commits:   io.Commits,
+			Shape:       s.st.Shape(),
+			Form:        s.st.Form().String(),
+			Blocks:      s.st.NumBlocks(),
+			BlockSize:   s.st.BlockSize(),
+			Reads:       io.Reads,
+			Writes:      io.Writes,
+			Syncs:       io.Syncs,
+			Commits:     io.Commits,
+			MappedReads: io.MappedReads,
 		},
 	}
 	if cs, ok := s.st.CacheStats(); ok {

@@ -31,7 +31,7 @@ func buildStack(t *testing.T, rng *rand.Rand, dir string, bs int) *mirror {
 	t.Helper()
 	m := &mirror{}
 	var base BlockStore
-	switch rng.Intn(4) {
+	switch rng.Intn(6) {
 	case 0:
 		base = NewMemStore(bs)
 	case 1:
@@ -48,6 +48,23 @@ func buildStack(t *testing.T, rng *rand.Rand, dir string, bs int) *mirror {
 		base = d
 	case 3:
 		c, err := NewChecksummed(NewMemStore(bs + ChecksumOverhead))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = c
+	case 4:
+		ms, err := NewMappedStore(filepath.Join(dir, "mapped.dat"), bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = ms
+	case 5:
+		// Checksummed over mapped frames: the zero-copy view verify path.
+		ms, err := NewMappedStore(filepath.Join(dir, "mapped.dat"), bs+ChecksumOverhead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewChecksummed(ms)
 		if err != nil {
 			t.Fatal(err)
 		}

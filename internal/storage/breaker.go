@@ -227,6 +227,9 @@ func (b *Breaker) RepairBlock(id int) (bool, error) { return RepairBlockOf(b.inn
 // Close forwards.
 func (b *Breaker) Close() error { return b.inner.Close() }
 
+// MappedReads forwards the inner stack's mapped-read counter.
+func (b *Breaker) MappedReads() int64 { return MappedReadsOf(b.inner) }
+
 // String describes the breaker state for logs.
 func (b *Breaker) String() string {
 	return fmt.Sprintf("breaker[%s]", b.State())

@@ -41,6 +41,13 @@ type Checksummed struct {
 	epoch uint64
 	frame []float64
 	bytes []byte // payload bytes + stamp bytes, the CRC input
+
+	// Batch scratch, reused across ReadBlocks/WriteBlocks calls so
+	// steady-state batches allocate nothing. Checksummed is documented
+	// single-threaded (wrap in Locked for concurrency), so plain fields
+	// suffice.
+	slab  []float64
+	batch [][]float64
 }
 
 // NewChecksummed wraps inner, spending its last two slots on the frame
@@ -67,6 +74,20 @@ func (c *Checksummed) SetEpoch(e uint64) { c.epoch = e }
 
 // Epoch returns the current write epoch.
 func (c *Checksummed) Epoch() uint64 { return c.epoch }
+
+// batchFrames returns n reusable inner-block-sized frames backed by one
+// slab, growing the scratch on demand.
+func (c *Checksummed) batchFrames(n int) [][]float64 {
+	inner := c.inner.BlockSize()
+	if n*inner > cap(c.slab) {
+		c.slab = make([]float64, n*inner)
+		c.batch = nil
+	}
+	if n > len(c.batch) {
+		c.batch = SliceFrames(c.slab[:n*inner], n, inner)
+	}
+	return c.batch[:n]
+}
 
 func (c *Checksummed) checksum(payload []float64, stamp uint64) uint64 {
 	for i, v := range payload {
@@ -104,8 +125,7 @@ func (c *Checksummed) WriteBlocks(ids []int, data [][]float64) error {
 	if err := checkBatchArgs(c, ids, data); err != nil {
 		return err
 	}
-	inner := c.inner.BlockSize()
-	frames := SliceFrames(make([]float64, len(ids)*inner), len(ids), inner)
+	frames := c.batchFrames(len(ids))
 	for i := range ids {
 		c.fillFrame(frames[i], data[i])
 	}
@@ -166,12 +186,21 @@ func (c *Checksummed) ReadBlock(id int, buf []float64) error {
 // slab, then a single verification pass. The first corrupt frame (in id
 // order) surfaces as the error, as in the per-block loop; unlike the loop,
 // the inner store has already transferred the whole batch by then.
+//
+// When the inner store itself exposes zero-copy frame views
+// (FrameViewer — MappedStore directly under this layer), the slab read
+// and its copy are skipped entirely: the CRC is verified over the
+// mapped frame bytes in place and the payload decodes straight into
+// bufs. Wrappers that intercept reads deliberately don't forward the
+// capability, so fault-injected stacks keep the copying path.
 func (c *Checksummed) ReadBlocks(ids []int, bufs [][]float64) error {
 	if err := checkBatchArgs(c, ids, bufs); err != nil {
 		return err
 	}
-	inner := c.inner.BlockSize()
-	frames := SliceFrames(make([]float64, len(ids)*inner), len(ids), inner)
+	if fv, ok := c.inner.(FrameViewer); ok {
+		return c.readBlocksViews(fv, ids, bufs)
+	}
+	frames := c.batchFrames(len(ids))
 	if err := ReadBlocksOf(c.inner, ids, frames); err != nil {
 		return err
 	}
@@ -186,6 +215,68 @@ func (c *Checksummed) ReadBlocks(ids []int, bufs [][]float64) error {
 			continue
 		}
 		copy(bufs[i], frames[i][:p])
+	}
+	return nil
+}
+
+// verifyFrameBytes is verifyFrame over a raw little-endian frame view.
+// The CRC input is payload bytes followed by stamp bytes — the frame
+// stores the CRC between them, so the check streams the two spans with
+// crc64.Update instead of reassembling a contiguous buffer.
+func (c *Checksummed) verifyFrameBytes(id int, fb []byte) (written bool, err error) {
+	p := c.BlockSize()
+	stamp := binary.LittleEndian.Uint64(fb[8*(p+1):])
+	crcStored := binary.LittleEndian.Uint64(fb[8*p:])
+	if stamp == 0 && crcStored == 0 {
+		allZero := true
+		for _, b := range fb[:8*p] {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return false, nil
+		}
+		return true, fmt.Errorf("storage: block %d: unstamped payload (torn write): %w", id, ErrChecksum)
+	}
+	if stamp&1 != 1 {
+		return true, fmt.Errorf("storage: block %d: invalid stamp %#x: %w", id, stamp, ErrChecksum)
+	}
+	crc := crc64.Update(crc64.Update(0, crcTable, fb[:8*p]), crcTable, fb[8*(p+1):8*(p+2)])
+	if crc != crcStored {
+		return true, fmt.Errorf("storage: block %d: crc %#x, stored %#x: %w", id, crc, crcStored, ErrChecksum)
+	}
+	return true, nil
+}
+
+// readBlocksViews is the zero-copy batch read: borrow frame views,
+// verify in place, decode payloads directly into the caller's buffers,
+// release. The borrow never escapes this call — the discipline the
+// scratch-escape analyzer polices.
+func (c *Checksummed) readBlocksViews(fv FrameViewer, ids []int, bufs [][]float64) error {
+	views, err := fv.ViewFrames(ids)
+	if err != nil {
+		return err
+	}
+	defer views.Release()
+	for i, id := range ids {
+		fb := views.Frame(i)
+		if fb == nil {
+			ZeroFill(bufs[i])
+			continue
+		}
+		written, err := c.verifyFrameBytes(id, fb)
+		if err != nil {
+			return err
+		}
+		if !written {
+			ZeroFill(bufs[i])
+			continue
+		}
+		for j := range bufs[i] {
+			bufs[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(fb[8*j:]))
+		}
 	}
 	return nil
 }
@@ -205,6 +296,9 @@ func (c *Checksummed) ReadMeta(id int) (epoch uint64, written bool, err error) {
 
 // Sync flushes the inner store.
 func (c *Checksummed) Sync() error { return SyncIfAble(c.inner) }
+
+// MappedReads forwards the inner stack's mapped-read counter.
+func (c *Checksummed) MappedReads() int64 { return MappedReadsOf(c.inner) }
 
 // Truncate forwards to the inner store.
 func (c *Checksummed) Truncate() error { return TruncateIfAble(c.inner) }

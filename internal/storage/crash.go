@@ -213,6 +213,11 @@ func (c *CrashStore) Truncate() error {
 	return TruncateIfAble(c.inner)
 }
 
+// MappedReads forwards the medium's mapped-read counter. CrashStore
+// does NOT forward FrameViewer: its volatile write cache shadows the
+// medium, so zero-copy views would read around uncommitted state.
+func (c *CrashStore) MappedReads() int64 { return MappedReadsOf(c.inner) }
+
 // Close closes the medium. A graceful close flushes the cache first; after
 // a crash the cache is already gone.
 func (c *CrashStore) Close() error {

@@ -138,3 +138,6 @@ func (d *Degraded) Commit() error { return CommitIfAble(d.inner) }
 
 // Close delegates.
 func (d *Degraded) Close() error { return d.inner.Close() }
+
+// MappedReads forwards the inner stack's mapped-read counter.
+func (d *Degraded) MappedReads() int64 { return MappedReadsOf(d.inner) }

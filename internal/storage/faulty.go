@@ -378,3 +378,8 @@ func (f *Faulty) Commit() error { return CommitIfAble(f.inner) }
 
 // Close delegates.
 func (f *Faulty) Close() error { return f.inner.Close() }
+
+// MappedReads forwards the inner stack's mapped-read counter. Note that
+// Faulty does NOT forward FrameViewer: zero-copy views would bypass
+// fault injection, so faulted stacks always use the copying read path.
+func (f *Faulty) MappedReads() int64 { return MappedReadsOf(f.inner) }

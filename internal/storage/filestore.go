@@ -124,9 +124,43 @@ func (s *FileStore) ReadBlock(id int, buf []float64) error {
 	return nil
 }
 
+// runSpan is one maximal run of consecutive block ids within a batch,
+// as index bounds into the ids slice.
+type runSpan struct{ start, end int }
+
+// coalesceRuns splits ids into maximal runs of consecutive block ids,
+// each at most maxRunBlocks long — the unit one pread/pwrite covers.
+func coalesceRuns(ids []int) []runSpan {
+	runs := make([]runSpan, 0, 4)
+	for start := 0; start < len(ids); {
+		end := start + 1
+		for end < len(ids) && end-start < maxRunBlocks && ids[end] == ids[end-1]+1 {
+			end++
+		}
+		runs = append(runs, runSpan{start, end})
+		start = end
+	}
+	return runs
+}
+
+// fetchedRun is one pread's result handed from the prefetch goroutine
+// to the decoding caller.
+type fetchedRun struct {
+	rp  *[]byte
+	n   int
+	err error
+}
+
 // ReadBlocks implements BatchReader: each maximal run of consecutive block
 // ids becomes one pread over a run-sized buffer, with extents beyond the
 // file reading as zeros exactly as ReadBlock does.
+//
+// Batches spanning several runs are pipelined: a prefetch goroutine
+// issues the pread for run k+1 while the caller decodes run k (the
+// channel's single-slot buffer bounds the lookahead to one run, so at
+// most two run buffers are in flight). Errors surface for the first
+// failing run in id order, exactly as the sequential loop's would; the
+// prefetcher stops after its first error.
 func (s *FileStore) ReadBlocks(ids []int, bufs [][]float64) error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -135,47 +169,86 @@ func (s *FileStore) ReadBlocks(ids []int, bufs [][]float64) error {
 		return err
 	}
 	fb := s.frameBytes()
-	for start := 0; start < len(ids); {
-		end := start + 1
-		for end < len(ids) && end-start < maxRunBlocks && ids[end] == ids[end-1]+1 {
-			end++
-		}
-		run := end - start
-		var b []byte
-		var bp, rp *[]byte
-		if run == 1 {
-			bp = s.getScratch()
-			b = *bp
-		} else {
-			rp = s.getRunBuf(run * fb)
-			b = *rp
-		}
-		off := int64(ids[start]) * int64(fb)
-		s.preads.Add(1)
-		n, err := s.f.ReadAt(b, off)
-		if err != nil && err != io.EOF {
-			if bp != nil {
-				s.scratch.Put(bp)
+	runs := coalesceRuns(ids)
+	if len(runs) < 2 {
+		for _, r := range runs {
+			if err := s.readRun(ids, bufs, r, fb); err != nil {
+				return err
 			}
-			if rp != nil {
-				s.runScratch.Put(rp)
-			}
-			return fmt.Errorf("storage: read blocks %d..%d: %w", ids[start], ids[end-1], err)
 		}
-		clear(b[n:])
-		for i := start; i < end; i++ {
-			fr := b[(i-start)*fb:]
+		return nil
+	}
+	fetched := make(chan fetchedRun, 1)
+	go func() {
+		for _, r := range runs {
+			rp := s.getRunBuf((r.end - r.start) * fb)
+			s.preads.Add(1)
+			n, err := s.f.ReadAt(*rp, int64(ids[r.start])*int64(fb))
+			if err == io.EOF {
+				err = nil
+			}
+			fetched <- fetchedRun{rp, n, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for _, r := range runs {
+		f := <-fetched
+		if f.err != nil {
+			s.runScratch.Put(f.rp)
+			return fmt.Errorf("storage: read blocks %d..%d: %w", ids[r.start], ids[r.end-1], f.err)
+		}
+		b := *f.rp
+		clear(b[f.n:])
+		for i := r.start; i < r.end; i++ {
+			fr := b[(i-r.start)*fb:]
 			for j := range bufs[i] {
 				bufs[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(fr[8*j:]))
 			}
 		}
+		s.runScratch.Put(f.rp)
+	}
+	return nil
+}
+
+// readRun preads and decodes one run sequentially (the single-run path,
+// where pipelining has nothing to overlap).
+func (s *FileStore) readRun(ids []int, bufs [][]float64, r runSpan, fb int) error {
+	run := r.end - r.start
+	var b []byte
+	var bp, rp *[]byte
+	if run == 1 {
+		bp = s.getScratch()
+		b = *bp
+	} else {
+		rp = s.getRunBuf(run * fb)
+		b = *rp
+	}
+	off := int64(ids[r.start]) * int64(fb)
+	s.preads.Add(1)
+	n, err := s.f.ReadAt(b, off)
+	if err != nil && err != io.EOF {
 		if bp != nil {
 			s.scratch.Put(bp)
 		}
 		if rp != nil {
 			s.runScratch.Put(rp)
 		}
-		start = end
+		return fmt.Errorf("storage: read blocks %d..%d: %w", ids[r.start], ids[r.end-1], err)
+	}
+	clear(b[n:])
+	for i := r.start; i < r.end; i++ {
+		fr := b[(i-r.start)*fb:]
+		for j := range bufs[i] {
+			bufs[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(fr[8*j:]))
+		}
+	}
+	if bp != nil {
+		s.scratch.Put(bp)
+	}
+	if rp != nil {
+		s.runScratch.Put(rp)
 	}
 	return nil
 }

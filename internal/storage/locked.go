@@ -77,3 +77,7 @@ func (l *Locked) Close() error {
 	defer l.mu.Unlock()
 	return l.inner.Close()
 }
+
+// MappedReads forwards the inner stack's mapped-read counter. The
+// counter is atomic at the device, so no lock is needed.
+func (l *Locked) MappedReads() int64 { return MappedReadsOf(l.inner) }

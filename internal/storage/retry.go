@@ -164,3 +164,6 @@ func (r *Retry) Commit() error { return CommitIfAble(r.inner) }
 
 // Close closes the wrapped store (no retry: close errors are terminal).
 func (r *Retry) Close() error { return r.inner.Close() }
+
+// MappedReads forwards the inner stack's mapped-read counter.
+func (r *Retry) MappedReads() int64 { return MappedReadsOf(r.inner) }

@@ -218,6 +218,10 @@ type Stats struct {
 	Writes  int64 // blocks written to the underlying store
 	Syncs   int64 // Sync barriers forwarded to the underlying store
 	Commits int64 // Commit durability points forwarded to the underlying store
+	// MappedReads is how many of the Reads were served from a memory
+	// mapping (zero positional read syscalls) — a subset of Reads, not
+	// an addition to Total.
+	MappedReads int64
 }
 
 // Total returns Reads + Writes (durability points move no blocks and are
@@ -227,10 +231,11 @@ func (s Stats) Total() int64 { return s.Reads + s.Writes }
 // Add returns s with o's counters added.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Reads:   s.Reads + o.Reads,
-		Writes:  s.Writes + o.Writes,
-		Syncs:   s.Syncs + o.Syncs,
-		Commits: s.Commits + o.Commits,
+		Reads:       s.Reads + o.Reads,
+		Writes:      s.Writes + o.Writes,
+		Syncs:       s.Syncs + o.Syncs,
+		Commits:     s.Commits + o.Commits,
+		MappedReads: s.MappedReads + o.MappedReads,
 	}
 }
 
@@ -238,10 +243,11 @@ func (s Stats) Add(o Stats) Stats {
 // bracketing an I/O window.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Reads:   s.Reads - o.Reads,
-		Writes:  s.Writes - o.Writes,
-		Syncs:   s.Syncs - o.Syncs,
-		Commits: s.Commits - o.Commits,
+		Reads:       s.Reads - o.Reads,
+		Writes:      s.Writes - o.Writes,
+		Syncs:       s.Syncs - o.Syncs,
+		Commits:     s.Commits - o.Commits,
+		MappedReads: s.MappedReads - o.MappedReads,
 	}
 }
 
@@ -256,6 +262,10 @@ type Counting struct {
 	writes  atomic.Int64
 	syncs   atomic.Int64
 	commits atomic.Int64
+	// mappedBase snapshots the inner stack's mapped-read counter at the
+	// last Reset, so Stats reports mapped reads over the same window as
+	// the other counters even though the device counter is cumulative.
+	mappedBase atomic.Int64
 }
 
 // NewCounting wraps inner with an I/O counter.
@@ -315,12 +325,18 @@ func (c *Counting) Commit() error {
 // Stats returns the counters accumulated so far.
 func (c *Counting) Stats() Stats {
 	return Stats{
-		Reads:   c.reads.Load(),
-		Writes:  c.writes.Load(),
-		Syncs:   c.syncs.Load(),
-		Commits: c.commits.Load(),
+		Reads:       c.reads.Load(),
+		Writes:      c.writes.Load(),
+		Syncs:       c.syncs.Load(),
+		Commits:     c.commits.Load(),
+		MappedReads: MappedReadsOf(c.inner) - c.mappedBase.Load(),
 	}
 }
+
+// MappedReads implements MappedReadsReporter by forwarding the inner
+// stack's cumulative counter (not windowed by Reset), so stacked
+// Countings agree with the device.
+func (c *Counting) MappedReads() int64 { return MappedReadsOf(c.inner) }
 
 // Reset zeroes the counters.
 func (c *Counting) Reset() {
@@ -328,4 +344,5 @@ func (c *Counting) Reset() {
 	c.writes.Store(0)
 	c.syncs.Store(0)
 	c.commits.Store(0)
+	c.mappedBase.Store(MappedReadsOf(c.inner))
 }

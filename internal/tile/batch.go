@@ -114,6 +114,13 @@ type OnceWriter struct {
 	capacities map[int]int
 	pending    map[int]*onceBlock
 	written    map[int]bool
+	// Completed blocks recycle their buffers here: every BlockStore copies
+	// written data before returning, so once WriteTile succeeds the slice
+	// (zeroed) and the onceBlock header can back the next block. The
+	// steady-state footprint is then the pending high-water mark, not one
+	// allocation per written block.
+	freeData [][]float64
+	freeOB   []*onceBlock
 }
 
 type onceBlock struct {
@@ -132,33 +139,68 @@ func NewOnceWriter(st *Store, capacities map[int]int) *OnceWriter {
 	}
 }
 
+// open returns the pending block header, creating one (from the freelist
+// when possible) on first touch.
+func (w *OnceWriter) open(block int) *onceBlock {
+	ob, ok := w.pending[block]
+	if !ok {
+		if n := len(w.freeOB); n > 0 {
+			ob = w.freeOB[n-1]
+			w.freeOB = w.freeOB[:n-1]
+		} else {
+			ob = &onceBlock{}
+		}
+		ob.data, ob.remaining = nil, w.capacities[block]
+		w.pending[block] = ob
+	}
+	return ob
+}
+
+// materialize gives the pending block a zeroed buffer.
+func (w *OnceWriter) materialize(ob *onceBlock) {
+	if n := len(w.freeData); n > 0 {
+		ob.data = w.freeData[n-1]
+		w.freeData = w.freeData[:n-1]
+	} else {
+		ob.data = make([]float64, w.store.Tiling().BlockSize())
+	}
+}
+
+// complete writes a finished block and recycles its storage.
+func (w *OnceWriter) complete(block int, ob *onceBlock) error {
+	delete(w.pending, block)
+	data := ob.data
+	ob.data = nil
+	w.freeOB = append(w.freeOB, ob)
+	if data == nil {
+		return nil // all-zero block: nothing to store
+	}
+	err := w.store.WriteTile(block, data)
+	clear(data)
+	w.freeData = append(w.freeData, data)
+	if err != nil {
+		return err
+	}
+	w.written[block] = true
+	return nil
+}
+
 // Set records a final coefficient value, flushing its block if complete.
 // Blocks that turn out to be entirely zero are never written at all —
 // unwritten blocks read back as zeros, which is how the engines inherit the
 // paper's sparse-data savings (§5.1) for free.
 func (w *OnceWriter) Set(coords []int, v float64) error {
 	block, slot := w.store.Tiling().Locate(coords)
-	ob, ok := w.pending[block]
-	if !ok {
-		ob = &onceBlock{remaining: w.capacities[block]}
-		w.pending[block] = ob
-	}
+	ob := w.open(block)
 	if v != 0 {
 		if ob.data == nil {
-			ob.data = make([]float64, w.store.Tiling().BlockSize())
+			w.materialize(ob)
 		}
 		ob.data[slot] = v
 	}
 	ob.remaining--
 	if ob.remaining == 0 {
-		delete(w.pending, block)
-		if ob.data == nil {
-			return nil // all-zero block: nothing to store
-		}
-		if err := w.store.WriteTile(block, ob.data); err != nil {
-			return err
-		}
-		w.written[block] = true
+		return w.complete(block, ob)
 	}
 	return nil
 }
@@ -173,30 +215,19 @@ func (w *OnceWriter) MergeBucket(block int, deltas []float64, touches int) error
 	if touches == 0 {
 		return nil
 	}
-	ob, ok := w.pending[block]
-	if !ok {
-		ob = &onceBlock{remaining: w.capacities[block]}
-		w.pending[block] = ob
-	}
+	ob := w.open(block)
 	for slot, v := range deltas {
 		if v == 0 {
 			continue
 		}
 		if ob.data == nil {
-			ob.data = make([]float64, w.store.Tiling().BlockSize())
+			w.materialize(ob)
 		}
 		ob.data[slot] = v
 	}
 	ob.remaining -= touches
 	if ob.remaining <= 0 {
-		delete(w.pending, block)
-		if ob.data == nil {
-			return nil // all-zero block: nothing to store
-		}
-		if err := w.store.WriteTile(block, ob.data); err != nil {
-			return err
-		}
-		w.written[block] = true
+		return w.complete(block, ob)
 	}
 	return nil
 }

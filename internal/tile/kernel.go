@@ -28,10 +28,15 @@ type Bucket struct {
 //
 // Accumulation order within a bucket is fixed by the kernels below, so the
 // floating-point sums are identical for any worker count.
+//
+// A set is reusable: Reset recycles every delta slice onto an internal
+// freelist, so an engine that pools one BucketSet per worker allocates
+// bucket storage only until the high-water tile count is reached.
 type BucketSet struct {
 	blockSize int
 	index     map[int]int
 	buckets   []Bucket
+	free      [][]float64 // zeroed block-sized slices awaiting reuse
 }
 
 // NewBucketSet creates an empty set for tiles of the given slot count.
@@ -45,9 +50,34 @@ func (bs *BucketSet) bucket(block int) *Bucket {
 	if i, ok := bs.index[block]; ok {
 		return &bs.buckets[i]
 	}
+	var deltas []float64
+	if n := len(bs.free); n > 0 {
+		deltas = bs.free[n-1]
+		bs.free = bs.free[:n-1]
+	} else {
+		deltas = make([]float64, bs.blockSize)
+	}
 	bs.index[block] = len(bs.buckets)
-	bs.buckets = append(bs.buckets, Bucket{Block: block, Deltas: make([]float64, bs.blockSize)})
+	bs.buckets = append(bs.buckets, Bucket{Block: block, Deltas: deltas})
 	return &bs.buckets[len(bs.buckets)-1]
+}
+
+// Reset returns the set to empty, recycling every bucket's delta slice for
+// the next accumulation. Buckets previously handed out by Buckets() are
+// invalidated: their Deltas are zeroed and will be reused.
+func (bs *BucketSet) Reset() {
+	for i := range bs.buckets {
+		b := &bs.buckets[i]
+		clear(b.Deltas)
+		bs.free = append(bs.free, b.Deltas)
+		b.Deltas = nil
+	}
+	bs.buckets = bs.buckets[:0]
+	if bs.index == nil {
+		bs.index = make(map[int]int)
+	} else {
+		clear(bs.index)
+	}
 }
 
 // Add accumulates one contribution (the generic, per-coefficient path used
@@ -61,11 +91,11 @@ func (bs *BucketSet) Add(block, slot int, delta float64) {
 // Len returns the number of distinct tiles touched so far.
 func (bs *BucketSet) Len() int { return len(bs.buckets) }
 
-// Buckets returns the accumulated buckets in ascending block order. The set
-// must not be used afterwards.
+// Buckets returns the accumulated buckets in ascending block order. The
+// returned slice (and every Deltas inside it) stays valid until the next
+// Reset; the set must not be accumulated into again before then.
 func (bs *BucketSet) Buckets() []Bucket {
 	sort.Slice(bs.buckets, func(i, j int) bool { return bs.buckets[i].Block < bs.buckets[j].Block })
-	bs.index = nil
 	return bs.buckets
 }
 

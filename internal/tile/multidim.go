@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
-	"github.com/shiftsplit/shiftsplit/internal/wavelet"
 )
 
 // Standard tiles a standard-form multidimensional transform as the cross
@@ -138,39 +137,52 @@ func (t *NonStandard) bandOf(depth int) int {
 
 // Locate maps Mallat-layout coordinates of the cubic transform to
 // (block, slot). The overall average at the origin maps to slot 0 of the
-// top tile.
+// top tile. The decode of wavelet.NonStdLevel is inlined here without its
+// subband/pos slices: Locate is the innermost call of the write-once
+// engines (once per coefficient via OnceWriter.Set and BlockCapacities),
+// so it must not allocate.
 func (t *NonStandard) Locate(coords []int) (block, slot int) {
 	if len(coords) != t.d {
 		panic(fmt.Sprintf("tile: NonStandard.Locate with %d coords for d=%d", len(coords), t.d))
 	}
-	j, subband, pos := wavelet.NonStdLevel(t.n, coords)
-	if subband == nil { // the overall average
+	max := 0
+	for _, c := range coords {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 { // the overall average
 		return 0, 0
 	}
-	depth := t.n - j
+	// The node depth is fixed by the largest coordinate: base = 2^depth is
+	// the largest power of two <= max (level j = n - depth).
+	depth := bitutil.FloorLog2(max)
+	base := 1 << uint(depth)
 	band := t.bandOf(depth)
 	start := t.bandStart(band)
 	delta := depth - start // node depth within the tile
 	// Tile root cell: the ancestor of the node's cell delta levels up.
 	rootIdx := 0
 	localIdx := 0
-	for i := 0; i < t.d; i++ {
-		root := pos[i] >> uint(delta)
+	mask := 0
+	for i, c := range coords {
+		p := c
+		if c >= base {
+			mask |= 1 << uint(i)
+			p = c - base
+		}
+		if p >= base {
+			panic(fmt.Sprintf("wavelet: coords %v are not a valid non-standard position", coords))
+		}
+		root := p >> uint(delta)
 		rootIdx = rootIdx<<uint(start) | root
-		localIdx = localIdx<<uint(delta) | (pos[i] - root<<uint(delta))
+		localIdx = localIdx<<uint(delta) | (p - root<<uint(delta))
 	}
 	block = t.cumRoot[band] + rootIdx
 	// Nodes above this one inside the tile: (D^delta - 1)/(D - 1).
 	dPow := bitutil.IntPow(1<<uint(t.d), delta)
 	nodesAbove := (dPow - 1) / (1<<uint(t.d) - 1)
-	nodeLocal := nodesAbove + localIdx
-	mask := 0
-	for i := 0; i < t.d; i++ {
-		if subband[i] {
-			mask |= 1 << uint(i)
-		}
-	}
-	slot = 1 + nodeLocal*(1<<uint(t.d)-1) + (mask - 1)
+	slot = 1 + (nodesAbove+localIdx)*(1<<uint(t.d)-1) + (mask - 1)
 	return block, slot
 }
 

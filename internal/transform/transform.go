@@ -19,6 +19,7 @@ package transform
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/dyadic"
@@ -68,12 +69,46 @@ func checkChunkable(src *ndarray.Array, m int) ([]int, error) {
 
 // chunkResult is one transformed chunk on its way from a worker to the
 // ordered consumer: its bucketed SHIFT-SPLIT deltas plus the engine-side
-// statistics it contributes.
+// statistics it contributes. scratch is the pooled per-chunk working state
+// backing buckets; the consumer releases it once the buckets have landed.
 type chunkResult struct {
 	coefReads int64
 	zero      bool
 	avg       float64 // chunk average (non-standard crest engine)
 	buckets   []tile.Bucket
+	scratch   *chunkScratch
+}
+
+// chunkScratch is the reusable per-chunk working state of a chunked engine:
+// the chunk buffer itself (filled by SubCopyInto, transformed in place), the
+// wavelet scratch, the delta BucketSet, and the start-coordinate slice. A
+// sync.Pool bounds the population at the worker count plus the in-flight
+// window, which puts the engines' steady state on an allocation diet: no
+// chunk-sized or tile-sized allocation after warm-up.
+type chunkScratch struct {
+	chunk *ndarray.Array
+	ws    *wavelet.Scratch
+	set   *tile.BucketSet
+	start []int
+}
+
+// newChunkPool builds the scratch pool for chunks of the given shape
+// bucketing into tiles of blockSize slots.
+func newChunkPool(chunkShape []int, blockSize int) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		return &chunkScratch{
+			chunk: ndarray.New(chunkShape...),
+			ws:    wavelet.NewScratch(),
+			set:   tile.NewBucketSet(blockSize),
+			start: make([]int, len(chunkShape)),
+		}
+	}}
+}
+
+// release resets the scratch's bucket state and returns it to the pool.
+func (sc *chunkScratch) release(pool *sync.Pool) {
+	sc.set.Reset()
+	pool.Put(sc)
 }
 
 // unflatten decomposes a row-major chunk sequence number over grid into a
@@ -121,32 +156,34 @@ func ChunkedStandardOpts(src *ndarray.Array, m int, out *tile.Store, opts parall
 		chunkShape[i] = edge
 	}
 	applier := parallel.NewApplier(out, opts)
+	pool := newChunkPool(chunkShape, out.Tiling().BlockSize())
 	produce := func(seq int) (chunkResult, error) {
 		pos := unflatten(seq, grid)
-		start := make([]int, d)
+		sc := pool.Get().(*chunkScratch)
 		for i := range pos {
-			start[i] = pos[i] * edge
+			sc.start[i] = pos[i] * edge
 		}
-		chunk := src.SubCopy(start, chunkShape)
-		res := chunkResult{coefReads: int64(chunk.Size())}
-		if allZero(chunk) {
+		src.SubCopyInto(sc.chunk, sc.start)
+		res := chunkResult{coefReads: int64(sc.chunk.Size()), scratch: sc}
+		if allZero(sc.chunk) {
 			res.zero = true
 			return res, nil
 		}
-		bHat := wavelet.TransformStandard(chunk)
-		bs := tile.NewBucketSet(out.Tiling().BlockSize())
-		tile.AccumulateEmbedStandard(out.Tiling(), shape, dyadic.NewCubeRange(m, pos), bHat, bs)
-		res.buckets = bs.Buckets()
+		wavelet.TransformStandardInPlace(sc.chunk, sc.ws)
+		tile.AccumulateEmbedStandard(out.Tiling(), shape, dyadic.NewCubeRange(m, pos), sc.chunk, sc.set)
+		res.buckets = sc.set.Buckets()
 		return res, nil
 	}
 	consume := func(seq int, res chunkResult) error {
 		st.InputCoefReads += res.coefReads
 		st.Chunks++
+		sc := res.scratch
 		if res.zero {
 			st.SkippedChunks++
+			sc.release(pool)
 			return nil
 		}
-		return applier.Apply(res.buckets)
+		return applier.ApplyReleasing(res.buckets, func() { sc.release(pool) })
 	}
 	err = parallel.Run(nChunks, opts, produce, consume)
 	if cerr := applier.Close(); err == nil {
@@ -214,33 +251,35 @@ func chunkedNonStdRowMajor(src *ndarray.Array, n, m int, out *tile.Store, popts 
 	origin := make([]int, d)
 	ph := cubicShape(n, d)
 	applier := parallel.NewApplier(out, popts)
+	pool := newChunkPool(chunkShape, out.Tiling().BlockSize())
 	produce := func(seq int) (chunkResult, error) {
 		pos := unflatten(seq, grid)
-		start := make([]int, d)
+		sc := pool.Get().(*chunkScratch)
 		for i := range pos {
-			start[i] = pos[i] * edge
+			sc.start[i] = pos[i] * edge
 		}
-		chunk := src.SubCopy(start, chunkShape)
-		res := chunkResult{coefReads: int64(chunk.Size())}
-		if allZero(chunk) {
+		src.SubCopyInto(sc.chunk, sc.start)
+		res := chunkResult{coefReads: int64(sc.chunk.Size()), scratch: sc}
+		if allZero(sc.chunk) {
 			res.zero = true
 			return res, nil
 		}
-		bHat := wavelet.TransformNonStandard(chunk)
-		bs := tile.NewBucketSet(out.Tiling().BlockSize())
-		tile.AccumulateShiftNonStandard(out.Tiling(), ph, m, pos, bHat, bs)
-		tile.AccumulateSplitNonStandard(out.Tiling(), ph, m, pos, bHat.At(origin...), bs)
-		res.buckets = bs.Buckets()
+		wavelet.TransformNonStandardInPlace(sc.chunk, sc.ws)
+		tile.AccumulateShiftNonStandard(out.Tiling(), ph, m, pos, sc.chunk, sc.set)
+		tile.AccumulateSplitNonStandard(out.Tiling(), ph, m, pos, sc.chunk.At(origin...), sc.set)
+		res.buckets = sc.set.Buckets()
 		return res, nil
 	}
 	consume := func(seq int, res chunkResult) error {
 		st.InputCoefReads += res.coefReads
 		st.Chunks++
+		sc := res.scratch
 		if res.zero {
 			st.SkippedChunks++
+			sc.release(pool)
 			return nil
 		}
-		return applier.Apply(res.buckets)
+		return applier.ApplyReleasing(res.buckets, func() { sc.release(pool) })
 	}
 	err := parallel.Run(nChunks, popts, produce, consume)
 	if cerr := applier.Close(); err == nil {
@@ -272,6 +311,15 @@ type Crest struct {
 	count []int
 	emit  func(coords []int, v float64) error
 	root  float64
+	// Preallocated per-depth scratch: Push runs once per chunk (and
+	// recursively per completed node), so its coordinate slices must not be
+	// rebuilt per call. coords is shared across depths — emit must not
+	// retain it, which every emitter (OnceWriter.Set, the stream synopsis)
+	// honors; parents is per-depth because a completed node passes its
+	// parent position into the recursive Push.
+	parents [][]int
+	coords  []int
+	origin  []int
 }
 
 // Root returns the overall average after the final Push.
@@ -284,9 +332,13 @@ func NewCrest(d, n, m int, emit func(coords []int, v float64) error) *Crest {
 	levels := n - m
 	c := &Crest{d: d, n: n, m: m, emit: emit, count: make([]int, levels)}
 	c.buf = make([][]float64, levels)
+	c.parents = make([][]int, levels)
 	for i := range c.buf {
 		c.buf[i] = make([]float64, 1<<uint(d))
+		c.parents[i] = make([]int, d)
 	}
+	c.coords = make([]int, d)
+	c.origin = make([]int, d)
 	return c
 }
 
@@ -296,8 +348,7 @@ func NewCrest(d, n, m int, emit func(coords []int, v float64) error) *Crest {
 func (c *Crest) Push(depth int, pos []int, avg float64) error {
 	if c.m+depth == c.n {
 		c.root = avg
-		origin := make([]int, c.d)
-		return c.emit(origin, avg)
+		return c.emit(c.origin, avg)
 	}
 	slot := 0
 	for i := 0; i < c.d; i++ {
@@ -312,13 +363,13 @@ func (c *Crest) Push(depth int, pos []int, avg float64) error {
 	// Node complete: compute its details and average.
 	c.count[level] = 0
 	j := c.m + depth + 1
-	parent := make([]int, c.d)
+	parent := c.parents[depth]
 	for i := 0; i < c.d; i++ {
 		parent[i] = pos[i] >> 1
 	}
 	den := float64(int(1) << uint(c.d))
 	base := 1 << uint(c.n-j)
-	coords := make([]int, c.d)
+	coords := c.coords
 	var parentAvg float64
 	for mask := 0; mask < 1<<uint(c.d); mask++ {
 		sum := 0.0
@@ -370,30 +421,32 @@ func chunkedNonStdCrest(src *ndarray.Array, n, m int, out *tile.Store, popts par
 		positions = append(positions, append([]int(nil), pos...))
 	})
 	maxPending := 0
+	origin := make([]int, d)
+	pool := newChunkPool(chunkShape, out.Tiling().BlockSize())
 	produce := func(seq int) (chunkResult, error) {
 		pos := positions[seq]
-		start := make([]int, d)
+		sc := pool.Get().(*chunkScratch)
 		for i := range pos {
-			start[i] = pos[i] * edge
+			sc.start[i] = pos[i] * edge
 		}
-		chunk := src.SubCopy(start, chunkShape)
-		res := chunkResult{coefReads: int64(chunk.Size())}
+		src.SubCopyInto(sc.chunk, sc.start)
+		res := chunkResult{coefReads: int64(sc.chunk.Size()), scratch: sc}
 		// A zero chunk still participates in the crest (its siblings need
 		// its average) and its zero details must still be recorded so that
 		// boundary blocks complete — but the writer never materializes or
 		// writes blocks that stay entirely zero.
 		hat := zeroHat
-		if allZero(chunk) {
+		if allZero(sc.chunk) {
 			res.zero = true
 		} else {
-			hat = wavelet.TransformNonStandard(chunk)
-			res.avg = hat.At(make([]int, d)...)
+			wavelet.TransformNonStandardInPlace(sc.chunk, sc.ws)
+			hat = sc.chunk
+			res.avg = hat.At(origin...)
 		}
 		// Details of the chunk subtree are final: bucket them for the
 		// write-once sink.
-		bs := tile.NewBucketSet(out.Tiling().BlockSize())
-		tile.AccumulateShiftNonStandard(out.Tiling(), ph, m, pos, hat, bs)
-		res.buckets = bs.Buckets()
+		tile.AccumulateShiftNonStandard(out.Tiling(), ph, m, pos, hat, sc.set)
+		res.buckets = sc.set.Buckets()
 		return res, nil
 	}
 	consume := func(seq int, res chunkResult) error {
@@ -405,9 +458,13 @@ func chunkedNonStdCrest(src *ndarray.Array, n, m int, out *tile.Store, popts par
 		for i := range res.buckets {
 			b := &res.buckets[i]
 			if err := writer.MergeBucket(b.Block, b.Deltas, b.Touches); err != nil {
+				res.scratch.release(pool)
 				return err
 			}
 		}
+		// MergeBucket copies what it keeps, so the scratch (and the bucket
+		// deltas it backs) recycles before the crest fold.
+		res.scratch.release(pool)
 		// The chunk average climbs the crest instead of touching storage.
 		if err := cr.Push(0, positions[seq], res.avg); err != nil {
 			return err

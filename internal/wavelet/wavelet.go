@@ -89,88 +89,163 @@ func checkShape(a *ndarray.Array, cubic bool) {
 	}
 }
 
+// Scratch holds the reusable working buffers of the in-place transforms so
+// the maintenance engines can transform one chunk after another without
+// per-chunk (or per-fiber) allocation. A Scratch grows on demand, is cheap
+// when zero-valued, and must not be shared between concurrent transforms.
+type Scratch struct {
+	line  []float64
+	fiber []float64
+	aux   []float64
+	dims  []int
+}
+
+// NewScratch returns an empty scratch; the first transform sizes it.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure grows the buffers to cover extents up to maxExtent in d dimensions.
+func (s *Scratch) ensure(maxExtent, d int) {
+	if cap(s.line) < maxExtent {
+		s.line = make([]float64, maxExtent)
+		s.fiber = make([]float64, maxExtent)
+		s.aux = make([]float64, maxExtent/2+1)
+	}
+	if cap(s.dims) < d {
+		s.dims = make([]int, d)
+	}
+}
+
 // TransformStandard computes the standard-form decomposition: a complete 1-d
 // Haar transform along every dimension. Extents may differ but must each be
-// a power of two.
+// a power of two. The input is unchanged.
 func TransformStandard(a *ndarray.Array) *ndarray.Array {
-	checkShape(a, false)
 	out := a.Clone()
-	maxExtent := 0
-	for dim := 0; dim < out.Dims(); dim++ {
-		if e := out.Extent(dim); e > maxExtent {
-			maxExtent = e
-		}
-	}
-	line := make([]float64, maxExtent)
-	scratch := make([]float64, maxExtent/2+1)
-	for dim := 0; dim < out.Dims(); dim++ {
-		e := out.Extent(dim)
-		out.EachFiber(dim, func(fixed []int) {
-			src := out.Fiber(dim, fixed)
-			haar.TransformInto(line[:e], src, scratch)
-			out.SetFiber(dim, fixed, line[:e])
-		})
-	}
+	TransformStandardInPlace(out, NewScratch())
 	return out
+}
+
+// TransformStandardInPlace overwrites a with its standard-form decomposition
+// using the caller's scratch. It performs the identical floating-point
+// operations in the identical order as TransformStandard, so results are
+// bit-equal; it just never allocates past the scratch's high-water mark.
+func TransformStandardInPlace(a *ndarray.Array, s *Scratch) {
+	stdPasses(a, s, false)
 }
 
 // InverseStandard reconstructs the original array from a standard transform.
 func InverseStandard(hat *ndarray.Array) *ndarray.Array {
-	checkShape(hat, false)
 	out := hat.Clone()
-	maxExtent := 0
-	for dim := 0; dim < out.Dims(); dim++ {
-		if e := out.Extent(dim); e > maxExtent {
-			maxExtent = e
-		}
-	}
-	line := make([]float64, maxExtent)
-	scratch := make([]float64, maxExtent/2+1)
-	for dim := out.Dims() - 1; dim >= 0; dim-- {
-		e := out.Extent(dim)
-		out.EachFiber(dim, func(fixed []int) {
-			src := out.Fiber(dim, fixed)
-			haar.InverseInto(line[:e], src, scratch)
-			out.SetFiber(dim, fixed, line[:e])
-		})
-	}
+	InverseStandardInPlace(out, NewScratch())
 	return out
 }
 
-// TransformNonStandard computes the non-standard decomposition of a cubic
-// array whose edge is a power of two.
-func TransformNonStandard(a *ndarray.Array) *ndarray.Array {
-	checkShape(a, true)
-	out := a.Clone()
-	n := bitutil.Log2(out.Extent(0))
-	for j := 1; j <= n; j++ {
-		edge := out.Extent(0) >> uint(j-1)
-		oneNonStdLevel(out, edge, false)
+// InverseStandardInPlace overwrites hat with its reconstruction (see
+// TransformStandardInPlace for the scratch contract).
+func InverseStandardInPlace(hat *ndarray.Array, s *Scratch) {
+	stdPasses(hat, s, true)
+}
+
+// stdPasses runs the per-dimension complete 1-d transforms (or their
+// inverses, in reversed dimension order) in place. Innermost-dimension
+// fibers are contiguous and transform with zero copying; strided fibers
+// gather into the scratch and scatter back.
+func stdPasses(a *ndarray.Array, s *Scratch, inverse bool) {
+	checkShape(a, false)
+	maxExtent := 0
+	for dim := 0; dim < a.Dims(); dim++ {
+		if e := a.Extent(dim); e > maxExtent {
+			maxExtent = e
+		}
 	}
+	s.ensure(maxExtent, a.Dims())
+	data := a.Data()
+	pass := func(dim int) {
+		e := a.Extent(dim)
+		a.EachFiber(dim, func(fixed []int) {
+			base, stride, _ := a.FiberSpan(dim, fixed)
+			src := s.fiber[:e]
+			if stride == 1 {
+				src = data[base : base+e]
+			} else {
+				for i := 0; i < e; i++ {
+					src[i] = data[base+i*stride]
+				}
+			}
+			if inverse {
+				haar.InverseInto(s.line[:e], src, s.aux)
+			} else {
+				haar.TransformInto(s.line[:e], src, s.aux)
+			}
+			if stride == 1 {
+				copy(data[base:base+e], s.line[:e])
+			} else {
+				for i := 0; i < e; i++ {
+					data[base+i*stride] = s.line[i]
+				}
+			}
+		})
+	}
+	if inverse {
+		for dim := a.Dims() - 1; dim >= 0; dim-- {
+			pass(dim)
+		}
+	} else {
+		for dim := 0; dim < a.Dims(); dim++ {
+			pass(dim)
+		}
+	}
+}
+
+// TransformNonStandard computes the non-standard decomposition of a cubic
+// array whose edge is a power of two. The input is unchanged.
+func TransformNonStandard(a *ndarray.Array) *ndarray.Array {
+	out := a.Clone()
+	TransformNonStandardInPlace(out, NewScratch())
 	return out
+}
+
+// TransformNonStandardInPlace overwrites a with its non-standard
+// decomposition using the caller's scratch (bit-equal to
+// TransformNonStandard; see TransformStandardInPlace).
+func TransformNonStandardInPlace(a *ndarray.Array, s *Scratch) {
+	checkShape(a, true)
+	s.ensure(a.Extent(0), a.Dims())
+	n := bitutil.Log2(a.Extent(0))
+	for j := 1; j <= n; j++ {
+		edge := a.Extent(0) >> uint(j-1)
+		oneNonStdLevel(a, edge, false, s)
+	}
 }
 
 // InverseNonStandard reconstructs the original cubic array.
 func InverseNonStandard(hat *ndarray.Array) *ndarray.Array {
-	checkShape(hat, true)
 	out := hat.Clone()
-	n := bitutil.Log2(out.Extent(0))
-	for j := n; j >= 1; j-- {
-		edge := out.Extent(0) >> uint(j-1)
-		oneNonStdLevel(out, edge, true)
-	}
+	InverseNonStandardInPlace(out, NewScratch())
 	return out
+}
+
+// InverseNonStandardInPlace overwrites hat with its reconstruction (see
+// TransformStandardInPlace for the scratch contract).
+func InverseNonStandardInPlace(hat *ndarray.Array, s *Scratch) {
+	checkShape(hat, true)
+	s.ensure(hat.Extent(0), hat.Dims())
+	n := bitutil.Log2(hat.Extent(0))
+	for j := n; j >= 1; j-- {
+		edge := hat.Extent(0) >> uint(j-1)
+		oneNonStdLevel(hat, edge, true, s)
+	}
 }
 
 // oneNonStdLevel applies (or inverts) one level of pairwise
 // averaging/differencing along every dimension inside the leading
 // edge^d sub-cube, leaving averages in the leading (edge/2)^d corner and
-// details in the Mallat subband positions.
-func oneNonStdLevel(a *ndarray.Array, edge int, inverse bool) {
+// details in the Mallat subband positions. The region fibers are accessed
+// through their strided span directly, so no per-fiber slice is built.
+func oneNonStdLevel(a *ndarray.Array, edge int, inverse bool, s *Scratch) {
 	d := a.Dims()
 	half := edge / 2
-	buf := make([]float64, edge)
-	dims := make([]int, d)
+	buf := s.line[:edge]
+	dims := s.dims[:d]
 	for i := range dims {
 		dims[i] = i
 	}
@@ -179,23 +254,26 @@ func oneNonStdLevel(a *ndarray.Array, edge int, inverse bool) {
 			dims[i], dims[j] = dims[j], dims[i]
 		}
 	}
+	data := a.Data()
 	for _, dim := range dims {
 		eachRegionFiber(a, dim, edge, func(fixed []int) {
-			line := a.Fiber(dim, fixed)
+			base, stride, _ := a.FiberSpan(dim, fixed)
 			if inverse {
 				for k := 0; k < half; k++ {
-					u, w := line[k], line[half+k]
+					u, w := data[base+k*stride], data[base+(half+k)*stride]
 					buf[2*k] = u + w
 					buf[2*k+1] = u - w
 				}
 			} else {
 				for k := 0; k < half; k++ {
-					buf[k] = (line[2*k] + line[2*k+1]) / 2
-					buf[half+k] = (line[2*k] - line[2*k+1]) / 2
+					x, y := data[base+2*k*stride], data[base+(2*k+1)*stride]
+					buf[k] = (x + y) / 2
+					buf[half+k] = (x - y) / 2
 				}
 			}
-			copy(line[:edge], buf[:edge])
-			a.SetFiber(dim, fixed, line)
+			for k := 0; k < edge; k++ {
+				data[base+k*stride] = buf[k]
+			}
 		})
 	}
 }

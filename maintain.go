@@ -97,7 +97,7 @@ func (a *Appender) IOBreakdown() (expansion, merge IOStats) {
 }
 
 func ioStatsOf(st storage.Stats) IOStats {
-	return IOStats{Reads: st.Reads, Writes: st.Writes, Syncs: st.Syncs, Commits: st.Commits}
+	return IOStats{Reads: st.Reads, Writes: st.Writes, Syncs: st.Syncs, Commits: st.Commits, MappedReads: st.MappedReads}
 }
 
 // Shape returns the current transformed domain extents.

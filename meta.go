@@ -19,6 +19,10 @@ type storeMeta struct {
 	TileBits     int    `json:"tile_bits"`
 	Materialized bool   `json:"materialized"`
 	Durable      bool   `json:"durable,omitempty"`
+	// Mapped records that the store was created with mmap-backed reads,
+	// so OpenStore reopens it the same way (the on-disk layout itself is
+	// identical either way).
+	Mapped bool `json:"mapped,omitempty"`
 	// Quarantined records the blocks known to be corrupt on the medium, so
 	// a reopened store still refuses to trust them (and keeps serving
 	// degraded) until they are repaired or rewritten.
@@ -45,6 +49,7 @@ func (s *Store) saveMeta() error {
 		TileBits:     s.opts.TileBits,
 		Materialized: s.materialized.Load(),
 		Durable:      s.opts.Durable,
+		Mapped:       s.opts.Mapped,
 	}
 	if s.quarantine != nil {
 		m.Quarantined = s.quarantine.Snapshot()
@@ -146,16 +151,23 @@ func OpenStore(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := StoreOptions{Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable}
+	opts := StoreOptions{Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable, Mapped: m.Mapped}
 	var base storage.BlockStore
 	var durable *storage.Durable
-	if m.Durable {
-		d, err := newDurableBase(path, tiling.BlockSize(), nil, false, nil)
+	switch {
+	case m.Durable:
+		d, err := newDurableBase(path, tiling.BlockSize(), nil, false, m.Mapped, nil)
 		if err != nil {
 			return nil, err
 		}
 		base, durable = d, d
-	} else {
+	case m.Mapped:
+		ms, err := storage.OpenMappedStore(path, tiling.BlockSize())
+		if err != nil {
+			return nil, err
+		}
+		base = ms
+	default:
 		fs, err := storage.OpenFileStore(path, tiling.BlockSize())
 		if err != nil {
 			return nil, err

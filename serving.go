@@ -86,17 +86,30 @@ func OpenServingOpts(path string, sopts ServeOptions) (*Store, error) {
 	}
 	opts := StoreOptions{
 		Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable,
+		Mapped:           m.Mapped,
 		ServeCacheBlocks: sopts.CacheBlocks, ServeCacheShards: sopts.CacheShards,
 	}
 	var base storage.BlockStore
 	var durable *storage.Durable
-	if m.Durable {
-		d, err := newDurableBase(path, tiling.BlockSize(), nil, false, sopts.BaseWrap)
+	switch {
+	case m.Durable:
+		d, err := newDurableBase(path, tiling.BlockSize(), nil, false, m.Mapped, sopts.BaseWrap)
 		if err != nil {
 			return nil, err
 		}
 		base, durable = d, d
-	} else {
+	case m.Mapped:
+		// Serving over a mapped store: warm cache misses decode straight
+		// from the mapping (zero pread, zero copy below the cache fill).
+		ms, err := storage.OpenMappedStore(path, tiling.BlockSize())
+		if err != nil {
+			return nil, err
+		}
+		base = ms
+		if sopts.BaseWrap != nil {
+			base = sopts.BaseWrap(base)
+		}
+	default:
 		fs, err := storage.OpenFileStore(path, tiling.BlockSize())
 		if err != nil {
 			return nil, err

@@ -24,6 +24,10 @@ type IOStats struct {
 	Writes  int64
 	Syncs   int64
 	Commits int64
+	// MappedReads is how many of the Reads were served zero-syscall from
+	// a memory mapping (stores created with Mapped). A subset of Reads,
+	// not an addition to Total.
+	MappedReads int64
 }
 
 // Total returns Reads + Writes (barriers move no blocks).
@@ -43,6 +47,13 @@ type StoreOptions struct {
 	// Path, when non-empty, backs the store with a real file; otherwise the
 	// store is in memory.
 	Path string
+	// Mapped serves file reads from a shared read-only memory mapping
+	// (storage.MappedStore) instead of pread calls: warm reads are
+	// zero-copy and zero-syscall, reported via IOStats.MappedReads.
+	// Writes keep the positional-write (and, with Durable, journal)
+	// path, and the on-disk layout is unchanged — a mapped store's file
+	// can be reopened unmapped and vice versa. Requires Path.
+	Mapped bool
 	// CacheBlocks, when positive, interposes a write-back LRU buffer pool
 	// of that many blocks between the store and its I/O counter — the
 	// "available memory" knob of the paper's query scenarios. Stats then
@@ -193,15 +204,27 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 	default:
 		return nil, fmt.Errorf("shiftsplit: unknown form %v", opts.Form)
 	}
+	if opts.Mapped && opts.Path == "" {
+		return nil, fmt.Errorf("shiftsplit: Mapped requires a file-backed store (set Path)")
+	}
 	var base storage.BlockStore
 	var durable *storage.Durable
 	switch {
 	case opts.Durable:
-		d, err := newDurableBase(opts.Path, tiling.BlockSize(), opts.FaultPlan, true, opts.BaseWrap)
+		d, err := newDurableBase(opts.Path, tiling.BlockSize(), opts.FaultPlan, true, opts.Mapped, opts.BaseWrap)
 		if err != nil {
 			return nil, err
 		}
 		base, durable = d, d
+	case opts.Mapped:
+		ms, err := storage.NewMappedStore(opts.Path, tiling.BlockSize())
+		if err != nil {
+			return nil, err
+		}
+		base = ms
+		if opts.BaseWrap != nil {
+			base = opts.BaseWrap(base)
+		}
 	case opts.Path != "":
 		fs, err := storage.NewFileStore(opts.Path, tiling.BlockSize())
 		if err != nil {
@@ -252,7 +275,7 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 // file-backed (with a ".wal" journal sidecar) when path is non-empty,
 // in-memory otherwise. wrap, when non-nil, is applied to the raw data
 // device below the checksum layer (fault-injection seam).
-func newDurableBase(path string, blockSize int, plan *storage.CrashPlan, create bool, wrap func(storage.BlockStore) storage.BlockStore) (*storage.Durable, error) {
+func newDurableBase(path string, blockSize int, plan *storage.CrashPlan, create, mapped bool, wrap func(storage.BlockStore) storage.BlockStore) (*storage.Durable, error) {
 	if path == "" {
 		var data storage.BlockStore = storage.NewMemStore(blockSize + storage.ChecksumOverhead)
 		if wrap != nil {
@@ -261,7 +284,12 @@ func newDurableBase(path string, blockSize int, plan *storage.CrashPlan, create 
 		wal := storage.NewMemStore(blockSize + storage.JournalOverhead)
 		return storage.NewDurable(wrapFaultPlan(data, plan), wrapFaultPlan(wal, plan))
 	}
-	if create {
+	switch {
+	case mapped && create:
+		return storage.CreateDurableMapped(path, blockSize, plan, wrap)
+	case mapped:
+		return storage.OpenDurableMapped(path, blockSize, plan, wrap)
+	case create:
 		return storage.CreateDurableWrapped(path, blockSize, plan, wrap)
 	}
 	return storage.OpenDurableWrapped(path, blockSize, plan, wrap)
@@ -289,7 +317,7 @@ func (s *Store) NumBlocks() int { return s.tiling.NumBlocks() }
 // Stats returns the accumulated block I/O counters.
 func (s *Store) Stats() IOStats {
 	st := s.counting.Stats()
-	return IOStats{Reads: st.Reads, Writes: st.Writes, Syncs: st.Syncs, Commits: st.Commits}
+	return IOStats{Reads: st.Reads, Writes: st.Writes, Syncs: st.Syncs, Commits: st.Commits, MappedReads: st.MappedReads}
 }
 
 // ResetStats zeroes the I/O counters.
@@ -301,6 +329,10 @@ func (s *Store) Flush() error { return s.commit() }
 
 // Durable reports whether the store runs on the crash-safe storage layer.
 func (s *Store) Durable() bool { return s.durable != nil }
+
+// Mapped reports whether block reads are served from a shared read-only
+// memory mapping (zero-copy, zero read syscalls when warm).
+func (s *Store) Mapped() bool { return s.opts.Mapped }
 
 // Recovered reports how many blocks were rolled forward from the journal
 // when the store was opened; ok is false if no interrupted batch was found.
