@@ -82,7 +82,7 @@ lint-tools:
 # CRASH_SEED pins the tear/drop RNG for reproducible failures.
 crash-campaign:
 	SHIFTSPLIT_CRASH_SEED=$(CRASH_SEED) $(GO) test -v \
-		-run 'TestCrashCampaignDurable|TestCrashCampaignMappedStore|TestCrashCampaignBatchedCommit|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign|TestGroupCommitCrash' \
+		-run 'TestCrashCampaignDurable|TestCrashCampaignMappedStore|TestCrashCampaignBatchedCommit|TestAppenderCrashDuringAppendIsAtomic|TestStoreCrashCampaign|TestGroupCommitCrash|TestEpochFlipCrashCampaign' \
 		./internal/storage/ ./internal/appender/ .
 
 # The chaos harness drives a real HTTP serving process through a
@@ -100,7 +100,11 @@ chaos-smoke:
 # slowdowns without a full benchmark run. BENCH_maintain.json records a
 # longer baseline. TestAllocBudget is the hard allocation gate: it fails
 # outright when ChunkedStandard/ChunkedNonStandard allocs/op drift >20%
-# past the budgets recorded in BENCH_maintain.json.
+# past the budgets recorded in BENCH_maintain.json. The bench-serve
+# -maintain row is the MVCC serve-during-maintenance check: query p99 with
+# epoch flips racing the load must stay within the guardrail multiple of
+# the idle p99 (BENCH_serve.json records 1.25x; the 3x gate is loose so CI
+# catches a lost snapshot path, not scheduler jitter).
 bench-smoke:
 	$(GO) test -run 'TestAllocBudget' -count=1 -v ./internal/transform/
 	$(GO) test -run '^$$' -bench 'BenchmarkChunkedStandard|BenchmarkChunkedNonStandard' \
@@ -111,6 +115,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMappedStoreRead|BenchmarkMappedVsFileWarmRead' \
 		-benchmem -benchtime 3x ./internal/storage/
 	$(GO) test -run '^$$' -bench 'BenchmarkTileFlush' -benchmem -benchtime 3x ./internal/tile/
+	$(GO) run ./cmd/shiftsplit bench-serve -maintain -clients 4 -duration 700ms -cache 512 -max-p99-ratio 3
 
 # A short write-path run that must show group commit actually amortizing:
 # several client append calls per journal group (fsync pair). The threshold

@@ -105,7 +105,7 @@ func cmdBenchIngest(args []string) error {
 
 	// The read store beside it only exists so the server has something to
 	// serve; the benchmark never queries it.
-	tmp, err := buildBenchStore()
+	tmp, err := buildBenchStore(false)
 	if err != nil {
 		return err
 	}

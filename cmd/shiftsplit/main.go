@@ -166,6 +166,7 @@ func cmdTransform(args []string) error {
 	kind := fs.String("data", "dense", "synthetic dataset: dense | temperature (4-d) | precipitation (3-d) | sparse")
 	durable := fs.Bool("durable", false, "crash-safe store: checksummed blocks + write-ahead journal")
 	mapped := fs.Bool("mapped", false, "serve block reads from a shared memory mapping (zero-copy, zero read syscalls when warm)")
+	versioned := fs.Bool("versioned", false, "MVCC epoch store: maintenance builds the next epoch copy-on-write while readers pin consistent snapshots")
 	workers := fs.Int("workers", 0, "worker goroutines for chunk transforms (0 = one per CPU, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -193,7 +194,7 @@ func cmdTransform(args []string) error {
 	}
 	st, err := shiftsplit.CreateStore(shiftsplit.StoreOptions{
 		Shape: shape, Form: form, TileBits: *tile, Path: *out, Durable: *durable,
-		Mapped: *mapped,
+		Mapped: *mapped, Versioned: *versioned,
 	})
 	if err != nil {
 		return err
@@ -443,6 +444,11 @@ func printFsckReport(rep *shiftsplit.FsckReport) {
 	default:
 		fmt.Println("journal:  empty")
 	}
+	if rep.Versioned != nil {
+		fmt.Printf("mvcc:     epoch %d, %d of %d logical blocks mapped over %d table pages (data from block %d)\n",
+			rep.Versioned.Epoch, rep.Versioned.Mapped, rep.Versioned.Logical,
+			rep.Versioned.TablePages, rep.Versioned.DataBase)
+	}
 	if len(rep.Corrupt) > 0 {
 		fmt.Printf("CORRUPT:  %d blocks failed checksum verification: %v\n", len(rep.Corrupt), rep.Corrupt)
 	}
@@ -554,5 +560,12 @@ func cmdInfo(args []string) error {
 		st.NumBlocks(), st.BlockSize(), 8*st.BlockSize())
 	fmt.Printf("durable:    %v\n", st.Durable())
 	fmt.Printf("mapped:     %v\n", st.Mapped())
+	fmt.Printf("versioned:  %v\n", st.Versioned())
+	if es, ok := st.EpochStats(); ok {
+		fmt.Printf("epoch:      %d (oldest pinned %d, %d snapshot(s) held)\n",
+			es.Epoch, es.OldestPinned, es.Pinned)
+		fmt.Printf("physical:   %d blocks allocated, %d free, %d reclaimable when pins release\n",
+			es.PhysBlocks, es.FreeBlocks, es.Reclaimable)
+	}
 	return nil
 }

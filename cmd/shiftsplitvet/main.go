@@ -13,8 +13,9 @@
 //	lockorder      consistent lock acquisition order; no self-deadlock, leaked locks, or channel ops under a lock
 //	atomicfield    a field accessed via sync/atomic anywhere must be atomic everywhere
 //	resourceleak   tickers/timers/files/handles must reach Stop/Close on every path; goroutines must be joinable
+//	snapshotrelease  acquired MVCC epoch snapshots must reach Release on every path
 //
-// The last four are CFG-based: they run dataflow analyses over
+// The last five are CFG-based: they run dataflow analyses over
 // internal/analyzers/cfg control-flow graphs instead of matching syntax,
 // and share cross-package facts (lock acquisition sets, atomic fields)
 // through the multichecker's fact store.
@@ -41,6 +42,7 @@ import (
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/multichecker"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/resourceleak"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/scratchescape"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/snapshotrelease"
 	"github.com/shiftsplit/shiftsplit/internal/analyzers/storageerr"
 )
 
@@ -57,5 +59,6 @@ func main() {
 		lockorder.Analyzer,
 		atomicfield.Analyzer,
 		resourceleak.Analyzer,
+		snapshotrelease.Analyzer,
 	)
 }

@@ -1,7 +1,6 @@
 package shiftsplit
 
 import (
-	"fmt"
 	"io"
 
 	"github.com/shiftsplit/shiftsplit/internal/query"
@@ -73,10 +72,9 @@ type ProgressiveStep = query.ProgressiveStep
 // coefficients first), returning the running estimates with cumulative I/O;
 // the final step is exact. Standard form only.
 func (s *Store) ProgressiveRangeSum(start, shape []int) ([]ProgressiveStep, error) {
-	if s.opts.Form != Standard {
-		return nil, fmt.Errorf("shiftsplit: progressive queries need a standard-form store")
-	}
-	return query.ProgressiveRangeSum(s.store, s.opts.Shape, start, shape)
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	return snap.ProgressiveRangeSum(start, shape)
 }
 
 // ProgressiveRangeSumFunc is the streaming form of ProgressiveRangeSum: fn
@@ -84,8 +82,7 @@ func (s *Store) ProgressiveRangeSum(start, shape []int) ([]ProgressiveStep, erro
 // flush partial answers while later coefficients are still being read. A
 // non-nil error from fn aborts the walk and is returned unchanged.
 func (s *Store) ProgressiveRangeSumFunc(start, shape []int, fn func(ProgressiveStep) error) error {
-	if s.opts.Form != Standard {
-		return fmt.Errorf("shiftsplit: progressive queries need a standard-form store")
-	}
-	return query.ProgressiveRangeSumFunc(s.store, s.opts.Shape, start, shape, fn)
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	return snap.ProgressiveRangeSumFunc(start, shape, fn)
 }

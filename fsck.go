@@ -28,5 +28,16 @@ func Fsck(path string) (*FsckReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return storage.Fsck(path, tiling.BlockSize())
+	rep, err := storage.Fsck(path, tiling.BlockSize())
+	if err != nil {
+		return nil, err
+	}
+	if m.Versioned {
+		// Best-effort: a torn or corrupt superblock already shows up in
+		// rep.Corrupt; the decoded view is reported only when it verifies.
+		if info, ierr := storage.FsckVersioned(path, tiling.BlockSize(), tiling.NumBlocks()); ierr == nil {
+			rep.Versioned = info
+		}
+	}
+	return rep, nil
 }

@@ -1,0 +1,384 @@
+// Package snapshotrelease proves MVCC snapshot pins balanced on every
+// path: a handle obtained from an Acquire/AcquireSnapshot call whose
+// result type has a Release method must reach Release() before every
+// return. An unreleased snapshot pins its epoch's remap table forever —
+// the store can never retire the epoch or reclaim its physical blocks, so
+// the leak is disk that grows with every maintenance flip, not just a
+// forgotten file descriptor.
+//
+// The path proof reuses the resourceleak engine: a DFS over the
+// function's CFG from the acquisition site, where a path is satisfied
+// when it executes Release and leaky when it reaches Exit without one. A
+// defer satisfies every path at once. Snapshots that escape the function
+// — returned, stored, passed, sent, captured — transfer the pin to their
+// new owner and are not this function's to release (Store.AcquireSnapshot
+// itself returns the storage pin it takes, which is exactly this shape).
+//
+// Release is idempotent by contract, so the analyzer never complains
+// about double release — only about paths with none.
+package snapshotrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysis"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/cfg"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/vetutil"
+)
+
+// Analyzer is the snapshotrelease check.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotrelease",
+	Doc:  "acquired epoch snapshots must reach Release on every path; an unreleased pin blocks epoch retirement and physical-block reclamation forever",
+	Run:  run,
+}
+
+// pin is one tracked acquisition.
+type pin struct {
+	obj    types.Object // the variable bound to the snapshot
+	errObj types.Object // the err bound by the same assignment (nil if none)
+	pos    token.Pos
+	what   string   // diagnostic noun, e.g. "Snapshot pin"
+	create ast.Node // the acquiring statement (skipped in scans)
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody runs the path proof for every snapshot acquired directly in
+// body (function literals are their own bodies and checked separately).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	pins := findAcquisitions(pass, body)
+	if len(pins) == 0 {
+		return
+	}
+	g := cfg.New(body)
+	for _, p := range pins {
+		if deferReleases(pass, body, p) || escapes(pass, body, p) {
+			continue
+		}
+		if leaks(pass, g, p) {
+			pass.Reportf(p.pos, "%s may reach a return without Release on some path; an unreleased snapshot pins its epoch forever, so release it on every path (a defer covers all of them)",
+				p.what)
+		}
+	}
+}
+
+// findAcquisitions collects tracked Acquire/AcquireSnapshot calls
+// assigned to fresh local variables, outside nested function literals.
+func findAcquisitions(pass *analysis.Pass, body *ast.BlockStmt) []*pin {
+	var out []*pin
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		p := classifyAcquire(pass, call)
+		if p == nil {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		p.obj = pass.TypesInfo.ObjectOf(id)
+		if p.obj == nil {
+			return true
+		}
+		if len(as.Lhs) > 1 {
+			if errID, ok := as.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+				p.errObj = pass.TypesInfo.ObjectOf(errID)
+			}
+		}
+		p.pos = call.Pos()
+		p.create = as
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// classifyAcquire recognizes the acquiring calls this analyzer tracks: a
+// method or function named Acquire/AcquireSnapshot whose first result
+// type carries a Release method. The name pair is the store API's own
+// shape (Store.AcquireSnapshot over storage.Versioned.Acquire); the
+// Release requirement keeps unrelated Acquire vocabulary (semaphores
+// returning error, pools returning put-back values) out of scope.
+func classifyAcquire(pass *analysis.Pass, call *ast.CallExpr) *pin {
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	if fn.Name() != "Acquire" && fn.Name() != "AcquireSnapshot" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	t := sig.Results().At(0).Type()
+	if !hasMethod(t, "Release") {
+		return nil
+	}
+	name := "snapshot"
+	if named, ok := derefNamed(t); ok {
+		name = named.Obj().Name()
+	}
+	return &pin{what: name + " pin"}
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+func hasMethod(t types.Type, name string) bool {
+	named, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), name)
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+// deferReleases reports whether any defer in body releases p, directly
+// or through a deferred closure.
+func deferReleases(pass *analysis.Pass, body *ast.BlockStmt, p *pin) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if releasesPin(pass, d.Call, p) {
+			found = true
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && releasesPin(pass, call, p) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// releasesPin reports whether call is p.Release() on the tracked
+// variable.
+func releasesPin(pass *analysis.Pass, call *ast.CallExpr, p *pin) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == p.obj
+}
+
+// escapes reports whether p leaves the function's custody: returned,
+// passed as a call argument, sent on a channel, aliased by assignment, or
+// captured by a closure. An escaped snapshot is its new owner's to
+// release.
+func escapes(pass *analysis.Pass, body *ast.BlockStmt, p *pin) bool {
+	esc := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if esc || n == p.create {
+			return !esc
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if containsObj(pass, e, p.obj) {
+					esc = true
+				}
+			}
+		case *ast.CallExpr:
+			if releasesPin(pass, n, p) {
+				return true
+			}
+			// Method calls ON the snapshot (snap.Point, snap.ReadBlock) are
+			// uses, not custody transfers; only passing it as an argument is.
+			for _, arg := range n.Args {
+				if containsObj(pass, arg, p.obj) {
+					esc = true
+				}
+			}
+		case *ast.SendStmt:
+			if containsObj(pass, n.Value, p.obj) {
+				esc = true
+			}
+		case *ast.AssignStmt:
+			for _, e := range n.Rhs {
+				if bareObj(pass, e, p.obj) {
+					esc = true
+				}
+			}
+			// Rebinding the variable loses track of the original pin; stay
+			// quiet rather than follow aliases.
+			for _, e := range n.Lhs {
+				if bareObj(pass, e, p.obj) {
+					esc = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, e := range n.Values {
+				if bareObj(pass, e, p.obj) {
+					esc = true
+				}
+			}
+		case *ast.FuncLit:
+			if containsObj(pass, n.Body, p.obj) {
+				esc = true
+			}
+			return false
+		}
+		return !esc
+	})
+	return esc
+}
+
+// bareObj reports whether e is exactly the variable (or its address).
+func bareObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	e = ast.Unparen(e)
+	if un, ok := e.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		e = ast.Unparen(un.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+func containsObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// leaks runs the path DFS: true when some path from the acquisition
+// reaches Exit without releasing p.
+func leaks(pass *analysis.Pass, g *cfg.Graph, p *pin) bool {
+	var startBlk *cfg.Block
+	startIdx := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == p.create {
+				startBlk, startIdx = b, i
+				break
+			}
+		}
+		if startBlk != nil {
+			break
+		}
+	}
+	if startBlk == nil {
+		return false
+	}
+
+	visited := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block, from int) bool
+	walk = func(b *cfg.Block, from int) bool {
+		for i := from; i < len(b.Nodes); i++ {
+			if nodeReleases(pass, b.Nodes[i], p) {
+				return false // this path is satisfied
+			}
+		}
+		skip := errTrueSucc(pass, b, p)
+		for si, s := range b.Succs {
+			if si == skip {
+				continue
+			}
+			if s == g.Exit {
+				return true
+			}
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(startBlk, startIdx+1)
+}
+
+// nodeReleases reports whether executing node n releases p.
+func nodeReleases(pass *analysis.Pass, n ast.Node, p *pin) bool {
+	released := false
+	cfg.ScanNode(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && releasesPin(pass, call, p) {
+			released = true
+		}
+		return !released
+	})
+	return released
+}
+
+// errTrueSucc returns the successor index carrying the error-true arm of
+// p's own acquisition guard when b ends in `err != nil` / `err == nil`
+// (the acquisition failed there, so no pin exists), or -1. The current
+// Acquire/AcquireSnapshot signatures are infallible, but the guard keeps
+// the proof correct should a fallible variant appear.
+func errTrueSucc(pass *analysis.Pass, b *cfg.Block, p *pin) int {
+	if p.errObj == nil || len(b.Nodes) == 0 || len(b.Succs) < 2 {
+		return -1
+	}
+	bin, ok := b.Nodes[len(b.Nodes)-1].(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return -1
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if !isNil(pass, y) {
+		x, y = y, x
+	}
+	if !isNil(pass, y) || !bareObj(pass, x, p.errObj) {
+		return -1
+	}
+	if bin.Op == token.NEQ {
+		return 0 // then-branch is error-true
+	}
+	return 1 // else/after-branch is error-true
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.ObjectOf(id).(*types.Nil)
+	return isNilObj
+}

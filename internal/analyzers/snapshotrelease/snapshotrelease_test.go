@@ -1,0 +1,12 @@
+package snapshotrelease_test
+
+import (
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/analysistest"
+	"github.com/shiftsplit/shiftsplit/internal/analyzers/snapshotrelease"
+)
+
+func TestSnapshotRelease(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), snapshotrelease.Analyzer, "a")
+}

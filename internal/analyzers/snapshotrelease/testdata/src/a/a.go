@@ -1,0 +1,139 @@
+// Package a exercises the snapshot-pin path proofs: every
+// Acquire/AcquireSnapshot must reach Release on every path unless the
+// pin escapes to a new owner.
+package a
+
+import "errors"
+
+// snap mirrors the store API's snapshot shape: an immutable pinned view
+// with an idempotent Release.
+type snap struct{ pinned bool }
+
+func (s *snap) Release()               { s.pinned = false }
+func (s *snap) Point(p ...int) float64 { return 0 }
+
+// versioned mirrors storage.Versioned.
+type versioned struct{}
+
+func (v *versioned) Acquire() *snap { return &snap{pinned: true} }
+
+// store mirrors the root Store wrapper.
+type store struct{ v *versioned }
+
+func (s *store) AcquireSnapshot() *snap { return s.v.Acquire() }
+
+func cond() bool   { return false }
+func work()        {}
+func sink(s *snap) {}
+
+// leakEarlyReturn releases at the end but not on the early return: the
+// epoch stays pinned forever on that path.
+func leakEarlyReturn(st *store) float64 {
+	s := st.AcquireSnapshot() // want `snap pin may reach a return without Release`
+	if cond() {
+		return 0
+	}
+	v := s.Point(1, 2)
+	s.Release()
+	return v
+}
+
+// cleanDefer is the idiomatic fix: one defer covers every path.
+func cleanDefer(st *store) float64 {
+	s := st.AcquireSnapshot()
+	defer s.Release()
+	if cond() {
+		return 0
+	}
+	return s.Point(1, 2)
+}
+
+// cleanExplicit releases on both explicit paths.
+func cleanExplicit(st *store) float64 {
+	s := st.AcquireSnapshot()
+	if cond() {
+		s.Release()
+		return 0
+	}
+	v := s.Point(1, 2)
+	s.Release()
+	return v
+}
+
+// leakLoopReturn returns from inside the loop with the pin still held.
+func leakLoopReturn(v *versioned, stopc chan struct{}) {
+	s := v.Acquire() // want `snap pin may reach a return without Release`
+	for {
+		select {
+		case <-stopc:
+			return
+		default:
+			_ = s.Point(0)
+		}
+	}
+}
+
+// escapeReturn transfers the pin to the caller — the wrapper shape of
+// Store.AcquireSnapshot itself. Not this function's to release.
+func escapeReturn(v *versioned) *snap {
+	s := v.Acquire()
+	return s
+}
+
+// escapeArg hands the pin to another owner.
+func escapeArg(v *versioned) {
+	s := v.Acquire()
+	sink(s)
+}
+
+// escapeClosure captures the pin; the closure owns its release.
+func escapeClosure(v *versioned) func() {
+	s := v.Acquire()
+	return func() { s.Release() }
+}
+
+// sem has the Acquire name but no Release on its result: out of scope.
+type sem struct{}
+
+type token struct{}
+
+func (s *sem) Acquire() token { return token{} }
+
+func notASnapshot(s *sem) {
+	t := s.Acquire()
+	_ = t
+}
+
+// fallible exercises the error-guard arm: the error-true path carries no
+// pin, so the guard return is not a leak.
+type fallible struct{}
+
+func (f *fallible) AcquireSnapshot() (*snap, error) {
+	if cond() {
+		return nil, errors.New("no epoch")
+	}
+	return &snap{pinned: true}, nil
+}
+
+func cleanGuarded(f *fallible) (float64, error) {
+	s, err := f.AcquireSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer s.Release()
+	return s.Point(3), nil
+}
+
+// leakGuardedMidway is guarded but forgets the midway return.
+func leakGuardedMidway(f *fallible) (float64, error) {
+	s, err := f.AcquireSnapshot() // want `snap pin may reach a return without Release`
+	if err != nil {
+		return 0, err
+	}
+	if cond() {
+		return 0, errors.New("midway")
+	}
+	v := s.Point(3)
+	s.Release()
+	return v, nil
+}

@@ -1,0 +1,3 @@
+module github.com/shiftsplit/shiftsplit/vettest
+
+go 1.22

@@ -382,6 +382,25 @@ func (c *Sharded) Invalidate() {
 	}
 }
 
+// Drop evicts a single block id, bumping its shard's generation so a
+// concurrent in-flight load of the stale contents is not installed. The
+// epoch layer calls this when a freed physical block is reused for a new
+// epoch — the only invalidation an epoch-qualified cache ever needs, since
+// a physical id is otherwise never rebound while referenced.
+func (c *Sharded) Drop(id int) {
+	if id < 0 {
+		return
+	}
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	sh.gen++
+	if el, ok := sh.entries[id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.entries, id)
+	}
+	sh.mu.Unlock()
+}
+
 // Len returns the number of resident blocks.
 func (c *Sharded) Len() int {
 	n := 0

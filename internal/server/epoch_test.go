@@ -1,0 +1,154 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit"
+	"github.com/shiftsplit/shiftsplit/internal/dataset"
+)
+
+// buildVersionedStore materializes a versioned durable store and reopens it
+// for serving: the configuration where queries pin MVCC epoch snapshots.
+func buildVersionedStore(t testing.TB, shape []int, cacheBlocks int) *shiftsplit.Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cube.wav")
+	st, err := shiftsplit.CreateStore(shiftsplit.StoreOptions{
+		Shape: shape, Form: shiftsplit.Standard, TileBits: 2, Path: path,
+		Durable: true, Versioned: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Materialize(dataset.Dense(shape, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	serving, err := shiftsplit.OpenServing(path, cacheBlocks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { serving.Close() })
+	return serving
+}
+
+// TestEpochReportingEndpoints checks the satellite-6 observability surface:
+// query responses carry the pinned epoch, /v1/stats reports the epochs
+// section, and a maintenance flip is visible in both.
+func TestEpochReportingEndpoints(t *testing.T) {
+	shape := []int{32, 32}
+	st := buildVersionedStore(t, shape, 64)
+	ts := newTestServer(t, st, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/point", `{"point":[5,7]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("point status %d: %s", resp.StatusCode, body)
+	}
+	var pr pointResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	wantEpoch := st.CurrentEpoch()
+	if wantEpoch == 0 {
+		t.Fatal("versioned store at epoch 0 after materialize")
+	}
+	if pr.Epoch != wantEpoch {
+		t.Fatalf("point response epoch %d, store at %d", pr.Epoch, wantEpoch)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/rangesum", `{"start":[0,0],"extent":[8,8]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range-sum status %d: %s", resp.StatusCode, body)
+	}
+	var rr rangeResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Epoch != wantEpoch {
+		t.Fatalf("range response epoch %d, store at %d", rr.Epoch, wantEpoch)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if stats.Epochs == nil {
+		t.Fatal("stats of a versioned store carry no epochs section")
+	}
+	if stats.Epochs.Epoch != wantEpoch {
+		t.Fatalf("stats epoch %d, store at %d", stats.Epochs.Epoch, wantEpoch)
+	}
+	if stats.Epochs.Pinned != 0 {
+		t.Fatalf("stats report %d pinned snapshots with no request in flight", stats.Epochs.Pinned)
+	}
+
+	// A maintenance flip must show up in subsequent responses.
+	delta := dataset.Dense([]int{8, 8}, 11)
+	if err := st.MergeBlock(shiftsplit.CubeBlock(3, 1, 2), shiftsplit.Transform(delta, shiftsplit.Standard)); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.CurrentEpoch(); got != wantEpoch+1 {
+		t.Fatalf("epoch after merge = %d, want %d", got, wantEpoch+1)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/point", `{"point":[5,7]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-flip point status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Epoch != wantEpoch+1 {
+		t.Fatalf("post-flip point response epoch %d, want %d", pr.Epoch, wantEpoch+1)
+	}
+}
+
+// TestOLAPCacheInvalidatesOnFlip: the in-memory OLAP cube is epoch-keyed —
+// a maintenance flip makes the next OLAP request reload instead of serving
+// the stale pre-flip cube.
+func TestOLAPCacheInvalidatesOnFlip(t *testing.T) {
+	shape := []int{16, 16}
+	st := buildVersionedStore(t, shape, 64)
+	ts := newTestServer(t, st, Config{})
+
+	olap := func() []float64 {
+		resp, body := postJSON(t, ts.URL+"/v1/olap/rollup", `{"dim":0}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rollup status %d: %s", resp.StatusCode, body)
+		}
+		var or olapResponse
+		if err := json.Unmarshal(body, &or); err != nil {
+			t.Fatal(err)
+		}
+		return or.Values
+	}
+	before := olap()
+
+	// Merge a delta that changes the rolled-up values.
+	delta := dataset.Dense([]int{4, 4}, 3)
+	if err := st.MergeBlock(shiftsplit.CubeBlock(2, 1, 1), shiftsplit.Transform(delta, shiftsplit.Standard)); err != nil {
+		t.Fatal(err)
+	}
+	after := olap()
+	if len(before) != len(after) {
+		t.Fatalf("rollup shape changed: %d -> %d", len(before), len(after))
+	}
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("OLAP response unchanged after a flip — stale epoch-0-style cube cache")
+	}
+}

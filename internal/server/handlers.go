@@ -23,6 +23,10 @@ type pointResponse struct {
 	// Degraded marks an answer that may be partial: at least one block it
 	// touched was quarantined and served as zeros.
 	Degraded bool `json:"degraded,omitempty"`
+	// Epoch is the committed epoch the answer was read from (versioned
+	// stores only): the whole request resolved one pinned snapshot, even if
+	// maintenance flipped mid-flight.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
@@ -37,13 +41,15 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	before := s.st.DegradedReads()
-	v, blocks, err := s.st.Point(req.Point...)
+	snap := s.st.AcquireSnapshot()
+	defer snap.Release()
+	v, blocks, err := snap.Point(req.Point...)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	s.served.Add(1)
-	writeJSON(w, pointResponse{Point: req.Point, Value: v, BlocksRead: blocks, Degraded: s.degradedSince(before)})
+	writeJSON(w, pointResponse{Point: req.Point, Value: v, BlocksRead: blocks, Degraded: s.degradedSince(before), Epoch: snap.Epoch()})
 }
 
 type rangeRequest struct {
@@ -57,6 +63,7 @@ type rangeResponse struct {
 	Sum        float64 `json:"sum"`
 	BlocksRead int     `json:"blocks_read"`
 	Degraded   bool    `json:"degraded,omitempty"` // see pointResponse.Degraded
+	Epoch      uint64  `json:"epoch,omitempty"`    // see pointResponse.Epoch
 }
 
 func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
@@ -71,13 +78,15 @@ func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	before := s.st.DegradedReads()
-	sum, blocks, err := s.st.RangeSum(req.Start, req.Extent)
+	snap := s.st.AcquireSnapshot()
+	defer snap.Release()
+	sum, blocks, err := snap.RangeSum(req.Start, req.Extent)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	s.served.Add(1)
-	writeJSON(w, rangeResponse{Start: req.Start, Extent: req.Extent, Sum: sum, BlocksRead: blocks, Degraded: s.degradedSince(before)})
+	writeJSON(w, rangeResponse{Start: req.Start, Extent: req.Extent, Sum: sum, BlocksRead: blocks, Degraded: s.degradedSince(before), Epoch: snap.Epoch()})
 }
 
 type progressiveRequest struct {
@@ -125,9 +134,13 @@ func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w) // Encode appends the NDJSON newline
 	ctx := r.Context()
 	before := s.st.DegradedReads()
+	// One pin for the whole stream: every refinement line describes the same
+	// epoch even while maintenance flips underneath.
+	snap := s.st.AcquireSnapshot()
+	defer snap.Release()
 	var last progressiveStep
 	have := false
-	err := s.st.ProgressiveRangeSumFunc(req.Start, req.Extent, func(st shiftsplit.ProgressiveStep) error {
+	err := snap.ProgressiveRangeSumFunc(req.Start, req.Extent, func(st shiftsplit.ProgressiveStep) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -179,21 +192,26 @@ type olapResponse struct {
 // operators then run in the wavelet domain without touching disk. Only a
 // clean load is cached: a load that read zero-filled quarantined blocks
 // (or errored) is served degraded once and retried on the next request,
-// so a repaired store stops answering from stale corrupt data.
+// so a repaired store stops answering from stale corrupt data. The cache
+// is keyed by epoch: on a versioned store a maintenance flip invalidates
+// the cube and the next request reloads from a snapshot of the new epoch
+// (non-versioned stores stay at epoch 0 and cache forever, as before).
 func (s *Server) olapTransform() (hat *shiftsplit.Array, degraded bool, err error) {
 	s.olapMu.Lock()
 	defer s.olapMu.Unlock()
-	if s.olapHat != nil {
+	if s.olapHat != nil && s.olapEpoch == s.st.CurrentEpoch() {
 		return s.olapHat, false, nil
 	}
 	before := s.st.DegradedReads()
-	hat, err = s.st.ReadTransform()
+	snap := s.st.AcquireSnapshot()
+	defer snap.Release()
+	hat, err = snap.ReadTransform()
 	if err != nil {
 		return nil, false, err
 	}
 	degraded = s.degradedSince(before) || len(s.st.Quarantined()) > 0
 	if !degraded {
-		s.olapHat = hat
+		s.olapHat, s.olapEpoch = hat, snap.Epoch()
 	}
 	return hat, degraded, nil
 }
@@ -277,6 +295,10 @@ type statsResponse struct {
 	Quarantined   []storage.QuarantineRecord `json:"quarantined,omitempty"`
 	Scrub         *storage.ScrubStats        `json:"scrub,omitempty"`
 	Breaker       *breakerStats              `json:"breaker,omitempty"`
+	// Epochs reports the MVCC layer on versioned stores: current epoch,
+	// outstanding snapshot pins (oldest pinned epoch exposes leaks holding
+	// back reclamation), and free/reclaimable physical blocks.
+	Epochs *shiftsplit.EpochStats `json:"epochs,omitempty"`
 	// Ingest carries the write path's fsync-amortization accounting
 	// (appends-per-journal-group, items/sec, commit latency histogram)
 	// when the server mounts an ingester.
@@ -342,6 +364,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if state, trips, rejected, ok := s.st.BreakerStats(); ok {
 		resp.Breaker = &breakerStats{State: state, Trips: trips, Rejected: rejected}
+	}
+	if es, ok := s.st.EpochStats(); ok {
+		resp.Epochs = &es
 	}
 	if s.cfg.Ingest != nil {
 		ist := s.cfg.Ingest.Stats()

@@ -97,8 +97,9 @@ type Server struct {
 	rejected atomic.Int64
 	failed   atomic.Int64
 
-	olapMu  sync.Mutex
-	olapHat *shiftsplit.Array
+	olapMu    sync.Mutex
+	olapHat   *shiftsplit.Array
+	olapEpoch uint64 // epoch olapHat was loaded from; a flip invalidates it
 
 	handler http.Handler
 }

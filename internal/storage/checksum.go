@@ -90,11 +90,19 @@ func (c *Checksummed) batchFrames(n int) [][]float64 {
 }
 
 func (c *Checksummed) checksum(payload []float64, stamp uint64) uint64 {
+	return frameChecksum(c.bytes, payload, stamp)
+}
+
+// frameChecksum computes the frame CRC over payload bytes + stamp bytes,
+// serializing through scratch (which must hold 8*(len(payload)+1) bytes).
+// Package-level so the concurrent ChecksumReader shares the exact frame
+// format with Checksummed.
+func frameChecksum(scratch []byte, payload []float64, stamp uint64) uint64 {
 	for i, v := range payload {
-		binary.LittleEndian.PutUint64(c.bytes[8*i:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(scratch[8*i:], math.Float64bits(v))
 	}
-	binary.LittleEndian.PutUint64(c.bytes[8*len(payload):], stamp)
-	return crc64.Checksum(c.bytes[:8*(len(payload)+1)], crcTable)
+	binary.LittleEndian.PutUint64(scratch[8*len(payload):], stamp)
+	return crc64.Checksum(scratch[:8*(len(payload)+1)], crcTable)
 }
 
 // fillFrame frames data (payload, CRC, stamp) into frame under the current
@@ -136,7 +144,12 @@ func (c *Checksummed) WriteBlocks(ids []int, data [][]float64) error {
 // reports whether the frame holds a stored block; a nil error with
 // written=false means the block was never written (reads as zeros).
 func (c *Checksummed) verifyFrame(id int, frame []float64) (epoch uint64, written bool, err error) {
-	p := c.BlockSize()
+	return verifyFrameIn(c.bytes, c.BlockSize(), id, frame)
+}
+
+// verifyFrameIn is verifyFrame with caller-supplied CRC scratch, shared
+// with ChecksumReader.
+func verifyFrameIn(scratch []byte, p int, id int, frame []float64) (epoch uint64, written bool, err error) {
 	stamp := math.Float64bits(frame[p+1])
 	crcStored := math.Float64bits(frame[p])
 	if stamp == 0 && crcStored == 0 {
@@ -155,7 +168,7 @@ func (c *Checksummed) verifyFrame(id int, frame []float64) (epoch uint64, writte
 	if stamp&1 != 1 {
 		return 0, true, fmt.Errorf("storage: block %d: invalid stamp %#x: %w", id, stamp, ErrChecksum)
 	}
-	if crc := c.checksum(frame[:p], stamp); crc != crcStored {
+	if crc := frameChecksum(scratch, frame[:p], stamp); crc != crcStored {
 		return 0, true, fmt.Errorf("storage: block %d: crc %#x, stored %#x: %w", id, crc, crcStored, ErrChecksum)
 	}
 	return stamp >> 1, true, nil
@@ -224,7 +237,13 @@ func (c *Checksummed) ReadBlocks(ids []int, bufs [][]float64) error {
 // stores the CRC between them, so the check streams the two spans with
 // crc64.Update instead of reassembling a contiguous buffer.
 func (c *Checksummed) verifyFrameBytes(id int, fb []byte) (written bool, err error) {
-	p := c.BlockSize()
+	return verifyFrameBytesAt(c.BlockSize(), id, fb)
+}
+
+// verifyFrameBytesAt is verifyFrameBytes for a payload size p, shared with
+// ChecksumReader. It needs no scratch: the CRC streams over the two byte
+// spans directly.
+func verifyFrameBytesAt(p int, id int, fb []byte) (written bool, err error) {
 	stamp := binary.LittleEndian.Uint64(fb[8*(p+1):])
 	crcStored := binary.LittleEndian.Uint64(fb[8*p:])
 	if stamp == 0 && crcStored == 0 {

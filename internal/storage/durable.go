@@ -474,6 +474,10 @@ type FsckReport struct {
 	JournalCommitted bool // a sealed batch awaits replay (open the store to recover)
 	JournalEpoch     uint64
 	JournalErr       string // non-empty when the journal is unrecoverable
+
+	// Versioned holds the decoded epoch superblock when the caller knows the
+	// file carries the MVCC layout (see shiftsplit.Fsck); nil otherwise.
+	Versioned *VersionedInfo
 }
 
 // Clean reports whether the store needs no attention: every frame verifies

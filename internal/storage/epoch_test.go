@@ -1,0 +1,558 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// fillSeq returns a block-sized buffer holding a recognizable pattern.
+func fillSeq(n int, seed float64) []float64 {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = seed + float64(i)
+	}
+	return buf
+}
+
+func TestVersionedFreshReadsZeros(t *testing.T) {
+	v, err := NewVersioned(NewMemStore(8), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if got := v.Epoch(); got != 0 {
+		t.Fatalf("fresh epoch = %d, want 0", got)
+	}
+	buf := make([]float64, 8)
+	for id := 0; id < 10; id++ {
+		buf[0] = 99
+		if err := v.ReadBlock(id, buf); err != nil {
+			t.Fatalf("read %d: %v", id, err)
+		}
+		for _, x := range buf {
+			if x != 0 {
+				t.Fatalf("fresh block %d not zero: %v", id, buf)
+			}
+		}
+	}
+}
+
+func TestVersionedReadYourWrites(t *testing.T) {
+	v, err := NewVersioned(NewMemStore(8), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	want := fillSeq(8, 100)
+	if err := v.WriteBlock(3, want); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted write is visible through the builder...
+	got := make([]float64, 8)
+	if err := v.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("builder read = %v, want %v", got, want)
+		}
+	}
+	// ...but not through a pinned snapshot of the committed epoch.
+	snap := v.Acquire()
+	defer snap.Release()
+	if err := snap.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range got {
+		if x != 0 {
+			t.Fatalf("snapshot of epoch 0 sees uncommitted data: %v", got)
+		}
+	}
+}
+
+func TestVersionedSnapshotIsolationAcrossFlips(t *testing.T) {
+	v, err := NewVersioned(NewMemStore(8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	// Epoch 1: every block holds 1000+i; epoch 2: 2000+i.
+	for round := 1; round <= 2; round++ {
+		for id := 0; id < 4; id++ {
+			if err := v.WriteBlock(id, fillSeq(8, float64(1000*round+id))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round == 1 {
+			if err := v.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap1 := v.Acquire() // pins epoch 1 while epoch 2 is still building
+	if snap1.Epoch() != 1 {
+		t.Fatalf("pinned epoch %d, want 1", snap1.Epoch())
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := v.Acquire()
+	if snap2.Epoch() != 2 {
+		t.Fatalf("pinned epoch %d, want 2", snap2.Epoch())
+	}
+	buf := make([]float64, 8)
+	for id := 0; id < 4; id++ {
+		if err := snap1.ReadBlock(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != float64(1000+id) {
+			t.Fatalf("epoch-1 snapshot block %d = %v, want %d", id, buf[0], 1000+id)
+		}
+		if err := snap2.ReadBlock(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != float64(2000+id) {
+			t.Fatalf("epoch-2 snapshot block %d = %v, want %d", id, buf[0], 2000+id)
+		}
+	}
+	if err := snap1.WriteBlock(0, buf); !errors.Is(err, ErrSnapshotReadOnly) {
+		t.Fatalf("snapshot write = %v, want ErrSnapshotReadOnly", err)
+	}
+	snap1.Release()
+	snap2.Release()
+}
+
+func TestVersionedReclaimsOnlyAfterRelease(t *testing.T) {
+	v, err := NewVersioned(NewMemStore(8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	for id := 0; id < 4; id++ {
+		if err := v.WriteBlock(id, fillSeq(8, float64(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap := v.Acquire()
+
+	// Rewrite everything for epoch 2: with epoch 1 pinned, nothing from it
+	// may be reclaimed, so the new epoch allocates 4 fresh blocks.
+	for id := 0; id < 4; id++ {
+		if err := v.WriteBlock(id, fillSeq(8, float64(100+id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := v.Stats()
+	if st.Epoch != 2 || st.Pinned != 1 || st.OldestPinned != 1 {
+		t.Fatalf("stats = %+v, want epoch 2 pinned 1 oldest 1", st)
+	}
+	if st.Reclaimable != 4 {
+		t.Fatalf("reclaimable = %d, want 4 (old epoch's blocks held by the pin)", st.Reclaimable)
+	}
+	if st.FreeBlocks != 0 {
+		t.Fatalf("free = %d, want 0 while the pin holds", st.FreeBlocks)
+	}
+	snap.Release()
+	st = v.Stats()
+	if st.Pinned != 0 || st.Reclaimable != 0 {
+		t.Fatalf("after release stats = %+v, want no pins, no held blocks", st)
+	}
+	// Epoch 1's four blocks sit below epoch 2's in the physical space, so
+	// releasing the pin must put exactly those four on the free list.
+	if st.FreeBlocks != 4 {
+		t.Fatalf("after release free=%d phys=%d dataBase=%d, want 4 free", st.FreeBlocks, st.PhysBlocks, v.dataBase)
+	}
+
+	// Epoch 3 must reuse reclaimed space rather than growing the file.
+	before := v.PhysExtent()
+	for id := 0; id < 4; id++ {
+		if err := v.WriteBlock(id, fillSeq(8, float64(200+id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if after := v.PhysExtent(); after > before {
+		t.Fatalf("epoch 3 grew the file %d -> %d despite a free list", before, after)
+	}
+}
+
+func TestVersionedOnReuseHook(t *testing.T) {
+	v, err := NewVersioned(NewMemStore(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	var mu sync.Mutex
+	var reused []int
+	v.OnReuse(func(phys int) {
+		mu.Lock()
+		reused = append(reused, phys)
+		mu.Unlock()
+	})
+	for round := 0; round < 3; round++ {
+		for id := 0; id < 2; id++ {
+			if err := v.WriteBlock(id, fillSeq(8, float64(10*round+id))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := v.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reused) == 0 {
+		t.Fatal("no reuse notifications despite unpinned rewrites across epochs")
+	}
+	for _, p := range reused {
+		if p < v.dataBase {
+			t.Fatalf("reuse hook fired for reserved block %d", p)
+		}
+	}
+}
+
+func TestVersionedPersistsAcrossReopen(t *testing.T) {
+	for _, leg := range []string{"file", "durable"} {
+		t.Run(leg, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "v.blk")
+			open := func(create bool) BlockStore {
+				switch {
+				case leg == "file" && create:
+					fs, err := NewFileStore(path, 8)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return fs
+				case leg == "file":
+					fs, err := OpenFileStore(path, 8)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return fs
+				case create:
+					d, err := CreateDurable(path, 8, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return d
+				default:
+					d, err := OpenDurable(path, 8, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return d
+				}
+			}
+			base := open(true)
+			v, err := NewVersioned(base, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := 0; id < 5; id++ {
+				if err := v.WriteBlock(id, fillSeq(8, float64(300+id))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := v.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			// Partially rewrite for epoch 2.
+			if err := v.WriteBlock(2, fillSeq(8, 999)); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			v2, err := NewVersioned(open(false), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer v2.Close()
+			if got := v2.Epoch(); got != 2 {
+				t.Fatalf("reopened epoch = %d, want 2", got)
+			}
+			buf := make([]float64, 8)
+			for id := 0; id < 5; id++ {
+				if err := v2.ReadBlock(id, buf); err != nil {
+					t.Fatal(err)
+				}
+				want := float64(300 + id)
+				if id == 2 {
+					want = 999
+				}
+				if buf[0] != want {
+					t.Fatalf("reopened block %d = %v, want %v", id, buf[0], want)
+				}
+			}
+		})
+	}
+}
+
+func TestVersionedRollbackReturnsAllocations(t *testing.T) {
+	dir := t.TempDir()
+	d, err := CreateDurable(filepath.Join(dir, "v.blk"), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVersioned(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	for id := 0; id < 4; id++ {
+		if err := v.WriteBlock(id, fillSeq(8, float64(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ext := v.PhysExtent()
+	if err := v.WriteBlock(1, fillSeq(8, 777)); err != nil {
+		t.Fatal(err)
+	}
+	v.Rollback()
+	if got := v.Epoch(); got != 1 {
+		t.Fatalf("epoch after rollback = %d, want 1", got)
+	}
+	buf := make([]float64, 8)
+	if err := v.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Fatalf("block 1 after rollback = %v, want committed 1", buf[0])
+	}
+	if got := v.PhysExtent(); got != ext {
+		t.Fatalf("extent after rollback = %d, want %d", got, ext)
+	}
+}
+
+func TestVersionedBatchMatchesLoop(t *testing.T) {
+	v, err := NewVersioned(NewMemStore(8), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	rng := rand.New(rand.NewSource(42))
+	ids := []int{1, 5, 9, 13, 2}
+	data := make([][]float64, len(ids))
+	for i := range data {
+		data[i] = fillSeq(8, float64(rng.Intn(1000)))
+	}
+	if err := v.WriteBlocks(ids, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	all := []int{0, 1, 2, 5, 9, 13, 15}
+	bufs := make([][]float64, len(all))
+	for i := range bufs {
+		bufs[i] = make([]float64, 8)
+	}
+	if err := v.ReadBlocks(all, bufs); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]float64, 8)
+	for i, id := range all {
+		if err := v.ReadBlock(id, one); err != nil {
+			t.Fatal(err)
+		}
+		for j := range one {
+			if bufs[i][j] != one[j] {
+				t.Fatalf("batch read of %d diverges from loop read", id)
+			}
+		}
+	}
+}
+
+func TestVersionedConcurrentSnapshotReadsDuringWrites(t *testing.T) {
+	// Raw MemStore is concurrency-safe; the versioned layer must keep
+	// snapshot readers consistent while the builder rewrites and flips.
+	v, err := NewVersioned(NewMemStore(8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	write := func(val float64) {
+		for id := 0; id < 8; id++ {
+			if err := v.WriteBlock(id, fillSeq(8, val+float64(id))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := v.Commit(); err != nil {
+			t.Error(err)
+		}
+	}
+	write(1000)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]float64, 8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := v.Acquire()
+				base := -1.0
+				ok := true
+				for id := 0; id < 8 && ok; id++ {
+					if err := snap.ReadBlock(id, buf); err != nil {
+						t.Error(err)
+						ok = false
+						break
+					}
+					got := buf[0] - float64(id)
+					if base < 0 {
+						base = got
+					} else if got != base {
+						t.Errorf("snapshot epoch %d mixes versions: block %d base %v got %v", snap.Epoch(), id, base, got)
+						ok = false
+					}
+				}
+				snap.Release()
+				if !ok {
+					return
+				}
+			}
+		}()
+	}
+	for round := 2; round <= 20; round++ {
+		write(float64(1000 * round))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestChecksumReaderMatchesChecksummed(t *testing.T) {
+	dir := t.TempDir()
+	d, err := CreateDurable(filepath.Join(dir, "d.blk"), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for id := 0; id < 6; id++ {
+		if err := d.WriteBlock(id, fillSeq(8, float64(50+id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.ReadOnlyView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.BlockSize() != d.BlockSize() {
+		t.Fatalf("view block size %d != durable %d", r.BlockSize(), d.BlockSize())
+	}
+	// Stage an uncommitted write: the view must keep seeing committed bytes.
+	if err := d.WriteBlock(0, fillSeq(8, 12345)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]float64, 8)
+			for iter := 0; iter < 50; iter++ {
+				for id := 0; id < 6; id++ {
+					if err := r.ReadBlock(id, buf); err != nil {
+						t.Error(err)
+						return
+					}
+					if buf[0] != float64(50+id) {
+						t.Errorf("view block %d = %v, want %d", id, buf[0], 50+id)
+						return
+					}
+				}
+				bufs := [][]float64{make([]float64, 8), make([]float64, 8), make([]float64, 8)}
+				if err := r.ReadBlocks([]int{5, 0, 7}, bufs); err != nil {
+					t.Error(err)
+					return
+				}
+				if bufs[0][0] != 55 || bufs[1][0] != 50 {
+					t.Errorf("batch view read wrong: %v %v", bufs[0][0], bufs[1][0])
+					return
+				}
+				for _, x := range bufs[2] {
+					if x != 0 {
+						t.Errorf("unwritten block 7 non-zero via view")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.WriteBlock(1, make([]float64, 8)); err == nil {
+		t.Fatal("view write succeeded, want read-only error")
+	}
+}
+
+func TestSplitRWRouting(t *testing.T) {
+	dir := t.TempDir()
+	d, err := CreateDurable(filepath.Join(dir, "d.blk"), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.ReadOnlyView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSplitRW(r, NewLocked(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if err := sp.WriteBlock(2, fillSeq(8, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Before commit the read leg sees committed state (zeros).
+	buf := make([]float64, 8)
+	if err := sp.ReadBlock(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range buf {
+		if x != 0 {
+			t.Fatalf("split read leg observed staged write: %v", buf)
+		}
+	}
+	if err := sp.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.ReadBlock(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatalf("split read after commit = %v, want 7", buf[0])
+	}
+	if corrupt, err := sp.VerifyBlocks([]int{0, 1, 2}); err != nil || len(corrupt) != 0 {
+		t.Fatalf("verify = %v, %v", corrupt, err)
+	}
+}

@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file is the concurrent committed-read path that lets the epoch layer
+// demote Locked from serving: a ChecksumReader verifies frames over the raw
+// device with pooled scratch (safe for any number of concurrent readers,
+// unlike the single-threaded Checksummed), and a SplitRW store routes reads
+// to it while mutations keep the full journaled write path.
+
+// readerScratch is one reader's reusable frame/CRC scratch.
+type readerScratch struct {
+	frame []float64
+	bytes []byte
+	slab  []float64
+	batch [][]float64
+}
+
+// ChecksumReader is a read-only, concurrency-safe view over a
+// checksum-framed device: the same frame format as Checksummed, verified
+// with per-call pooled scratch instead of single-threaded fields. It does
+// not own the device — Close is a no-op — and it sees exactly the
+// committed bytes (never the Durable staging area), which is what epoch
+// snapshots want: the current table only ever references committed blocks.
+type ChecksumReader struct {
+	inner BlockStore
+	pool  sync.Pool
+}
+
+// NewChecksumReader builds a concurrent reader over a raw framed device.
+// The device's reads must themselves be concurrency-safe (FileStore,
+// MappedStore, MemStore all are).
+func NewChecksumReader(inner BlockStore) (*ChecksumReader, error) {
+	n := inner.BlockSize()
+	if n <= ChecksumOverhead {
+		return nil, fmt.Errorf("storage: checksum reader needs inner block size > %d, got %d", ChecksumOverhead, n)
+	}
+	r := &ChecksumReader{inner: inner}
+	r.pool.New = func() any {
+		return &readerScratch{
+			frame: make([]float64, n),
+			bytes: make([]byte, 8*(n-1)),
+		}
+	}
+	return r, nil
+}
+
+// BlockSize returns the logical (payload) block size.
+func (r *ChecksumReader) BlockSize() int { return r.inner.BlockSize() - ChecksumOverhead }
+
+// ReadBlock reads and verifies one block; unwritten frames read as zeros.
+func (r *ChecksumReader) ReadBlock(id int, buf []float64) error {
+	if err := checkBlockArgs(r, id, buf); err != nil {
+		return err
+	}
+	sc := r.pool.Get().(*readerScratch)
+	defer r.pool.Put(sc)
+	if err := r.inner.ReadBlock(id, sc.frame); err != nil {
+		return err
+	}
+	_, written, err := verifyFrameIn(sc.bytes, r.BlockSize(), id, sc.frame)
+	if err != nil {
+		return err
+	}
+	if !written {
+		ZeroFill(buf)
+		return nil
+	}
+	copy(buf, sc.frame[:r.BlockSize()])
+	return nil
+}
+
+// ReadBlocks implements BatchReader. When the device exposes zero-copy
+// frame views (MappedStore), CRCs verify over the mapped bytes in place;
+// otherwise one vectored read lands in a pooled slab and verifies there.
+func (r *ChecksumReader) ReadBlocks(ids []int, bufs [][]float64) error {
+	if err := checkBatchArgs(r, ids, bufs); err != nil {
+		return err
+	}
+	if fv, ok := r.inner.(FrameViewer); ok {
+		return r.readBlocksViews(fv, ids, bufs)
+	}
+	inner := r.inner.BlockSize()
+	sc := r.pool.Get().(*readerScratch)
+	defer r.pool.Put(sc)
+	n := len(ids)
+	if n*inner > cap(sc.slab) {
+		sc.slab = make([]float64, n*inner)
+		sc.batch = nil
+	}
+	if n > len(sc.batch) {
+		sc.batch = SliceFrames(sc.slab[:n*inner], n, inner)
+	}
+	frames := sc.batch[:n]
+	if err := ReadBlocksOf(r.inner, ids, frames); err != nil {
+		return err
+	}
+	p := r.BlockSize()
+	for i, id := range ids {
+		_, written, err := verifyFrameIn(sc.bytes, p, id, frames[i])
+		if err != nil {
+			return err
+		}
+		if !written {
+			ZeroFill(bufs[i])
+			continue
+		}
+		copy(bufs[i], frames[i][:p])
+	}
+	return nil
+}
+
+// readBlocksViews is the zero-copy leg: borrow, verify in place, decode
+// straight into the caller's buffers, release. The views never escape.
+func (r *ChecksumReader) readBlocksViews(fv FrameViewer, ids []int, bufs [][]float64) error {
+	views, err := fv.ViewFrames(ids)
+	if err != nil {
+		return err
+	}
+	defer views.Release()
+	p := r.BlockSize()
+	for i, id := range ids {
+		fb := views.Frame(i)
+		if fb == nil {
+			ZeroFill(bufs[i])
+			continue
+		}
+		written, err := verifyFrameBytesAt(p, id, fb)
+		if err != nil {
+			return err
+		}
+		if !written {
+			ZeroFill(bufs[i])
+			continue
+		}
+		for j := range bufs[i] {
+			bufs[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(fb[8*j:]))
+		}
+	}
+	return nil
+}
+
+// WriteBlock fails: this view is read-only by construction.
+func (r *ChecksumReader) WriteBlock(id int, data []float64) error {
+	return fmt.Errorf("storage: checksum reader is read-only (block %d)", id)
+}
+
+// MappedReads forwards the device's mapped-read counter.
+func (r *ChecksumReader) MappedReads() int64 { return MappedReadsOf(r.inner) }
+
+// Close is a no-op: the write path owns the device.
+func (r *ChecksumReader) Close() error { return nil }
+
+// ReadOnlyView returns a concurrency-safe committed-read view over the
+// Durable's data device, bypassing the journal and the staging area. It is
+// the read leg of a SplitRW under an epoch layer: epoch tables only ever
+// reference committed physical blocks, so the view always sees exactly the
+// bytes a pinned snapshot needs. The Durable keeps owning the device.
+func (d *Durable) ReadOnlyView() (*ChecksumReader, error) {
+	return NewChecksumReader(d.data.inner)
+}
+
+// SplitRW routes reads to a concurrent read path and everything else —
+// writes, durability points, verification, repair — to the full write
+// path. Both legs must bottom out at the same medium. It is how the epoch
+// layer demotes Locked from serving reads: only mutations (already
+// serialized by the maintenance engines) pay the write lock.
+type SplitRW struct {
+	r BlockStore
+	w BlockStore
+}
+
+// NewSplitRW pairs a read leg with a write leg of equal block size.
+func NewSplitRW(r, w BlockStore) (*SplitRW, error) {
+	if r.BlockSize() != w.BlockSize() {
+		return nil, fmt.Errorf("storage: split read block size %d != write block size %d", r.BlockSize(), w.BlockSize())
+	}
+	return &SplitRW{r: r, w: w}, nil
+}
+
+// BlockSize returns the common block size.
+func (s *SplitRW) BlockSize() int { return s.r.BlockSize() }
+
+// ReadBlock reads through the concurrent leg.
+func (s *SplitRW) ReadBlock(id int, buf []float64) error { return s.r.ReadBlock(id, buf) }
+
+// ReadBlocks implements BatchReader through the concurrent leg.
+func (s *SplitRW) ReadBlocks(ids []int, bufs [][]float64) error {
+	return ReadBlocksOf(s.r, ids, bufs)
+}
+
+// WriteBlock writes through the full write path.
+func (s *SplitRW) WriteBlock(id int, data []float64) error { return s.w.WriteBlock(id, data) }
+
+// WriteBlocks implements BatchWriter through the full write path.
+func (s *SplitRW) WriteBlocks(ids []int, data [][]float64) error {
+	return WriteBlocksOf(s.w, ids, data)
+}
+
+// Sync forwards the durability point to the write path.
+func (s *SplitRW) Sync() error { return SyncIfAble(s.w) }
+
+// Commit forwards the transactional group boundary to the write path.
+func (s *SplitRW) Commit() error { return CommitIfAble(s.w) }
+
+// Truncate forwards to the write path.
+func (s *SplitRW) Truncate() error { return TruncateIfAble(s.w) }
+
+// VerifyBlocks routes verification through the write path, which knows
+// about staged-but-uncommitted frames.
+func (s *SplitRW) VerifyBlocks(ids []int) (corrupt []int, err error) {
+	return VerifyBlocksOf(s.w, ids)
+}
+
+// RepairBlock routes repair through the write path.
+func (s *SplitRW) RepairBlock(id int) (bool, error) { return RepairBlockOf(s.w, id) }
+
+// MappedReads reports the shared device's mapped-read counter (both legs
+// bottom out at the same medium, so either leg's counter is the counter).
+func (s *SplitRW) MappedReads() int64 { return MappedReadsOf(s.w) }
+
+// Close closes the write path (which owns the medium), then the read leg
+// (a no-op for ChecksumReader).
+func (s *SplitRW) Close() error {
+	err := s.w.Close()
+	if cerr := s.r.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -23,6 +23,9 @@ type storeMeta struct {
 	// so OpenStore reopens it the same way (the on-disk layout itself is
 	// identical either way).
 	Mapped bool `json:"mapped,omitempty"`
+	// Versioned records the MVCC epoch layout (superblock + remap table
+	// ahead of the data blocks); a versioned file cannot be opened flat.
+	Versioned bool `json:"versioned,omitempty"`
 	// Quarantined records the blocks known to be corrupt on the medium, so
 	// a reopened store still refuses to trust them (and keeps serving
 	// degraded) until they are repaired or rewritten.
@@ -50,6 +53,7 @@ func (s *Store) saveMeta() error {
 		Materialized: s.materialized.Load(),
 		Durable:      s.opts.Durable,
 		Mapped:       s.opts.Mapped,
+		Versioned:    s.opts.Versioned,
 	}
 	if s.quarantine != nil {
 		m.Quarantined = s.quarantine.Snapshot()
@@ -151,7 +155,7 @@ func OpenStore(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := StoreOptions{Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable, Mapped: m.Mapped}
+	opts := StoreOptions{Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable, Mapped: m.Mapped, Versioned: m.Versioned}
 	var base storage.BlockStore
 	var durable *storage.Durable
 	switch {
@@ -175,18 +179,33 @@ func OpenStore(path string) (*Store, error) {
 		base = fs
 	}
 	counting := storage.NewCounting(base)
-	st, err := tile.NewStore(counting, tiling)
+	var top storage.BlockStore = counting
+	var versioned *storage.Versioned
+	if m.Versioned {
+		// Durable recovery has already run (journal replayed or discarded),
+		// so the superblock read here lands on a consistent epoch.
+		v, err := storage.NewVersioned(top, tiling.NumBlocks())
+		if err != nil {
+			return nil, err
+		}
+		versioned, top = v, v
+	}
+	st, err := tile.NewStore(top, tiling)
 	if err != nil {
 		return nil, err
 	}
 	out := &Store{
-		opts:     opts,
-		tiling:   tiling,
-		counting: counting,
-		durable:  durable,
-		store:    st,
+		opts:      opts,
+		tiling:    tiling,
+		counting:  counting,
+		durable:   durable,
+		versioned: versioned,
+		store:     st,
 	}
 	out.materialized.Store(m.Materialized)
+	if m.Materialized && versioned != nil {
+		out.matEpoch.Store(versioned.Epoch() + 1)
+	}
 	out.attachQuarantine(m.Quarantined)
 	out.scrubBase = counting
 	return out, nil

@@ -104,7 +104,14 @@ func (s *Store) ensureScrubber(opts storage.ScrubberOptions) (*storage.Scrubber,
 	if s.scrubBase == nil || s.quarantine == nil {
 		return nil, fmt.Errorf("shiftsplit: store has no scrubbable storage stack")
 	}
-	sc, err := storage.NewScrubber(s.scrubBase, s.tiling.NumBlocks, s.quarantine, opts)
+	// On a versioned store the scrubber walks the physical id space below
+	// the epoch layer (superblock, remap pages, allocated data blocks);
+	// otherwise physical and logical ids coincide.
+	extent := s.tiling.NumBlocks
+	if s.versioned != nil {
+		extent = s.versioned.PhysExtent
+	}
+	sc, err := storage.NewScrubber(s.scrubBase, extent, s.quarantine, opts)
 	if err != nil {
 		return nil, err
 	}

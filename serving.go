@@ -75,6 +75,19 @@ func OpenServing(path string, cacheBlocks, cacheShards int) (*Store, error) {
 // hits keep serving while the circuit is open; the scrubber walks the
 // Locked layer directly, bypassing both, so scrubbing sees the medium and
 // never trips or pollutes the layers above.
+//
+// On a versioned durable store Locked is demoted from the read path:
+// queries pin an epoch snapshot and resolve it through a lock-free
+// committed-read leg, while only mutations keep the write lock —
+//
+//	reads:  Snapshot → Degraded → cache → Breaker → Counting → SplitRW → ChecksumReader → device
+//	writes: Versioned builder → Counting → SplitRW → Locked → Durable
+//
+// so N readers progress at full speed while a maintenance batch builds
+// and flips the next epoch. The cache sits below the epoch layer and is
+// keyed by physical block id — epoch-qualified by construction, so a flip
+// invalidates nothing (no generation storm); only the reuse of a reclaimed
+// physical block drops its single stale entry.
 func OpenServingOpts(path string, sopts ServeOptions) (*Store, error) {
 	m, err := readMeta(path)
 	if err != nil {
@@ -87,6 +100,7 @@ func OpenServingOpts(path string, sopts ServeOptions) (*Store, error) {
 	opts := StoreOptions{
 		Shape: m.Shape, Form: form, TileBits: m.TileBits, Path: path, Durable: m.Durable,
 		Mapped:           m.Mapped,
+		Versioned:        m.Versioned,
 		ServeCacheBlocks: sopts.CacheBlocks, ServeCacheShards: sopts.CacheShards,
 	}
 	var base storage.BlockStore
@@ -119,7 +133,23 @@ func OpenServingOpts(path string, sopts ServeOptions) (*Store, error) {
 			base = sopts.BaseWrap(base)
 		}
 	}
-	counting := storage.NewCounting(base)
+	var counting *storage.Counting
+	if m.Versioned && durable != nil {
+		// The split read/write path: snapshot reads verify frames over the
+		// raw device concurrently, mutations keep the serialized journaled
+		// path. Both legs share one device and one I/O counter.
+		rd, err := durable.ReadOnlyView()
+		if err != nil {
+			return nil, err
+		}
+		split, err := storage.NewSplitRW(rd, storage.NewLocked(durable))
+		if err != nil {
+			return nil, err
+		}
+		counting = storage.NewCounting(split)
+	} else {
+		counting = storage.NewCounting(base)
+	}
 	out := &Store{
 		opts:     opts,
 		tiling:   tiling,
@@ -129,12 +159,15 @@ func OpenServingOpts(path string, sopts ServeOptions) (*Store, error) {
 	out.materialized.Store(m.Materialized)
 	out.attachQuarantine(m.Quarantined)
 	var top storage.BlockStore = counting
-	if durable != nil {
+	if durable != nil && !m.Versioned {
 		locked := storage.NewLocked(counting)
 		top = locked
 		out.scrubBase = locked
 		out.scrubSafe = true
 	} else {
+		// Versioned durable: the counting layer routes verification through
+		// the SplitRW write leg, so the scrubber still sees the journal's
+		// staged frames without taking the read path's locks.
 		out.scrubBase = counting
 		out.scrubSafe = true // MemStore/FileStore are concurrency-safe
 	}
@@ -157,6 +190,19 @@ func OpenServingOpts(path string, sopts ServeOptions) (*Store, error) {
 			return nil, err
 		}
 		out.degraded, top = dg, dg
+	}
+	if m.Versioned {
+		v, err := storage.NewVersionedSplit(counting, top, tiling.NumBlocks())
+		if err != nil {
+			return nil, err
+		}
+		if out.cache != nil {
+			v.OnReuse(out.cache.Drop)
+		}
+		out.versioned, top = v, v
+		if m.Materialized {
+			out.matEpoch.Store(v.Epoch() + 1)
+		}
 	}
 	st, err := tile.NewStore(top, tiling)
 	if err != nil {

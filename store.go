@@ -8,10 +8,7 @@ import (
 
 	"github.com/shiftsplit/shiftsplit/internal/bitutil"
 	"github.com/shiftsplit/shiftsplit/internal/cache"
-	"github.com/shiftsplit/shiftsplit/internal/ndarray"
 	"github.com/shiftsplit/shiftsplit/internal/parallel"
-	"github.com/shiftsplit/shiftsplit/internal/query"
-	"github.com/shiftsplit/shiftsplit/internal/reconstruct"
 	"github.com/shiftsplit/shiftsplit/internal/storage"
 	"github.com/shiftsplit/shiftsplit/internal/tile"
 	"github.com/shiftsplit/shiftsplit/internal/transform"
@@ -78,6 +75,17 @@ type StoreOptions struct {
 	// on-disk layout (framed blocks plus a ".wal" sidecar) and are not
 	// interchangeable with non-durable files.
 	Durable bool
+	// Versioned interposes the MVCC epoch layer (storage.Versioned) between
+	// the tile map and the physical store: every maintenance batch builds
+	// the next epoch in freshly allocated physical blocks and commits it
+	// with an atomic flip, while queries pin the current epoch through a
+	// refcounted Snapshot — so reads never observe a mid-batch state and
+	// never contend with writers. On a durable store the flip commits in
+	// the same journal group as the batch (crash recovers to exactly the
+	// old or exactly the new epoch). Versioned stores use a different
+	// on-disk layout (superblock + remap table ahead of the data blocks)
+	// and are not interchangeable with non-versioned files.
+	Versioned bool
 	// FaultPlan, when non-nil, routes the physical writes of a durable
 	// store through a storage.CrashStore governed by the plan — the
 	// power-cut testing facility behind the crash campaign. It is ignored
@@ -116,7 +124,7 @@ func (o MaintainOptions) engine(s *Store) parallel.Options {
 	return parallel.Options{
 		Workers:     o.Workers,
 		ChunkQueue:  o.ChunkQueue,
-		SerialApply: s.pool != nil || s.cache != nil || s.durable != nil,
+		SerialApply: s.pool != nil || s.cache != nil || s.durable != nil || s.versioned != nil,
 	}
 }
 
@@ -140,11 +148,22 @@ type Store struct {
 	pool     *storage.BufferPool
 	cache    *cache.Sharded
 	durable  *storage.Durable
-	store    *tile.Store
+	// versioned, when non-nil, is the MVCC epoch layer the tile store sits
+	// on: queries pin epochs through it, maintenance builds the next epoch
+	// behind it (see AcquireSnapshot).
+	versioned *storage.Versioned
+	store     *tile.Store
 	// materialized is atomic: the serving read path branches on it while a
 	// concurrent healing Materialize (re-writing the same store it serves)
 	// may be clearing and re-asserting it.
 	materialized atomic.Bool
+	// matEpoch resolves the materialized flag per epoch on versioned
+	// stores: it holds epoch+1 of the epoch whose blocks carry scaling
+	// coefficients, 0 when none does. A pinned snapshot runs the
+	// single-block query path only when its own epoch matches — a snapshot
+	// raced by a concurrent Materialize conservatively falls back to the
+	// (always-correct) root-path queries.
+	matEpoch atomic.Uint64
 
 	// Robustness plumbing (see robust.go): the quarantine registry tracks
 	// blocks known corrupt, degraded serves them as flagged zeros, the
@@ -258,11 +277,25 @@ func CreateStore(opts StoreOptions) (*Store, error) {
 		}
 		shardedCache, top = c, c
 	}
+	var versioned *storage.Versioned
+	if opts.Versioned {
+		v, err := storage.NewVersioned(top, tiling.NumBlocks())
+		if err != nil {
+			return nil, err
+		}
+		if shardedCache != nil {
+			// The cache sits below the epoch layer, so its keys are physical
+			// ids — epoch-qualified by construction. The only invalidation it
+			// ever needs is when a reclaimed physical block is rebound.
+			v.OnReuse(shardedCache.Drop)
+		}
+		versioned, top = v, v
+	}
 	st, err := tile.NewStore(top, tiling)
 	if err != nil {
 		return nil, err
 	}
-	out := &Store{opts: opts, tiling: tiling, counting: counting, pool: pool, cache: shardedCache, durable: durable, store: st}
+	out := &Store{opts: opts, tiling: tiling, counting: counting, pool: pool, cache: shardedCache, durable: durable, versioned: versioned, store: st}
 	out.attachQuarantine(nil)
 	out.scrubBase = counting
 	if err := out.saveMeta(); err != nil {
@@ -353,6 +386,7 @@ func (s *Store) commit() error { return s.store.Commit() }
 // blocks that justify it are durable, so it is dropped first and
 // re-asserted (by Materialize) only after a successful commit.
 func (s *Store) demote() error {
+	s.matEpoch.Store(0)
 	if !s.materialized.Load() {
 		return nil
 	}
@@ -403,6 +437,12 @@ func (s *Store) MaterializeOpts(a *Array, opts MaintainOptions) error {
 		s.quarantine.Replace(nil)
 	}
 	s.materialized.Store(true)
+	if s.versioned != nil {
+		// The epoch the commit just flipped to is the one whose blocks carry
+		// scaling coefficients; snapshots of any other epoch must keep using
+		// the root-path queries.
+		s.matEpoch.Store(s.versioned.Epoch() + 1)
+	}
 	return s.saveMeta()
 }
 
@@ -503,95 +543,43 @@ func (s *Store) ClearBlock(b Block) error {
 // the store via inverse SHIFT-SPLIT (Result 6), returning the values and
 // the number of blocks read.
 func (s *Store) ExtractBlock(b Block) (*Array, int, error) {
-	if err := b.validate(s.opts.Shape); err != nil {
-		return nil, 0, err
-	}
-	switch s.opts.Form {
-	case Standard:
-		return reconstruct.DyadicStandard(s.store, b.toRange())
-	case NonStandard:
-		if !b.isCubic() {
-			return nil, 0, fmt.Errorf("shiftsplit: non-standard extract needs a cubic block")
-		}
-		return reconstruct.DyadicNonStandard(s.store, b.Levels[0], b.Pos)
-	default:
-		return nil, 0, fmt.Errorf("shiftsplit: unknown form %v", s.opts.Form)
-	}
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	return snap.ExtractBlock(b)
 }
 
 // ExtractBox reconstructs an arbitrary box by dyadic decomposition (the
 // non-standard form additionally splits pieces into cubes, §4.1).
 func (s *Store) ExtractBox(start, shape []int) (*Array, int, error) {
-	if s.opts.Form == NonStandard {
-		return reconstruct.BoxNonStandard(s.store, start, shape)
-	}
-	return reconstruct.Box(s.store, start, shape)
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	return snap.ExtractBox(start, shape)
 }
 
 // Point reconstructs a single cell. On a materialized store this reads
 // exactly one block (the §3 payoff of the stored scaling coefficients);
-// otherwise it walks the root path.
+// otherwise it walks the root path. On a versioned store the read pins the
+// current epoch for its duration (see AcquireSnapshot).
 func (s *Store) Point(point ...int) (float64, int, error) {
-	if s.materialized.Load() {
-		if s.opts.Form == Standard {
-			return query.PointStandard(s.store, point)
-		}
-		return query.PointNonStandard(s.store, point)
-	}
-	if s.opts.Form == Standard {
-		return query.PointViaRootPath(s.store, s.opts.Shape, point)
-	}
-	// Non-standard root-path query: extract the 1-cell block.
-	b := CubeBlock(0, point...)
-	vals, io, err := s.ExtractBlock(b)
-	if err != nil {
-		return 0, io, err
-	}
-	origin := make([]int, len(point))
-	return vals.At(origin...), io, nil
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	return snap.Point(point...)
 }
 
 // RangeSum evaluates the sum over [start, start+shape), returning the value
 // and the number of blocks read.
 func (s *Store) RangeSum(start, shape []int) (float64, int, error) {
-	if s.opts.Form == Standard {
-		return query.RangeSumStandard(s.store, s.opts.Shape, start, shape)
-	}
-	return query.RangeSumNonStandard(s.store, start, shape)
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	return snap.RangeSum(start, shape)
 }
 
 // ReadTransform reads the whole transform back into memory (mainly for
 // verification and small stores).
 func (s *Store) ReadTransform() (*Array, error) {
-	hat := ndarray.New(s.opts.Shape...)
-	reader := tile.NewReader(s.store)
-	// Locate is pure arithmetic, so the blocks the read will touch are
-	// known up front: preload them with one vectored read (the same
-	// distinct-block set the per-coefficient loop loads one at a time).
-	var blocks []int
-	hat.Each(func(coords []int, _ float64) {
-		block, _ := s.tiling.Locate(coords)
-		blocks = append(blocks, block)
-	})
-	if err := reader.Preload(blocks); err != nil {
-		return nil, err
-	}
-	var rerr error
-	hat.Each(func(coords []int, _ float64) {
-		if rerr != nil {
-			return
-		}
-		v, err := reader.Get(coords)
-		if err != nil {
-			rerr = err
-			return
-		}
-		hat.Set(v, coords...)
-	})
-	if rerr != nil {
-		return nil, rerr
-	}
-	return hat, nil
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	return snap.ReadTransform()
 }
 
 // Points answers a batch of point queries, sharing one block cache across
@@ -599,72 +587,7 @@ func (s *Store) ReadTransform() (*Array, error) {
 // common tiles once. It returns the values in input order and the total
 // number of distinct blocks read.
 func (s *Store) Points(points [][]int) ([]float64, int, error) {
-	if s.materialized.Load() && s.opts.Form == Standard {
-		// Single-tile queries: distinct leaf tiles dominate the cost.
-		out := make([]float64, len(points))
-		seen := make(map[int]struct{})
-		blocks := 0
-		for i, p := range points {
-			v, _, err := query.PointStandard(s.store, p)
-			if err != nil {
-				return nil, blocks, err
-			}
-			out[i] = v
-			// Count distinct leaf tiles for the I/O figure.
-			tiling := s.tiling.(*tile.Standard)
-			block := 0
-			for t := 0; t < tiling.Dims(); t++ {
-				oneD := tiling.Dim(t)
-				leafBlock := 0
-				if n := oneD.Levels(); n > 0 {
-					idx := 1<<uint(n-1) + p[t]/2 // the level-1 detail over p
-					leafBlock, _ = oneD.Locate1D(idx)
-				}
-				block = block*oneD.NumBlocks() + leafBlock
-			}
-			if _, dup := seen[block]; !dup {
-				seen[block] = struct{}{}
-				blocks++
-			}
-		}
-		return out, blocks, nil
-	}
-	if s.opts.Form == Standard {
-		return query.PointBatch(s.store, s.opts.Shape, points)
-	}
-	// Non-standard: share a reader across per-point quadtree walks.
-	out := make([]float64, len(points))
-	reader := tile.NewReader(s.store)
-	n := bitutil.Log2(s.opts.Shape[0])
-	d := len(s.opts.Shape)
-	origin := make([]int, d)
-	coords := make([]int, d)
-	for i, p := range points {
-		u, err := reader.Get(origin)
-		if err != nil {
-			return nil, reader.BlocksRead(), err
-		}
-		for j := n; j >= 1; j-- {
-			base := 1 << uint(n-j)
-			for mask := 1; mask < 1<<uint(d); mask++ {
-				w := 1.0
-				for t := 0; t < d; t++ {
-					coords[t] = p[t] >> uint(j)
-					if mask>>uint(t)&1 == 1 {
-						coords[t] += base
-						if p[t]>>uint(j-1)&1 == 1 {
-							w = -w
-						}
-					}
-				}
-				v, err := reader.Get(coords)
-				if err != nil {
-					return nil, reader.BlocksRead(), err
-				}
-				u += w * v
-			}
-		}
-		out[i] = u
-	}
-	return out, reader.BlocksRead(), nil
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	return snap.Points(points)
 }

@@ -1,0 +1,153 @@
+package shiftsplit
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/shiftsplit/shiftsplit/internal/storage"
+)
+
+// TestEpochFlipCrashCampaign is the crash-consistency acceptance test for
+// the MVCC epoch layer: kill a maintenance batch at every physical write
+// index — data blocks, remap-table pages, and superblock all ride the same
+// journal group — reopen, and require the store to come back as exactly the
+// old epoch or exactly the new epoch: transform, epoch counter, and fsck's
+// decoded superblock must agree, and the campaign must witness both
+// outcomes. Runs on both the pread file leg and the mmap leg.
+func TestEpochFlipCrashCampaign(t *testing.T) {
+	for _, leg := range []struct {
+		name   string
+		mapped bool
+	}{
+		{"file", false},
+		{"mapped", true},
+	} {
+		t.Run(leg.name, func(t *testing.T) {
+			seed := crashSeed(t)
+			rng := rand.New(rand.NewSource(23))
+			src := randArray(rng, 8, 8)
+			delta := randArray(rng, 4, 4)
+			blk := CubeBlock(2, 1, 1)
+			deltaHat := Transform(delta, Standard)
+
+			// Reference states from the identical in-memory versioned
+			// pipeline: recovery must reproduce one of these exactly.
+			ref, err := CreateStore(StoreOptions{Shape: []int{8, 8}, Form: Standard, TileBits: 1, Versioned: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.TransformChunked(src, 2); err != nil {
+				t.Fatal(err)
+			}
+			preHat, err := ref.ReadTransform()
+			if err != nil {
+				t.Fatal(err)
+			}
+			preEpoch := ref.CurrentEpoch()
+			if err := ref.MergeBlock(blk, deltaHat); err != nil {
+				t.Fatal(err)
+			}
+			postHat, err := ref.ReadTransform()
+			if err != nil {
+				t.Fatal(err)
+			}
+			postEpoch := ref.CurrentEpoch()
+			ref.Close()
+			if postEpoch != preEpoch+1 {
+				t.Fatalf("reference epochs %d -> %d, want one flip", preEpoch, postEpoch)
+			}
+
+			dir := t.TempDir()
+			build := func(name string, plan *storage.CrashPlan) (*Store, string) {
+				path := filepath.Join(dir, name)
+				st, err := CreateStore(StoreOptions{
+					Shape: []int{8, 8}, Form: Standard, TileBits: 1,
+					Path: path, Durable: true, Mapped: leg.mapped,
+					Versioned: true, FaultPlan: plan,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.TransformChunked(src, 2); err != nil {
+					t.Fatalf("setup transform: %v", err)
+				}
+				return st, path
+			}
+
+			// Dry run: how many physical mutations does the flip take?
+			dryPlan := storage.NewCrashPlan(seed)
+			dry, _ := build("dry.wav", dryPlan)
+			preOps := dryPlan.Ops()
+			if err := dry.MergeBlock(blk, deltaHat); err != nil {
+				t.Fatal(err)
+			}
+			totalOps := dryPlan.Ops() - preOps
+			if err := dry.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if totalOps < 8 {
+				t.Fatalf("flip took only %d mutations — campaign is vacuous", totalOps)
+			}
+			t.Logf("epoch flip = %d physical mutations", totalOps)
+
+			preSeen, postSeen := 0, 0
+			for w := int64(1); w <= totalOps; w++ {
+				plan := storage.NewCrashPlan(seed + 1000*w)
+				st, path := build("t"+strconv.FormatInt(w, 10)+".wav", plan)
+				plan.ArmAt(plan.Ops() + w)
+				err := st.MergeBlock(blk, deltaHat)
+				if w < totalOps && !errors.Is(err, storage.ErrCrashed) {
+					t.Fatalf("trial %d: expected simulated power cut, got %v", w, err)
+				}
+				_ = st.Close() // dead machine; errors expected
+
+				st2, err := OpenStore(path)
+				if err != nil {
+					t.Fatalf("trial %d: reopen after crash: %v", w, err)
+				}
+				got, err := st2.ReadTransform()
+				if err != nil {
+					t.Fatalf("trial %d: read recovered transform: %v", w, err)
+				}
+				gotEpoch := st2.CurrentEpoch()
+				switch {
+				case equalExact(got, preHat):
+					preSeen++
+					if gotEpoch != preEpoch {
+						t.Fatalf("trial %d: pre-merge transform but epoch %d, want %d (torn flip)", w, gotEpoch, preEpoch)
+					}
+				case equalExact(got, postHat):
+					postSeen++
+					if gotEpoch != postEpoch {
+						t.Fatalf("trial %d: post-merge transform but epoch %d, want %d (torn flip)", w, gotEpoch, postEpoch)
+					}
+				default:
+					t.Fatalf("trial %d: recovered transform is neither pre- nor post-merge", w)
+				}
+				if err := st2.Close(); err != nil {
+					t.Fatalf("trial %d: close recovered store: %v", w, err)
+				}
+				rep, err := Fsck(path)
+				if err != nil {
+					t.Fatalf("trial %d: fsck: %v", w, err)
+				}
+				if !rep.Clean() {
+					t.Fatalf("trial %d: fsck not clean: %+v", w, rep)
+				}
+				if rep.Versioned == nil {
+					t.Fatalf("trial %d: fsck reported no epoch superblock", w)
+				}
+				if rep.Versioned.Epoch != gotEpoch {
+					t.Fatalf("trial %d: fsck superblock epoch %d, store reports %d", w, rep.Versioned.Epoch, gotEpoch)
+				}
+			}
+			t.Logf("campaign: %d trials, %d recovered pre-merge, %d post-merge", totalOps, preSeen, postSeen)
+			if preSeen == 0 || postSeen == 0 {
+				t.Fatalf("campaign never exercised both outcomes (pre=%d post=%d)", preSeen, postSeen)
+			}
+		})
+	}
+}
